@@ -1,0 +1,84 @@
+// Command coalctl runs the paper's experiments: every figure and table
+// has a registered regenerator.
+//
+//	coalctl list
+//	coalctl run fig9            # full fidelity (5 runs, 3-minute clips)
+//	coalctl run -quick tab5     # fast pass
+//	coalctl run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"coalqoe/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "fewer runs and shorter clips")
+	seed := flag.Int64("seed", 0, "base seed")
+	runs := flag.Int("runs", 0, "override repetition count")
+	outDir := flag.String("out", "", "also write each report to <dir>/<id>.txt")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range exp.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+	case "run":
+		if len(args) < 2 {
+			usage()
+		}
+		opts := exp.Options{Quick: *quick, Seed: *seed, Runs: *runs}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		if args[1] == "all" {
+			for _, e := range exp.All() {
+				runOne(e, opts, *outDir)
+			}
+			return
+		}
+		for _, id := range args[1:] {
+			e, err := exp.Find(id)
+			if err != nil {
+				fatal(err)
+			}
+			runOne(e, opts, *outDir)
+		}
+	default:
+		usage()
+	}
+}
+
+func runOne(e exp.Experiment, opts exp.Options, outDir string) {
+	start := time.Now()
+	rep := e.Run(opts)
+	fmt.Print(rep)
+	fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	if outDir != "" {
+		path := filepath.Join(outDir, e.ID+".txt")
+		if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: coalctl [flags] list | run <id>... | run all")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coalctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+// Command dashserve serves a DASH manifest and synthetic segments over
+// real HTTP — the stand-in for the paper's Apache video server (§4.1).
+//
+//	dashserve -addr :8080 -video 0
+//	curl localhost:8080/manifest.json
+//	curl -o seg.mp4 localhost:8080/video/720p30/0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"coalqoe/internal/dash"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	videoIdx := flag.Int("video", 0, "test video index 0..4")
+	flag.Parse()
+
+	if *videoIdx < 0 || *videoIdx >= len(dash.TestVideos) {
+		fmt.Fprintln(os.Stderr, "dashserve: video index out of range")
+		os.Exit(1)
+	}
+	video := dash.TestVideos[*videoIdx]
+	manifest := dash.NewManifest(video, 24, 30, 48, 60)
+	fmt.Printf("serving %q (%s, %v) with %d representations on %s\n",
+		video.Title, video.Genre, video.Duration, len(manifest.Rungs), *addr)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           dash.NewServer(manifest),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "dashserve:", err)
+		os.Exit(1)
+	}
+}

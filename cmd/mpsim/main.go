@@ -1,0 +1,83 @@
+// Command mpsim drives the memory-pressure simulator (the MP Simulator
+// analog, §4.1) against a simulated device and reports how the kernel
+// responds: balloon growth, kills, and signal escalation.
+//
+//	mpsim -device nokia1 -target critical -hold 60s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"coalqoe/internal/device"
+	"coalqoe/internal/mempress"
+	"coalqoe/internal/proc"
+)
+
+func main() {
+	deviceName := flag.String("device", "nokia1", "device: nokia1, nexus5, nexus6p")
+	target := flag.String("target", "moderate", "target level: moderate, low, critical")
+	hold := flag.Duration("hold", 60*time.Second, "how long to hold the regime after reaching it")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	var profile device.Profile
+	switch strings.ToLower(*deviceName) {
+	case "nokia1":
+		profile = device.Nokia1
+	case "nexus5":
+		profile = device.Nexus5
+	case "nexus6p":
+		profile = device.Nexus6P
+	default:
+		fatal(fmt.Errorf("unknown device %q", *deviceName))
+	}
+	var level proc.Level
+	switch strings.ToLower(*target) {
+	case "moderate":
+		level = proc.Moderate
+	case "low":
+		level = proc.Low
+	case "critical":
+		level = proc.Critical
+	default:
+		fatal(fmt.Errorf("unknown target %q", *target))
+	}
+
+	dev := device.New(*seed, profile, device.Options{})
+	dev.Settle(3 * time.Second)
+	fmt.Printf("%s booted: free=%s available=%s cached=%d\n",
+		dev, dev.Mem.Free().Bytes(), dev.Mem.Available().Bytes(), dev.Table.CachedCount())
+
+	var reachedAt time.Duration
+	app := mempress.Apply(dev, level, func() { reachedAt = dev.Clock.Now() })
+
+	dev.Clock.Every(time.Second, func() {
+		fmt.Printf("t=%3ds level=%-8s balloon=%8s free=%8s avail=%8s zram=%8s P=%5.1f kills=%d\n",
+			int(dev.Clock.Now()/time.Second), dev.Table.Level(), app.BalloonBytes(),
+			dev.Mem.Free().Bytes(), dev.Mem.Available().Bytes(),
+			dev.Mem.ZRAMPhysical().Bytes(), dev.Mem.Pressure(), dev.Lmkd.KillCount)
+	})
+
+	deadline := dev.Clock.Now() + 5*time.Minute
+	for !app.Reached() && dev.Clock.Now() < deadline {
+		dev.Settle(time.Second)
+	}
+	if !app.Reached() {
+		fatal(fmt.Errorf("never reached %v within 5 minutes", level))
+	}
+	fmt.Printf("reached %v at t=%v; holding for %v\n", level, reachedAt.Round(time.Second), *hold)
+	dev.Settle(*hold)
+	app.Stop()
+	dev.Settle(5 * time.Second)
+	fmt.Printf("released: level=%v free=%s kills=%d signals=%d\n",
+		dev.Table.Level(), dev.Mem.Free().Bytes(), dev.Lmkd.KillCount, len(dev.Table.Signals()))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mpsim:", err)
+	os.Exit(1)
+}

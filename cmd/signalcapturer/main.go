@@ -1,0 +1,99 @@
+// Command signalcapturer runs the §3 user study: it simulates a fleet
+// of devices under natural usage and prints the SignalCapturer-style
+// telemetry summaries behind Figures 1–6.
+//
+//	signalcapturer -users 80 -seed 1
+//	signalcapturer -users 20 -json fleet.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"coalqoe/internal/proc"
+	"coalqoe/internal/study"
+	"coalqoe/internal/units"
+)
+
+// deviceRow is the JSON export record for one study device.
+type deviceRow struct {
+	User              string             `json:"user"`
+	RAMGiB            float64            `json:"ram_gib"`
+	MedianUtilization float64            `json:"median_utilization"`
+	SignalsPerHour    map[string]float64 `json:"signals_per_hour"`
+	TimeShare         map[string]float64 `json:"time_share"`
+}
+
+func main() {
+	users := flag.Int("users", 80, "participants to recruit")
+	seed := flag.Int64("seed", 1, "fleet seed")
+	jsonPath := flag.String("json", "", "write per-device records to this file")
+	flag.Parse()
+
+	fmt.Printf("recruiting %d users...\n", *users)
+	fleet := study.RunFleet(*users, *seed)
+	fmt.Printf("kept %d users with >= %.0f h interactive data (paper: 48 of 80)\n\n",
+		len(fleet.Kept), study.MinInteractiveHours)
+
+	// Figure 2 summary.
+	cdf := fleet.Fig2CDF()
+	fmt.Printf("median RAM utilization: >=60%% on %.0f%% of devices (paper: 80%%)\n",
+		100*(1-cdf.At(0.5999)))
+
+	// Figure 3/4 summaries.
+	ins := fleet.Table1()
+	fmt.Printf("devices with >=1 pressure signal/hour:  %.0f%% (paper: 63%%)\n", ins.PctAnySignal)
+	fmt.Printf("devices with >10 critical signals/hour: %.0f%% (paper: 19%%)\n", ins.PctManyCritical)
+	fmt.Printf("devices >50%% time under pressure:       %.0f%% (paper: 10%%)\n", ins.PctHighTimeOver50)
+	fmt.Printf("devices >=2%% time under pressure:       %.0f%% (paper: 35%%)\n\n", ins.PctHighTimeOver2)
+
+	// Per-device table, sorted by pressure exposure.
+	logs := append([]*study.DeviceLog(nil), fleet.Logs...)
+	sort.Slice(logs, func(i, j int) bool {
+		hi := logs[i].TimeShare[proc.Moderate] + logs[i].TimeShare[proc.Low] + logs[i].TimeShare[proc.Critical]
+		hj := logs[j].TimeShare[proc.Moderate] + logs[j].TimeShare[proc.Low] + logs[j].TimeShare[proc.Critical]
+		return hi > hj
+	})
+	fmt.Printf("%-8s %5s %6s %10s %10s %10s\n", "user", "RAM", "util", "mod/h", "low/h", "crit/h")
+	for _, l := range logs {
+		fmt.Printf("%-8s %4.0fG %5.0f%% %10.1f %10.1f %10.1f\n",
+			l.User.ID, float64(l.User.RAM)/float64(units.GiB), 100*l.MedianUtilization,
+			l.SignalsPerHour[proc.Moderate], l.SignalsPerHour[proc.Low], l.SignalsPerHour[proc.Critical])
+	}
+
+	if *jsonPath != "" {
+		rows := make([]deviceRow, 0, len(fleet.Logs))
+		for _, l := range fleet.Logs {
+			row := deviceRow{
+				User:              l.User.ID,
+				RAMGiB:            float64(l.User.RAM) / float64(units.GiB),
+				MedianUtilization: l.MedianUtilization,
+				SignalsPerHour:    map[string]float64{},
+				TimeShare:         map[string]float64{},
+			}
+			for lvl, v := range l.SignalsPerHour {
+				row.SignalsPerHour[lvl.String()] = v
+			}
+			for lvl, v := range l.TimeShare {
+				row.TimeShare[lvl.String()] = v
+			}
+			rows = append(rows, row)
+		}
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %d device records to %s\n", len(rows), *jsonPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "signalcapturer:", err)
+	os.Exit(1)
+}

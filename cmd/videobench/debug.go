@@ -1,0 +1,40 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"coalqoe/internal/device"
+	"coalqoe/internal/exp"
+	"coalqoe/internal/player"
+	"coalqoe/internal/trace"
+)
+
+// debugRun mirrors exp.Run but prints a per-second state trace.
+func debugRun(cfg exp.VideoRun, enabled bool) {
+	if !enabled {
+		return
+	}
+	cfg.OnSession = func(sess *player.Session, dev *device.Device) {
+		dev.Clock.Every(time.Second, func() {
+			fmt.Printf("t=%3ds P=%5.1f free=%7s cached=%2d lvl=%-8s kills=%2d fg=%d zram=%s deficit=%.3f kswapdCPU=%v mmcqdCPU=%v swapins=%d refaults=%d active=%v\n",
+				int(dev.Clock.Now()/time.Second), dev.Mem.Pressure(), dev.Mem.Free().Bytes(),
+				dev.Table.CachedCount(), dev.Table.Level(), dev.Lmkd.KillCount, dev.Lmkd.ForegroundKills,
+				dev.Mem.ZRAMPhysical().Bytes(), dev.Mem.RefaultDeficit(),
+				dev.Kswapd.Thread().CPUTime().Round(time.Millisecond), dev.Disk.Thread().CPUTime().Round(time.Millisecond),
+				dev.Mem.SwapIns(), dev.Mem.TotalRefaults, sess.Active())
+		})
+	}
+	r := exp.Run(cfg)
+	fmt.Println(r.Metrics)
+	tr := r.Device.Tracer
+	video := trace.AnyOf(trace.ByName("MediaCodec"), trace.ByName("SurfaceFlinger"), trace.ByProcess(r.Metrics.Client))
+	for _, st := range []trace.State{trace.Running, trace.Runnable, trace.RunnablePreempted, trace.UninterruptibleSleep} {
+		fmt.Printf("  video %-22s %v\n", st, tr.TimeInState(video, st).Round(time.Millisecond))
+	}
+	fmt.Printf("  kswapd breakdown: %v\n", tr.StateBreakdown(trace.ByName("kswapd")))
+	ps := tr.PreemptionsBy(trace.ByName("mmcqd"), video)
+	fmt.Printf("  mmcqd preemptions of video: n=%d ranFor=%v victimsWaited=%v\n", ps.Count, ps.PreemptorRanFor.Round(time.Millisecond), ps.VictimsWaitedFor.Round(time.Millisecond))
+	fmt.Printf("  kswapd rank=%d mmcqd rank=%d\n", tr.RankOf("kswapd0"), tr.RankOf("mmcqd/0"))
+	fmt.Printf("  disk queue=%v stats=%+v\n", r.Device.Disk.QueueDepth(), r.Device.Disk.Stats())
+}

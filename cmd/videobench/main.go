@@ -1,0 +1,169 @@
+// Command videobench runs a single controlled video-streaming
+// experiment — device, client, rung, memory-pressure state — and prints
+// the QoE outcome, like one cell of the paper's Figures 9/11/12.
+//
+// Example:
+//
+//	videobench -device nokia1 -res 1080p -fps 30 -pressure moderate -runs 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/device"
+	"coalqoe/internal/exp"
+	"coalqoe/internal/player"
+	"coalqoe/internal/proc"
+)
+
+func main() {
+	var (
+		deviceName = flag.String("device", "nokia1", "device: nokia1, nexus5, nexus6p")
+		clientName = flag.String("client", "firefox", "client: firefox, chrome, exoplayer")
+		resName    = flag.String("res", "480p", "resolution: 240p..1440p")
+		fps        = flag.Int("fps", 30, "frame rate: 24, 30, 48, 60")
+		pressure   = flag.String("pressure", "normal", "memory state: normal, moderate, low, critical")
+		organic    = flag.Int("organic", 0, "apply organic pressure with N background apps instead")
+		videoIdx   = flag.Int("video", 0, "test video index 0..4 (travel, sports, gaming, news, nature)")
+		runs       = flag.Int("runs", 1, "number of repeated runs")
+		seed       = flag.Int64("seed", 0, "base seed")
+		timeline   = flag.Bool("timeline", false, "print the per-second rendered FPS timeline")
+		debug      = flag.Bool("debug", false, "print a per-second device state trace")
+		traceOut   = flag.String("trace", "", "write a Perfetto-style text trace of run 1 to this file")
+		jsonOut    = flag.String("json", "", "write per-run metrics as JSON lines to this file")
+	)
+	flag.Parse()
+
+	profile, err := DeviceByName(*deviceName)
+	if err != nil {
+		fatal(err)
+	}
+	client, err := ClientByName(*clientName)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := dash.ParseResolution(*resName)
+	if err != nil {
+		fatal(err)
+	}
+	level, err := LevelByName(*pressure)
+	if err != nil {
+		fatal(err)
+	}
+	if *videoIdx < 0 || *videoIdx >= len(dash.TestVideos) {
+		fatal(fmt.Errorf("video index out of range"))
+	}
+
+	cfg := exp.VideoRun{
+		Profile:     profile,
+		Client:      client,
+		Video:       dash.TestVideos[*videoIdx],
+		Resolution:  res,
+		FPS:         *fps,
+		Pressure:    level,
+		OrganicApps: *organic,
+	}
+	if *debug {
+		debugRun(cfg, true)
+		return
+	}
+	cfg.KeepTrace = *traceOut != ""
+	results := exp.Repeat(cfg, *runs, *seed)
+	if *traceOut != "" && len(results) > 0 {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := results[0].Device.Tracer.WriteText(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote trace to %s\n", *traceOut)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		for _, r := range results {
+			if err := enc.Encode(r.Metrics); err != nil {
+				fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d metric records to %s\n", len(results), *jsonOut)
+	}
+	for i, r := range results {
+		fmt.Printf("run %d: %s reached=%v signals=%v\n", i+1, r.Metrics, r.PressureReached, r.Metrics.Signals)
+		if *timeline {
+			fmt.Print("  fps:")
+			for _, f := range r.Metrics.FPSTimeline {
+				fmt.Printf(" %.0f", f)
+			}
+			fmt.Println()
+		}
+	}
+	if *runs > 1 {
+		fmt.Printf("mean drop rate: %v%%   crash rate: %.0f%%\n",
+			exp.DropStats(results), exp.CrashRate(results))
+	}
+}
+
+// DeviceByName resolves a device profile by CLI name.
+func DeviceByName(s string) (device.Profile, error) {
+	switch strings.ToLower(s) {
+	case "nokia1", "nokia":
+		return device.Nokia1, nil
+	case "nexus5":
+		return device.Nexus5, nil
+	case "nexus6p":
+		return device.Nexus6P, nil
+	default:
+		return device.Profile{}, fmt.Errorf("unknown device %q", s)
+	}
+}
+
+// ClientByName resolves a client profile by CLI name.
+func ClientByName(s string) (player.ClientProfile, error) {
+	switch strings.ToLower(s) {
+	case "firefox":
+		return player.Firefox, nil
+	case "chrome":
+		return player.Chrome, nil
+	case "exoplayer", "exo":
+		return player.ExoPlayer, nil
+	default:
+		return player.ClientProfile{}, fmt.Errorf("unknown client %q", s)
+	}
+}
+
+// LevelByName resolves a pressure level by CLI name.
+func LevelByName(s string) (proc.Level, error) {
+	switch strings.ToLower(s) {
+	case "normal":
+		return proc.Normal, nil
+	case "moderate":
+		return proc.Moderate, nil
+	case "low":
+		return proc.Low, nil
+	case "critical":
+		return proc.Critical, nil
+	default:
+		return 0, fmt.Errorf("unknown pressure level %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "videobench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Quickstart: stream one video on a simulated entry-level phone under
+// memory pressure and print what happened.
+//
+// This is the smallest useful composition of the library: boot a
+// device, apply a pressure regime (like the paper's MP Simulator app),
+// start a playback session, run the virtual clock, read the QoE.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/device"
+	"coalqoe/internal/mempress"
+	"coalqoe/internal/player"
+	"coalqoe/internal/proc"
+	"coalqoe/internal/qoe"
+)
+
+func main() {
+	// 1. Boot a Nokia 1 (1 GB RAM, quad-core 1.1 GHz) and let the
+	//    system processes settle.
+	dev := device.New(42, device.Nokia1, device.Options{})
+	dev.Settle(3 * time.Second)
+	fmt.Printf("booted %s: %s available\n", dev, dev.Mem.Available().Bytes())
+
+	// 2. Push the device into the Moderate memory-pressure regime.
+	reached := false
+	mempress.Apply(dev, proc.Moderate, func() { reached = true })
+	for !reached && dev.Clock.Now() < 2*time.Minute {
+		dev.Settle(time.Second)
+	}
+	fmt.Printf("reached Moderate pressure at t=%v (P=%.0f, %d background apps killed)\n",
+		dev.Clock.Now().Round(time.Second), dev.Mem.Pressure(), dev.Lmkd.KillCount)
+
+	// 3. Stream the paper's travel video at 720p60 in Firefox.
+	video := dash.TestVideos[0]
+	video.Duration = 90 * time.Second
+	manifest := dash.NewManifest(video, 24, 30, 48, 60)
+	rung, _ := manifest.Rung(dash.R720p, 60)
+	session := player.Start(player.Config{
+		Device:   dev,
+		Client:   player.Firefox,
+		Manifest: manifest,
+		Rung:     rung,
+	})
+	signals := 0
+	session.OnSignal(func(l proc.Level) {
+		signals++
+		if signals <= 5 {
+			fmt.Printf("  t=%v onTrimMemory(%v)\n", dev.Clock.Now().Round(time.Second), l)
+		}
+	})
+
+	// 4. Run to completion (or crash) and report.
+	for session.Active() && dev.Clock.Now() < 10*time.Minute {
+		dev.Settle(5 * time.Second)
+	}
+	m := session.Metrics()
+	fmt.Println()
+	fmt.Printf("  ... %d onTrimMemory deliveries in total\n\n", signals)
+	fmt.Println(m)
+	fmt.Printf("effective drop rate: %.1f%%   MOS: %.2f\n", m.EffectiveDropRate, qoe.MOS(m))
+	if m.Crashed {
+		fmt.Printf("the client was killed at t=%v — see Tables 2-3 of the paper\n", m.CrashedAt.Round(time.Second))
+	}
+}

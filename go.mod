@@ -1,0 +1,3 @@
+module coalqoe
+
+go 1.22

@@ -1,0 +1,330 @@
+// Package abr implements video adaptation algorithms: the classic
+// network-driven baselines (rate-based, buffer-based, BOLA) and the
+// paper's proposal — a memory-pressure-aware policy that reacts to
+// onTrimMemory signals by stepping down the encoded frame rate and, if
+// needed, the resolution (§6: "a video can continue to be rendered at
+// high resolution by decreasing the encoded frame rate").
+//
+// Algorithms are pure decision functions over an observation Context;
+// a Controller polls the session, asks the algorithm, and applies
+// switches. This mirrors how dash.js separates ABR rules from the
+// player.
+package abr
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/device"
+	"coalqoe/internal/player"
+	"coalqoe/internal/proc"
+	"coalqoe/internal/units"
+)
+
+// Context is the observation an algorithm decides on.
+type Context struct {
+	// Now is the virtual time of the decision.
+	Now time.Duration
+	// Current is the rung currently playing.
+	Current dash.Rung
+	// Ladder is the available rung set, sorted by ascending bitrate.
+	Ladder []dash.Rung
+	// Buffer is the playback buffer level.
+	Buffer time.Duration
+	// BufferCapacity is the maximum buffer.
+	BufferCapacity time.Duration
+	// Throughput is the last measured download throughput.
+	Throughput units.BitsPerSecond
+	// Signal is the most recent memory-pressure signal (Normal when
+	// none was received recently).
+	Signal proc.Level
+	// SignalAge is how long ago Signal was received.
+	SignalAge time.Duration
+	// RecentDropRate is the frame-drop percentage over the last few
+	// seconds — the client-side symptom of device bottlenecks.
+	RecentDropRate float64
+}
+
+// Algorithm decides the rung to play next.
+type Algorithm interface {
+	Name() string
+	Decide(ctx Context) dash.Rung
+}
+
+// Fixed never adapts; it is the paper's §4 experimental condition.
+type Fixed struct{}
+
+// Name implements Algorithm.
+func (Fixed) Name() string { return "fixed" }
+
+// Decide implements Algorithm.
+func (Fixed) Decide(ctx Context) dash.Rung { return ctx.Current }
+
+// RateBased picks the highest bitrate under a safety fraction of the
+// measured throughput — the classic throughput rule.
+type RateBased struct {
+	// Safety is the throughput fraction to use; default 0.8.
+	Safety float64
+}
+
+// Name implements Algorithm.
+func (RateBased) Name() string { return "rate" }
+
+// Decide implements Algorithm.
+func (a RateBased) Decide(ctx Context) dash.Rung {
+	safety := a.Safety
+	if safety <= 0 {
+		safety = 0.8
+	}
+	budget := units.BitsPerSecond(safety * float64(ctx.Throughput))
+	if ctx.Throughput == 0 {
+		return ctx.Current
+	}
+	best := ctx.Ladder[0]
+	for _, r := range ctx.Ladder {
+		if r.Bitrate <= budget && r.Bitrate >= best.Bitrate {
+			best = r
+		}
+	}
+	return best
+}
+
+// BufferBased is BBA-style: map the buffer level linearly onto the
+// ladder between a reservoir and a cushion.
+type BufferBased struct {
+	// Reservoir is the buffer level below which the lowest rung plays;
+	// default 10s.
+	Reservoir time.Duration
+	// Cushion is the level at which the highest rung plays;
+	// default 45s.
+	Cushion time.Duration
+}
+
+// Name implements Algorithm.
+func (BufferBased) Name() string { return "bba" }
+
+// Decide implements Algorithm.
+func (a BufferBased) Decide(ctx Context) dash.Rung {
+	reservoir, cushion := a.Reservoir, a.Cushion
+	if reservoir <= 0 {
+		reservoir = 10 * time.Second
+	}
+	if cushion <= reservoir {
+		cushion = 45 * time.Second
+	}
+	if ctx.Buffer <= reservoir {
+		return ctx.Ladder[0]
+	}
+	if ctx.Buffer >= cushion {
+		return ctx.Ladder[len(ctx.Ladder)-1]
+	}
+	frac := float64(ctx.Buffer-reservoir) / float64(cushion-reservoir)
+	idx := int(frac * float64(len(ctx.Ladder)-1))
+	return ctx.Ladder[idx]
+}
+
+// BOLA is the Lyapunov-based buffer algorithm of Spiteri et al. [35],
+// in its BOLA-BASIC form: choose the rung maximizing
+// (V·(utility + γ) − Q) / bitrate, with utility = ln(bitrate / min).
+type BOLA struct {
+	// Gamma rewards buffer growth; default 5.
+	Gamma float64
+}
+
+// Name implements Algorithm.
+func (BOLA) Name() string { return "bola" }
+
+// Decide implements Algorithm.
+func (a BOLA) Decide(ctx Context) dash.Rung {
+	gamma := a.Gamma
+	if gamma <= 0 {
+		gamma = 5
+	}
+	minBitrate := float64(ctx.Ladder[0].Bitrate)
+	maxUtility := ln(float64(ctx.Ladder[len(ctx.Ladder)-1].Bitrate) / minBitrate)
+	// V calibrated so the top rung is chosen when the buffer is near
+	// capacity.
+	cap := ctx.BufferCapacity.Seconds()
+	if cap <= 0 {
+		cap = 60
+	}
+	v := (cap - 1) / (maxUtility + gamma)
+	q := ctx.Buffer.Seconds()
+	best, bestScore := ctx.Current, -1e18
+	for _, r := range ctx.Ladder {
+		utility := ln(float64(r.Bitrate) / minBitrate)
+		score := (v*(utility+gamma) - q) / (float64(r.Bitrate) / 1e6)
+		if score > bestScore {
+			bestScore = score
+			best = r
+		}
+	}
+	return best
+}
+
+func ln(x float64) float64 {
+	if x <= 0 {
+		return -1e9
+	}
+	return math.Log(x)
+}
+
+// MemoryAware is the paper's §6/§7 proposal: a wrapper that lets a
+// network algorithm pick the bitrate under Normal conditions, but
+// reacts to memory-pressure signals by stepping the encoded frame rate
+// down first (the adaptation §6 shows rescues high resolutions), then
+// the resolution. Recovery probes back up after a sustained quiet
+// period.
+type MemoryAware struct {
+	// Inner handles network adaptation; default BufferBased.
+	Inner Algorithm
+	// HoldDown is how long to stay stepped-down after a signal;
+	// default 15s.
+	HoldDown time.Duration
+	// DropTrigger additionally steps down when the recent drop rate
+	// exceeds this percentage; default 10.
+	DropTrigger float64
+
+	steps       int // current severity: each step removes fps or resolution
+	lastTrouble time.Duration
+}
+
+// Name implements Algorithm.
+func (*MemoryAware) Name() string { return "memaware" }
+
+// Decide implements Algorithm.
+func (a *MemoryAware) Decide(ctx Context) dash.Rung {
+	inner := a.Inner
+	if inner == nil {
+		inner = BufferBased{}
+	}
+	holdDown := a.HoldDown
+	if holdDown <= 0 {
+		holdDown = 15 * time.Second
+	}
+	trigger := a.DropTrigger
+	if trigger <= 0 {
+		trigger = 10
+	}
+
+	trouble := (ctx.Signal >= proc.Moderate && ctx.SignalAge < 3*time.Second) ||
+		ctx.RecentDropRate > trigger
+	if trouble {
+		a.lastTrouble = ctx.Now
+		if a.steps < 6 {
+			a.steps++
+		}
+	} else if ctx.Now-a.lastTrouble > holdDown && a.steps > 0 {
+		// Quiet long enough: probe one step back up.
+		a.steps--
+		a.lastTrouble = ctx.Now
+	}
+
+	want := inner.Decide(ctx)
+	return a.applySteps(ctx, want)
+}
+
+// applySteps degrades the wanted rung by the current severity: first
+// lower frame rates at the same resolution, then lower resolutions at
+// the lowest frame rate.
+func (a *MemoryAware) applySteps(ctx Context, want dash.Rung) dash.Rung {
+	if a.steps == 0 {
+		return want
+	}
+	// Enumerate the degradation path from the wanted rung: same
+	// resolution with descending fps, then descending resolutions
+	// (keeping the lowest available fps).
+	path := degradationPath(ctx.Ladder, want)
+	idx := a.steps
+	if idx >= len(path) {
+		idx = len(path) - 1
+	}
+	return path[idx]
+}
+
+// degradationPath lists rungs from want downward: fps steps first,
+// then resolution steps at minimal fps.
+func degradationPath(ladder []dash.Rung, want dash.Rung) []dash.Rung {
+	var sameRes []dash.Rung
+	fpsSet := map[int]bool{}
+	for _, r := range ladder {
+		if r.Resolution == want.Resolution && r.FPS <= want.FPS {
+			sameRes = append(sameRes, r)
+		}
+		fpsSet[r.FPS] = true
+	}
+	sort.Slice(sameRes, func(i, j int) bool { return sameRes[i].FPS > sameRes[j].FPS })
+	path := append([]dash.Rung{}, sameRes...)
+	// Then lower resolutions at the lowest fps available.
+	minFPS := want.FPS
+	for f := range fpsSet {
+		if f < minFPS {
+			minFPS = f
+		}
+	}
+	var lower []dash.Rung
+	for _, r := range ladder {
+		if r.Resolution < want.Resolution && r.FPS == minFPS {
+			lower = append(lower, r)
+		}
+	}
+	sort.Slice(lower, func(i, j int) bool { return lower[i].Resolution > lower[j].Resolution })
+	path = append(path, lower...)
+	if len(path) == 0 {
+		path = []dash.Rung{want}
+	}
+	return path
+}
+
+// Controller drives an algorithm against a live session.
+type Controller struct {
+	sess *player.Session
+	algo Algorithm
+
+	lastSignal   proc.Level
+	lastSignalAt time.Duration
+	// Switches counts applied quality changes.
+	Switches int
+}
+
+// Attach wires the algorithm to the session: decisions run every
+// interval (default 2s) and immediately on each memory-pressure signal,
+// the reactive path §6 recommends.
+func Attach(sess *player.Session, dev *device.Device, algo Algorithm, interval time.Duration) *Controller {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	c := &Controller{sess: sess, algo: algo, lastSignalAt: -time.Hour}
+	decide := func() {
+		if !sess.Active() {
+			return
+		}
+		ladder := append([]dash.Rung(nil), sess.Manifest().Rungs...)
+		sort.Slice(ladder, func(i, j int) bool { return ladder[i].Bitrate < ladder[j].Bitrate })
+		ctx := Context{
+			Now:            dev.Clock.Now(),
+			Current:        sess.Rung(),
+			Ladder:         ladder,
+			Buffer:         sess.BufferLevel(),
+			BufferCapacity: 60 * time.Second,
+			Throughput:     sess.Throughput(),
+			Signal:         c.lastSignal,
+			SignalAge:      dev.Clock.Now() - c.lastSignalAt,
+			RecentDropRate: sess.RecentDropRate(3),
+		}
+		want := c.algo.Decide(ctx)
+		if want != ctx.Current {
+			c.Switches++
+			sess.SwitchRung(want)
+		}
+	}
+	sess.OnSignal(func(l proc.Level) {
+		c.lastSignal = l
+		c.lastSignalAt = dev.Clock.Now()
+		decide()
+	})
+	dev.Clock.Every(interval, decide)
+	return c
+}

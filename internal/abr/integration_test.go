@@ -1,0 +1,100 @@
+package abr
+
+import (
+	"testing"
+	"time"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/device"
+	"coalqoe/internal/mempress"
+	"coalqoe/internal/player"
+	"coalqoe/internal/proc"
+)
+
+// playUnderPressure streams 1080p60 on a pressured Nokia 1 with the
+// given algorithm (nil = fixed quality) and returns the metrics.
+func playUnderPressure(t *testing.T, seed int64, algo Algorithm) player.Metrics {
+	t.Helper()
+	dev := device.New(seed, device.Nokia1, device.Options{})
+	dev.Settle(3 * time.Second)
+	reached := false
+	mempress.Apply(dev, proc.Moderate, func() { reached = true })
+	for !reached && dev.Clock.Now() < 3*time.Minute {
+		dev.Settle(time.Second)
+	}
+	if !reached {
+		t.Fatal("never reached Moderate")
+	}
+
+	video := dash.TestVideos[0]
+	video.Duration = 60 * time.Second
+	manifest := dash.NewManifest(video, 24, 30, 48, 60)
+	rung, _ := manifest.Rung(dash.R1080p, 60)
+	sess := player.Start(player.Config{
+		Device: dev, Client: player.Firefox, Manifest: manifest, Rung: rung,
+	})
+	if algo != nil {
+		Attach(sess, dev, algo, 2*time.Second)
+	}
+	deadline := dev.Clock.Now() + 5*time.Minute
+	for sess.Active() && dev.Clock.Now() < deadline {
+		dev.Settle(time.Second)
+	}
+	return sess.Metrics()
+}
+
+// TestMemoryAwareBeatsFixed is the §6 headline: reacting to memory
+// pressure signals rescues playback that fixed quality cannot sustain.
+func TestMemoryAwareBeatsFixed(t *testing.T) {
+	fixed := playUnderPressure(t, 21, nil)
+	// Fixed inner isolates the memory-reaction path: every switch is
+	// a pressure step, so the fps-first order is observable.
+	aware := playUnderPressure(t, 21, &MemoryAware{Inner: Fixed{}})
+
+	if fixed.EffectiveDropRate < 40 {
+		t.Fatalf("fixed 1080p60 at Moderate dropped only %.1f%%: pressure too weak for the comparison",
+			fixed.EffectiveDropRate)
+	}
+	if aware.EffectiveDropRate > fixed.EffectiveDropRate/2 {
+		t.Errorf("memory-aware drops %.1f%% vs fixed %.1f%%: want at least a 2x cut",
+			aware.EffectiveDropRate, fixed.EffectiveDropRate)
+	}
+	if len(aware.Switches) == 0 {
+		t.Error("memory-aware never switched")
+	}
+	// The first adaptation must be a frame-rate step, not resolution.
+	first := aware.Switches[0]
+	if first.To.Resolution != first.From.Resolution || first.To.FPS >= first.From.FPS {
+		t.Errorf("first switch %v -> %v: §6 steps frame rate down first", first.From, first.To)
+	}
+}
+
+// TestControllerSwitchesOnSignalDelivery checks the reactive path: a
+// pressure signal triggers an immediate decision, not just the poll.
+func TestControllerSwitchesOnSignalDelivery(t *testing.T) {
+	dev := device.New(23, device.Nokia1, device.Options{})
+	dev.Settle(3 * time.Second)
+
+	video := dash.TestVideos[0]
+	video.Duration = 90 * time.Second
+	manifest := dash.NewManifest(video, 24, 30, 48, 60)
+	rung, _ := manifest.Rung(dash.R720p, 60)
+	sess := player.Start(player.Config{
+		Device: dev, Client: player.Firefox, Manifest: manifest, Rung: rung,
+	})
+	// A long poll interval: only the signal path can act quickly.
+	c := Attach(sess, dev, &MemoryAware{Inner: Fixed{}}, time.Hour)
+	dev.Settle(5 * time.Second)
+	if c.Switches != 0 {
+		t.Fatalf("switched %d times before any pressure", c.Switches)
+	}
+	reached := false
+	mempress.Apply(dev, proc.Moderate, func() { reached = true })
+	for !reached && dev.Clock.Now() < 3*time.Minute {
+		dev.Settle(time.Second)
+	}
+	dev.Settle(5 * time.Second)
+	if sess.Active() && c.Switches == 0 {
+		t.Error("no switch after Moderate signals despite the reactive path")
+	}
+}

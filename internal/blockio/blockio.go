@@ -1,0 +1,148 @@
+// Package blockio models the eMMC storage device and its kernel service
+// daemon mmcqd, "which manages queued I/O operations on storage" (§2).
+//
+// Two properties of mmcqd matter for the paper's findings and are
+// reproduced exactly:
+//
+//  1. mmcqd runs in the real-time scheduling class, so it "is strictly
+//     prioritized over foreground processes and therefore can steal CPU
+//     time from them" (§2). Every request costs mmcqd CPU, which under
+//     memory pressure is what preempts video client threads (Table 5).
+//  2. The device itself is serial: requests queue, so under reclaim
+//     writeback plus refault reads the per-request latency balloons,
+//     lengthening uninterruptible (D-state) waits.
+package blockio
+
+import (
+	"time"
+
+	"coalqoe/internal/sched"
+	"coalqoe/internal/simclock"
+	"coalqoe/internal/units"
+)
+
+// Config sets device and daemon costs.
+type Config struct {
+	// ReadPerPage is device service time per page read. Refault reads
+	// are scattered 4K reads, far from sequential speed on entry-level
+	// eMMC. Default 60µs (~65 MB/s).
+	ReadPerPage time.Duration
+	// WritePerPage is device service time per page written.
+	// Default 90µs (~45 MB/s).
+	WritePerPage time.Duration
+	// RequestOverhead is fixed device time per request (command setup
+	// plus the effective seek of a scattered access). Default 400µs.
+	RequestOverhead time.Duration
+	// CPUPerRequest is mmcqd CPU per request (queue management,
+	// completion handling). Default 120µs.
+	CPUPerRequest time.Duration
+	// CPUPerPage is additional mmcqd CPU per page. Default 1µs.
+	CPUPerPage time.Duration
+	// FairPriority runs mmcqd in the fair class instead of RT — the
+	// §7 ablation quantifying how much of the damage comes from
+	// mmcqd's strict priority over foreground threads.
+	FairPriority bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.ReadPerPage <= 0 {
+		c.ReadPerPage = 60 * time.Microsecond
+	}
+	if c.WritePerPage <= 0 {
+		c.WritePerPage = 90 * time.Microsecond
+	}
+	if c.RequestOverhead <= 0 {
+		c.RequestOverhead = 400 * time.Microsecond
+	}
+	if c.CPUPerRequest <= 0 {
+		c.CPUPerRequest = 120 * time.Microsecond
+	}
+	if c.CPUPerPage <= 0 {
+		c.CPUPerPage = time.Microsecond
+	}
+}
+
+// Stats counts disk activity.
+type Stats struct {
+	ReadRequests  int
+	WriteRequests int
+	PagesRead     units.Pages
+	PagesWritten  units.Pages
+	DeviceBusy    time.Duration
+}
+
+// Disk is the storage device plus its mmcqd daemon thread.
+type Disk struct {
+	clock     *simclock.Clock
+	cfg       Config
+	mmcqd     *sched.Thread
+	busyUntil time.Duration
+	stats     Stats
+}
+
+// New creates a Disk and spawns its mmcqd thread (RT class unless the
+// FairPriority ablation is set) on s.
+func New(clock *simclock.Clock, s *sched.Scheduler, cfg Config) *Disk {
+	cfg.applyDefaults()
+	class := sched.ClassRT
+	if cfg.FairPriority {
+		class = sched.ClassFair
+	}
+	return &Disk{
+		clock: clock,
+		cfg:   cfg,
+		mmcqd: s.Spawn("mmcqd/0", "kernel", class, 0),
+	}
+}
+
+// Thread returns the mmcqd thread (for trace queries).
+func (d *Disk) Thread() *sched.Thread { return d.mmcqd }
+
+// Stats returns cumulative disk statistics.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// QueueDepth estimates outstanding device time.
+func (d *Disk) QueueDepth() time.Duration {
+	q := d.busyUntil - d.clock.Now()
+	if q < 0 {
+		return 0
+	}
+	return q
+}
+
+// Read submits a read of pages; onDone (may be nil) fires when the data
+// is available. The request first costs mmcqd CPU (at RT priority),
+// then waits for the serial device.
+func (d *Disk) Read(pages units.Pages, onDone func()) {
+	d.submit(pages, d.cfg.ReadPerPage, onDone)
+	d.stats.ReadRequests++
+	d.stats.PagesRead += pages
+}
+
+// Write submits a write of pages (e.g. dirty-page writeback).
+func (d *Disk) Write(pages units.Pages, onDone func()) {
+	d.submit(pages, d.cfg.WritePerPage, onDone)
+	d.stats.WriteRequests++
+	d.stats.PagesWritten += pages
+}
+
+func (d *Disk) submit(pages units.Pages, perPage time.Duration, onDone func()) {
+	if pages < 0 {
+		pages = 0
+	}
+	cpu := d.cfg.CPUPerRequest + time.Duration(pages)*d.cfg.CPUPerPage
+	d.mmcqd.Enqueue(cpu, func() {
+		// Device service starts when the device frees up.
+		now := d.clock.Now()
+		start := d.busyUntil
+		if start < now {
+			start = now
+		}
+		service := d.cfg.RequestOverhead + time.Duration(pages)*perPage
+		d.busyUntil = start + service
+		d.stats.DeviceBusy += service
+		if onDone != nil {
+			d.clock.At(d.busyUntil, onDone)
+		}
+	})
+}

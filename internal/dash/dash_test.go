@@ -1,0 +1,143 @@
+package dash
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"coalqoe/internal/units"
+)
+
+func TestResolutionDimensions(t *testing.T) {
+	w, h := R1080p.Dimensions()
+	if w != 1920 || h != 1080 {
+		t.Errorf("1080p = %dx%d", w, h)
+	}
+	if R720p.Pixels() != 1280*720 {
+		t.Errorf("720p pixels = %d", R720p.Pixels())
+	}
+	if R240p.String() != "240p" {
+		t.Errorf("String = %q", R240p.String())
+	}
+}
+
+func TestParseResolution(t *testing.T) {
+	for _, r := range Resolutions {
+		got, err := ParseResolution(r.String())
+		if err != nil || got != r {
+			t.Errorf("ParseResolution(%q) = %v, %v", r.String(), got, err)
+		}
+	}
+	if _, err := ParseResolution("999p"); err == nil {
+		t.Error("expected error for unknown resolution")
+	}
+}
+
+func TestLadderMonotonicity(t *testing.T) {
+	// Bitrate must be nondecreasing in resolution (same fps) and in
+	// fps (same resolution).
+	for _, fps := range StandardFPS {
+		var prev units.BitsPerSecond
+		for _, r := range Resolutions {
+			b := BitrateFor(r, fps)
+			if b <= 0 {
+				t.Fatalf("BitrateFor(%v, %d) = %v", r, fps, b)
+			}
+			if b < prev {
+				t.Errorf("bitrate not monotone at %v@%d", r, fps)
+			}
+			prev = b
+		}
+	}
+	for _, r := range Resolutions {
+		if BitrateFor(r, 60) <= BitrateFor(r, 30) {
+			t.Errorf("60fps bitrate should exceed 30fps at %v", r)
+		}
+		if BitrateFor(r, 24) >= BitrateFor(r, 30) {
+			t.Errorf("24fps bitrate should be below 30fps at %v", r)
+		}
+		if BitrateFor(r, 48) >= BitrateFor(r, 60) {
+			t.Errorf("48fps bitrate should be below 60fps at %v", r)
+		}
+	}
+}
+
+func TestLadderAndFind(t *testing.T) {
+	l := Ladder(30, 60)
+	if len(l) != len(Resolutions)*2 {
+		t.Errorf("ladder has %d rungs", len(l))
+	}
+	r, ok := FindRung(l, R720p, 60)
+	if !ok || r.FPS != 60 || r.Resolution != R720p {
+		t.Errorf("FindRung = %+v, %v", r, ok)
+	}
+	if _, ok := FindRung(l, R720p, 48); ok {
+		t.Error("found 48fps in a 30/60 ladder")
+	}
+}
+
+func TestSegmentSizesDeterministicAndBounded(t *testing.T) {
+	v := TestVideos[0]
+	rung, _ := NewManifest(v).Rung(R1080p, 30)
+	nominal := units.Bytes(rung.Bitrate.BytesPerSecond() * v.SegmentDuration.Seconds())
+	for i := 0; i < v.Segments(); i++ {
+		a := v.SegmentBytes(rung, i)
+		b := v.SegmentBytes(rung, i)
+		if a != b {
+			t.Fatalf("segment %d size not deterministic", i)
+		}
+		if a < nominal/2 || a > nominal*2 {
+			t.Errorf("segment %d size %v outside [%v, %v]", i, a, nominal/2, nominal*2)
+		}
+	}
+}
+
+func TestTotalBytesNearNominal(t *testing.T) {
+	v := TestVideos[0]
+	rung, _ := NewManifest(v).Rung(R480p, 30)
+	total := v.TotalBytes(rung)
+	nominal := units.Bytes(rung.Bitrate.BytesPerSecond() * v.Duration.Seconds())
+	ratio := float64(total) / float64(nominal)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("VBR total/nominal = %v, want ~1", ratio)
+	}
+}
+
+func TestSegmentsCount(t *testing.T) {
+	v := Video{Duration: 10 * time.Second, SegmentDuration: 4 * time.Second}
+	if v.Segments() != 3 {
+		t.Errorf("Segments = %d, want 3 (ceil)", v.Segments())
+	}
+}
+
+func TestGenreComplexityOrdering(t *testing.T) {
+	if !(Gaming.Complexity() > Travel.Complexity() && Travel.Complexity() > News.Complexity()) {
+		t.Error("genre complexity ordering broken")
+	}
+	for _, g := range Genres {
+		if g.String() == "" {
+			t.Error("unnamed genre")
+		}
+	}
+}
+
+func TestManifestLowest(t *testing.T) {
+	m := NewManifest(TestVideos[0], 24, 30, 48, 60)
+	low := m.Lowest()
+	if low.Resolution != R240p || low.FPS != 24 {
+		t.Errorf("Lowest = %v", low)
+	}
+}
+
+func TestSegmentBytesPositiveProperty(t *testing.T) {
+	v := TestVideos[2]
+	f := func(seg uint8, rIdx uint8, fIdx uint8) bool {
+		r := Resolutions[int(rIdx)%len(Resolutions)]
+		fps := StandardFPS[int(fIdx)%len(StandardFPS)]
+		rung := Rung{Resolution: r, FPS: fps, Bitrate: BitrateFor(r, fps)}
+		return v.SegmentBytes(rung, int(seg)) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

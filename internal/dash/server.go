@@ -1,0 +1,196 @@
+package dash
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"coalqoe/internal/units"
+)
+
+// ManifestDTO is the wire form of a manifest (the MPD equivalent,
+// serialized as JSON for simplicity).
+type ManifestDTO struct {
+	Title           string    `json:"title"`
+	Genre           string    `json:"genre"`
+	DurationSec     float64   `json:"duration_sec"`
+	SegmentDuration float64   `json:"segment_duration_sec"`
+	Representations []RungDTO `json:"representations"`
+}
+
+// RungDTO is one representation in the wire manifest.
+type RungDTO struct {
+	ID      string  `json:"id"` // e.g. "1080p60"
+	Width   int     `json:"width"`
+	Height  int     `json:"height"`
+	FPS     int     `json:"fps"`
+	Bitrate float64 `json:"bitrate_bps"`
+}
+
+// DTO converts a manifest to its wire form.
+func (m *Manifest) DTO() ManifestDTO {
+	dto := ManifestDTO{
+		Title:           m.Video.Title,
+		Genre:           m.Video.Genre.String(),
+		DurationSec:     m.Video.Duration.Seconds(),
+		SegmentDuration: m.Video.SegmentDuration.Seconds(),
+	}
+	for _, r := range m.Rungs {
+		w, h := r.Resolution.Dimensions()
+		dto.Representations = append(dto.Representations, RungDTO{
+			ID:      fmt.Sprintf("%s%d", r.Resolution, r.FPS),
+			Width:   w,
+			Height:  h,
+			FPS:     r.FPS,
+			Bitrate: float64(r.Bitrate),
+		})
+	}
+	return dto
+}
+
+// Server serves a manifest and synthetic segments over HTTP, standing
+// in for the paper's Apache video server (§4.1). Routes:
+//
+//	GET /manifest.json
+//	GET /video/<repID>/<segment>       e.g. /video/720p30/17
+type Server struct {
+	manifest *Manifest
+	mux      *http.ServeMux
+}
+
+// NewServer builds the handler for one video.
+func NewServer(m *Manifest) *Server {
+	s := &Server{manifest: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /manifest.json", s.handleManifest)
+	s.mux.HandleFunc("GET /video/", s.handleSegment)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleManifest(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.manifest.DTO()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// parseRepID splits "1080p60" into resolution and fps.
+func parseRepID(id string) (Resolution, int, error) {
+	i := strings.Index(id, "p")
+	if i < 0 {
+		return 0, 0, fmt.Errorf("dash: bad representation id %q", id)
+	}
+	res, err := ParseResolution(id[:i+1])
+	if err != nil {
+		return 0, 0, err
+	}
+	fps, err := strconv.Atoi(id[i+1:])
+	if err != nil || fps <= 0 {
+		return 0, 0, fmt.Errorf("dash: bad fps in representation id %q", id)
+	}
+	return res, fps, nil
+}
+
+func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/video/"), "/")
+	if len(parts) != 2 {
+		http.Error(w, "want /video/<rep>/<segment>", http.StatusBadRequest)
+		return
+	}
+	res, fps, err := parseRepID(parts[0])
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rung, ok := s.manifest.Rung(res, fps)
+	if !ok {
+		http.Error(w, "no such representation", http.StatusNotFound)
+		return
+	}
+	seg, err := strconv.Atoi(parts[1])
+	if err != nil || seg < 0 || seg >= s.manifest.Video.Segments() {
+		http.Error(w, "no such segment", http.StatusNotFound)
+		return
+	}
+	size := s.manifest.Video.SegmentBytes(rung, seg)
+	w.Header().Set("Content-Type", "video/mp4")
+	w.Header().Set("Content-Length", strconv.FormatInt(int64(size), 10))
+	writeSynthetic(w, size)
+}
+
+// writeSynthetic streams size bytes of deterministic filler.
+func writeSynthetic(w http.ResponseWriter, size units.Bytes) {
+	const chunk = 64 * 1024
+	buf := make([]byte, chunk)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	remaining := int64(size)
+	for remaining > 0 {
+		n := int64(chunk)
+		if remaining < n {
+			n = remaining
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return
+		}
+		remaining -= n
+	}
+}
+
+// Client fetches manifests and segments from a dash Server over HTTP.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient builds a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// FetchManifest downloads and decodes the manifest.
+func (c *Client) FetchManifest() (ManifestDTO, error) {
+	var dto ManifestDTO
+	resp, err := c.HTTP.Get(c.BaseURL + "/manifest.json")
+	if err != nil {
+		return dto, fmt.Errorf("dash: fetch manifest: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return dto, fmt.Errorf("dash: fetch manifest: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dto); err != nil {
+		return dto, fmt.Errorf("dash: decode manifest: %w", err)
+	}
+	return dto, nil
+}
+
+// FetchSegment downloads one segment, discarding the body, and returns
+// its size and transfer duration.
+func (c *Client) FetchSegment(repID string, seg int) (units.Bytes, time.Duration, error) {
+	start := time.Now()
+	resp, err := c.HTTP.Get(fmt.Sprintf("%s/video/%s/%d", c.BaseURL, repID, seg))
+	if err != nil {
+		return 0, 0, fmt.Errorf("dash: fetch segment: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("dash: fetch segment %s/%d: %s", repID, seg, resp.Status)
+	}
+	var total int64
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		total += int64(n)
+		if err != nil {
+			break
+		}
+	}
+	return units.Bytes(total), time.Since(start), nil
+}

@@ -1,0 +1,96 @@
+package dash
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Manifest) {
+	t.Helper()
+	m := NewManifest(TestVideos[0], 24, 30, 48, 60)
+	ts := httptest.NewServer(NewServer(m))
+	t.Cleanup(ts.Close)
+	return ts, m
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	ts, m := newTestServer(t)
+	c := NewClient(ts.URL)
+	dto, err := c.FetchManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dto.Title != m.Video.Title {
+		t.Errorf("title = %q", dto.Title)
+	}
+	if len(dto.Representations) != len(m.Rungs) {
+		t.Errorf("got %d representations, want %d", len(dto.Representations), len(m.Rungs))
+	}
+	if dto.SegmentDuration != 4 {
+		t.Errorf("segment duration = %v", dto.SegmentDuration)
+	}
+}
+
+func TestSegmentSizeMatchesModel(t *testing.T) {
+	ts, m := newTestServer(t)
+	c := NewClient(ts.URL)
+	rung, _ := m.Rung(R480p, 30)
+	want := m.Video.SegmentBytes(rung, 5)
+	got, dur, err := c.FetchSegment("480p30", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("segment bytes = %d, want %d", got, want)
+	}
+	if dur <= 0 {
+		t.Error("non-positive transfer duration")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, m := newTestServer(t)
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/video/480p30/" + strconv.Itoa(m.Video.Segments()), http.StatusNotFound}, // past end
+		{"/video/480p30/-1", http.StatusNotFound},
+		{"/video/999p30/0", http.StatusBadRequest},
+		{"/video/480p30", http.StatusBadRequest},
+		{"/video/480pXX/0", http.StatusBadRequest},
+		{"/video/481p30/0", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Get(ts.URL + c.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.code {
+			t.Errorf("GET %s = %d, want %d", c.path, resp.StatusCode, c.code)
+		}
+	}
+}
+
+func TestParseRepID(t *testing.T) {
+	r, fps, err := parseRepID("1080p60")
+	if err != nil || r != R1080p || fps != 60 {
+		t.Errorf("parseRepID = %v, %d, %v", r, fps, err)
+	}
+	for _, bad := range []string{"", "1080", "p60", "1080p", "1080p0", "1080px"} {
+		if _, _, err := parseRepID(bad); err == nil {
+			t.Errorf("parseRepID(%q) should fail", bad)
+		}
+	}
+}
+
+func TestClientSegmentNotFound(t *testing.T) {
+	ts, _ := newTestServer(t)
+	c := NewClient(ts.URL)
+	if _, _, err := c.FetchSegment("480p30", 10000); err == nil {
+		t.Error("expected error for out-of-range segment")
+	}
+}

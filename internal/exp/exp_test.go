@@ -1,0 +1,163 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/device"
+	"coalqoe/internal/player"
+	"coalqoe/internal/proc"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper must have a regenerator.
+	want := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"tab1", "tab2", "tab3", "tab4", "tab5",
+		// extensions and ablations
+		"memabr", "ladder", "abl-zram", "abl-mmcqd", "abl-cpu",
+		"abl-kswapd-pin", "abl-order",
+	}
+	for _, id := range want {
+		if _, err := Find(id); err != nil {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Error("Find(nope) should fail")
+	}
+	if len(All()) < len(want) {
+		t.Errorf("registry has %d experiments, want >= %d", len(All()), len(want))
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i].ID < all[i-1].ID {
+			t.Fatal("All() not sorted")
+		}
+	}
+}
+
+func quickVideo() dash.Video {
+	v := dash.TestVideos[0]
+	v.Duration = 20 * time.Second
+	return v
+}
+
+func TestRunNormalSession(t *testing.T) {
+	res := Run(VideoRun{
+		Seed:       1,
+		Profile:    device.Nexus6P,
+		Video:      quickVideo(),
+		Resolution: dash.R480p,
+		FPS:        30,
+		Pressure:   proc.Normal,
+	})
+	if !res.PressureReached {
+		t.Error("Normal pressure trivially reached")
+	}
+	if res.Metrics.Crashed {
+		t.Error("crashed at Normal on a 3 GB device")
+	}
+	if res.Metrics.FramesRendered == 0 {
+		t.Error("nothing rendered")
+	}
+	if res.Device == nil || res.Session == nil {
+		t.Error("missing device/session handles")
+	}
+}
+
+func TestRunDefaultsApplied(t *testing.T) {
+	res := Run(VideoRun{Seed: 2, Video: quickVideo()})
+	if res.Metrics.Device != device.Nokia1.Name {
+		t.Errorf("default device = %q", res.Metrics.Device)
+	}
+	if res.Metrics.Client != player.Firefox.Name {
+		t.Errorf("default client = %q", res.Metrics.Client)
+	}
+}
+
+func TestRepeatSeedsDiffer(t *testing.T) {
+	results := Repeat(VideoRun{
+		Profile:    device.Nokia1,
+		Video:      quickVideo(),
+		Resolution: dash.R1080p,
+		FPS:        60,
+	}, 3, 0)
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	// 1080p60 on a Nokia 1 drops heavily with per-run jitter: at least
+	// two seeds should disagree.
+	a, b, c := results[0].Metrics.FramesDropped, results[1].Metrics.FramesDropped, results[2].Metrics.FramesDropped
+	if a == b && b == c {
+		t.Errorf("all repeats identical (%d drops): seeds not varied", a)
+	}
+	s := DropStats(results)
+	if s.N != 3 || s.Mean <= 0 {
+		t.Errorf("DropStats = %+v", s)
+	}
+}
+
+func TestCrashRateMath(t *testing.T) {
+	results := []Result{
+		{Metrics: player.Metrics{Crashed: true}},
+		{Metrics: player.Metrics{}},
+		{Metrics: player.Metrics{Crashed: true}},
+		{Metrics: player.Metrics{}},
+	}
+	if got := CrashRate(results); got != 50 {
+		t.Errorf("CrashRate = %v, want 50", got)
+	}
+	if CrashRate(nil) != 0 {
+		t.Error("CrashRate(nil) != 0")
+	}
+}
+
+func TestQuickExperimentProducesReport(t *testing.T) {
+	e, err := Find("fig13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := e.Run(Options{Quick: true, Seed: 3})
+	if len(rep.Lines) == 0 {
+		t.Fatal("empty report")
+	}
+	text := rep.String()
+	for _, needle := range []string{"Normal", "Moderate", "Sleeping", "Running"} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("fig13 report missing %q:\n%s", needle, text)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{ID: "x", Title: "t"}
+	r.Addf("line %d", 1)
+	out := r.String()
+	if !strings.Contains(out, "== x: t ==") || !strings.Contains(out, "line 1") {
+		t.Errorf("report format: %q", out)
+	}
+}
+
+func TestOrganicPressureRun(t *testing.T) {
+	res := Run(VideoRun{
+		Seed:        4,
+		Video:       quickVideo(),
+		Resolution:  dash.R480p,
+		FPS:         60,
+		OrganicApps: 8,
+	})
+	if !res.PressureReached {
+		t.Error("organic runs count as reached")
+	}
+	if res.Device.Lmkd.KillCount == 0 {
+		t.Error("8 background apps on a Nokia 1 caused no kills")
+	}
+}

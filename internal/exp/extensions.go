@@ -1,0 +1,218 @@
+package exp
+
+import (
+	"time"
+
+	"coalqoe/internal/abr"
+	"coalqoe/internal/blockio"
+	"coalqoe/internal/dash"
+	"coalqoe/internal/device"
+	"coalqoe/internal/kswapd"
+	"coalqoe/internal/player"
+	"coalqoe/internal/proc"
+	"coalqoe/internal/qoe"
+)
+
+// abrRun plays a pressured session with the given adaptation algorithm
+// attached and returns QoE.
+func abrRun(o Options, seed int64, algo func() abr.Algorithm, startRes dash.Resolution, startFPS int) player.Metrics {
+	res := Run(VideoRun{
+		Seed:       seed,
+		Profile:    device.Nokia1,
+		Video:      o.video(dash.Travel),
+		Resolution: startRes,
+		FPS:        startFPS,
+		Pressure:   proc.Moderate,
+		OnSession: func(s *player.Session, d *device.Device) {
+			abr.Attach(s, d, algo(), 2*time.Second)
+		},
+	})
+	return res.Metrics
+}
+
+func init() {
+	register("tab1", "key-insight summary (Table 1)", func(o Options) Report {
+		o.applyDefaults()
+		r := Report{ID: "tab1", Title: "Key insights: measured vs paper"}
+		f := fleetFor(o)
+		ins := f.Table1()
+		r.Addf("devices experiencing memory pressure (>=1 signal/h): %.0f%% (paper: 63%%)", ins.PctAnySignal)
+		r.Addf("devices with >10 critical signals/h:                 %.0f%% (paper: 19%%)", ins.PctManyCritical)
+		r.Addf("devices with median RAM utilization >= 60%%:          %.0f%% (paper: 80%%)", ins.PctUtilOver60)
+		r.Addf("devices >50%% of time in high pressure:               %.0f%% (paper: 10%%)", ins.PctHighTimeOver50)
+		r.Addf("devices >=2%% of time in high pressure:               %.0f%% (paper: 35%%)", ins.PctHighTimeOver2)
+
+		// Video-side rows of Table 1.
+		nokia := Repeat(VideoRun{Resolution: dash.R1080p, FPS: 60, Pressure: proc.Moderate,
+			Video: o.video(dash.Travel)}, o.Runs, o.Seed)
+		r.Addf("Nokia 1 1080p60 drops at Moderate: %s%% (paper: >75%% avg for 720p/1080p)", DropStats(nokia))
+		nexus := Repeat(VideoRun{Profile: device.Nexus5, Resolution: dash.R1080p, FPS: 60,
+			Pressure: proc.Moderate, Video: o.video(dash.Travel)}, o.Runs, o.Seed)
+		r.Addf("Nexus 5 1080p60 drops at Moderate: %s%% (paper: up to 25%%)", DropStats(nexus))
+		return r
+	})
+
+	register("memabr", "memory-aware ABR vs fixed quality (§6 proposal)", func(o Options) Report {
+		o.applyDefaults()
+		r := Report{ID: "memabr", Title: "Fixed vs BOLA vs MemoryAware under Moderate pressure (Nokia 1, starting 1080p60)"}
+		algos := []struct {
+			name string
+			mk   func() abr.Algorithm
+		}{
+			{"fixed", func() abr.Algorithm { return abr.Fixed{} }},
+			{"bola", func() abr.Algorithm { return abr.BOLA{} }},
+			{"memaware", func() abr.Algorithm { return &abr.MemoryAware{Inner: abr.BOLA{}} }},
+		}
+		r.Addf("%-9s %8s %8s %7s %s", "algorithm", "drops", "MOS", "crashed", "final rung")
+		for _, a := range algos {
+			var drops, mos float64
+			crashes := 0
+			var final dash.Rung
+			for i := 0; i < o.Runs; i++ {
+				m := abrRun(o, o.Seed+int64(i)+1, a.mk, dash.R1080p, 60)
+				drops += m.EffectiveDropRate / float64(o.Runs)
+				mos += qoe.MOS(m) / float64(o.Runs)
+				if m.Crashed {
+					crashes++
+				}
+				final = m.Rung
+			}
+			r.Addf("%-9s %7.1f%% %8.2f %6d/%d %s", a.name, drops, mos, crashes, o.Runs, final)
+		}
+		r.Addf("(the memory-aware policy should cut drops sharply by stepping the frame rate down)")
+		return r
+	})
+
+	register("abl-zram", "ablation: zRAM on vs off (Nokia 1, Moderate, 720p60)", func(o Options) Report {
+		o.applyDefaults()
+		r := Report{ID: "abl-zram", Title: "zRAM ablation"}
+		for _, disable := range []bool{false, true} {
+			results := Repeat(VideoRun{
+				Profile:    device.Nokia1,
+				DeviceOpts: device.Options{DisableZRAM: disable},
+				Video:      o.video(dash.Travel),
+				Resolution: dash.R720p, FPS: 60,
+				Pressure: proc.Moderate,
+			}, o.Runs, o.Seed)
+			label := "zRAM on "
+			if disable {
+				label = "zRAM off"
+			}
+			r.Addf("%s: drops=%s%% crashes=%.0f%%", label, DropStats(results), CrashRate(results))
+		}
+		r.Addf("(without zRAM, anonymous memory cannot be reclaimed: pressure must resolve through kills)")
+		return r
+	})
+
+	register("abl-mmcqd", "ablation: mmcqd strict priority vs fair share", func(o Options) Report {
+		o.applyDefaults()
+		r := Report{ID: "abl-mmcqd", Title: "mmcqd scheduling-class ablation (Nokia 1, Moderate, 720p60)"}
+		for _, fair := range []bool{false, true} {
+			results := Repeat(VideoRun{
+				Profile:    device.Nokia1,
+				DeviceOpts: device.Options{DiskConfig: &blockio.Config{FairPriority: fair}},
+				Video:      o.video(dash.Travel),
+				Resolution: dash.R720p, FPS: 60,
+				Pressure: proc.Moderate,
+			}, o.Runs, o.Seed)
+			label := "RT (stock)"
+			if fair {
+				label = "fair-share"
+			}
+			r.Addf("mmcqd %s: drops=%s%% crashes=%.0f%%", label, DropStats(results), CrashRate(results))
+		}
+		r.Addf("(§7: reducing daemon interference through scheduling)")
+		return r
+	})
+
+	register("abl-cpu", "ablation: more/faster cores at the same RAM (§7 OEM insight)", func(o Options) Report {
+		o.applyDefaults()
+		r := Report{ID: "abl-cpu", Title: "CPU scaling at 1 GB RAM (Moderate, 720p60)"}
+		variants := []struct {
+			name   string
+			speeds []float64
+		}{
+			{"stock 4x1.1GHz", nil},
+			{"8 cores", []float64{1.1, 1.1, 1.1, 1.1, 1.1, 1.1, 1.1, 1.1}},
+			{"4x2.0GHz", []float64{2.0, 2.0, 2.0, 2.0}},
+		}
+		for _, v := range variants {
+			profile := device.Nokia1
+			if v.speeds != nil {
+				profile.CoreSpeeds = v.speeds
+			}
+			results := Repeat(VideoRun{
+				Profile:    profile,
+				Video:      o.video(dash.Travel),
+				Resolution: dash.R720p, FPS: 60,
+				Pressure: proc.Moderate,
+			}, o.Runs, o.Seed)
+			r.Addf("%-15s: drops=%s%% crashes=%.0f%%", v.name, DropStats(results), CrashRate(results))
+		}
+		r.Addf("(paper: video QoE improves under pressure with more CPU resources)")
+		return r
+	})
+
+	register("abl-kswapd-pin", "ablation: kswapd core pinning (§7 OS insight)", func(o Options) Report {
+		o.applyDefaults()
+		r := Report{ID: "abl-kswapd-pin", Title: "kswapd soft core affinity (Nokia 1, Moderate, 720p60)"}
+		for _, pin := range []int{0, 1} {
+			var migrations, drops float64
+			for i := 0; i < o.Runs; i++ {
+				res := Run(VideoRun{
+					Seed:       o.Seed + int64(i) + 1,
+					Profile:    device.Nokia1,
+					DeviceOpts: device.Options{KswapdConfig: &kswapd.Config{PinCore: pin}},
+					Video:      o.video(dash.Travel),
+					Resolution: dash.R720p, FPS: 60,
+					Pressure: proc.Moderate,
+				})
+				migrations += float64(res.Device.Tracer.Migrations(res.Device.Kswapd.Thread().Key().TID)) / float64(o.Runs)
+				drops += res.Metrics.EffectiveDropRate / float64(o.Runs)
+			}
+			label := "free migration"
+			if pin > 0 {
+				label = "pinned core 0 "
+			}
+			r.Addf("kswapd %s: migrations=%6.0f drops=%5.1f%%", label, migrations, drops)
+		}
+		r.Addf("(§7 observes kswapd switching cores constantly; a one-sided soft hint")
+		r.Addf(" barely helps because the preferred core is usually taken — coordination")
+		r.Addf(" has to involve the video threads' placement too)")
+		return r
+	})
+
+	register("abl-order", "ablation: fps-first vs resolution-first memory adaptation", func(o Options) Report {
+		o.applyDefaults()
+		r := Report{ID: "abl-order", Title: "MemoryAware degradation order (Nokia 1, Moderate, starting 1080p60)"}
+		// fps-first is the built-in path; resolution-first is emulated
+		// by restricting the ladder to a single frame rate so only
+		// resolution steps exist.
+		type variant struct {
+			name string
+			fps  []int
+		}
+		for _, v := range []variant{{"fps-first (24/30/48/60 ladder)", []int{24, 30, 48, 60}}, {"res-first (60-only ladder)", []int{60}}} {
+			var drops, mos float64
+			for i := 0; i < o.Runs; i++ {
+				res := Run(VideoRun{
+					Seed:       o.Seed + int64(i) + 1,
+					Profile:    device.Nokia1,
+					Video:      o.video(dash.Travel),
+					Resolution: dash.R1080p,
+					FPS:        60,
+					Pressure:   proc.Moderate,
+					FPSOptions: v.fps,
+					OnSession: func(s *player.Session, d *device.Device) {
+						abr.Attach(s, d, &abr.MemoryAware{Inner: abr.Fixed{}}, 2*time.Second)
+					},
+				})
+				drops += res.Metrics.EffectiveDropRate / float64(o.Runs)
+				mos += qoe.MOS(res.Metrics) / float64(o.Runs)
+			}
+			r.Addf("%-32s drops=%5.1f%% MOS=%.2f", v.name, drops, mos)
+		}
+		r.Addf("(§6: lowering frame rate preserves resolution while rescuing playback)")
+		return r
+	})
+}

@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"time"
+
+	"coalqoe/internal/abr"
+	"coalqoe/internal/dash"
+	"coalqoe/internal/device"
+	"coalqoe/internal/ladderopt"
+	"coalqoe/internal/player"
+	"coalqoe/internal/proc"
+	"coalqoe/internal/qoe"
+)
+
+func init() {
+	register("ladder", "provider bitrate-ladder optimization (§7 extension)", func(o Options) Report {
+		o.applyDefaults()
+		r := Report{ID: "ladder", Title: "Population-optimal encoding ladders (§7: offer wider encodings)"}
+		pop := ladderopt.DefaultPopulation()
+
+		wide := ladderopt.Optimize(pop, dash.Ladder(24, 30, 48, 60), 6, nil)
+		narrow := ladderopt.Optimize(pop, dash.Ladder(60), 6, nil)
+		classic := ladderopt.Optimize(pop, dash.Ladder(30, 60), 6, nil)
+		r.Addf("wide ladder (24/30/48/60 fps): %s", wide)
+		r.Addf("classic ladder (30/60 fps):    %s", classic)
+		r.Addf("60fps-only ladder:             %s", narrow)
+		for name, mos := range wide.PerClass {
+			r.Addf("  wide ladder, %-12s expected MOS %.2f", name, mos)
+		}
+
+		// Validate the headline with full simulations: an entry device
+		// at Moderate pressure running memory-aware ABR over each
+		// ladder.
+		validate := func(fps []int) float64 {
+			var mos float64
+			for i := 0; i < o.Runs; i++ {
+				res := Run(VideoRun{
+					Seed:       o.Seed + int64(i) + 1,
+					Profile:    device.Nokia1,
+					Video:      o.video(dash.Travel),
+					Resolution: dash.R1080p,
+					FPS:        fps[len(fps)-1],
+					Pressure:   proc.Moderate,
+					FPSOptions: fps,
+					OnSession: func(s *player.Session, d *device.Device) {
+						abr.Attach(s, d, &abr.MemoryAware{Inner: abr.BOLA{}}, 2*time.Second)
+					},
+				})
+				mos += qoe.MOS(res.Metrics) / float64(o.Runs)
+			}
+			return mos
+		}
+		wideMOS := validate([]int{24, 30, 48, 60})
+		narrowMOS := validate([]int{60})
+		r.Addf("simulated validation (Nokia 1, Moderate, mem-aware ABR):")
+		r.Addf("  wide ladder MOS %.2f vs 60fps-only MOS %.2f", wideMOS, narrowMOS)
+		r.Addf("(§7: low-end devices select lower frame rates and recover playback)")
+		return r
+	})
+}

@@ -1,0 +1,30 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is the textual output of one experiment: the rows/series of
+// the corresponding paper table or figure.
+type Report struct {
+	ID    string
+	Title string
+	Lines []string
+}
+
+// Addf appends one formatted line.
+func (r *Report) Addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,175 @@
+// Package exp orchestrates the paper's experiments: it boots a device,
+// establishes a memory-pressure regime (synthetic via the MP-Simulator
+// balloon, or organic via background apps, §4.1/§4.3), streams a video,
+// and collects QoE metrics — repeating runs and aggregating them the
+// way the paper reports (mean of five runs with 95% CIs).
+package exp
+
+import (
+	"time"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/device"
+	"coalqoe/internal/mempress"
+	"coalqoe/internal/player"
+	"coalqoe/internal/proc"
+	"coalqoe/internal/stats"
+)
+
+// VideoRun configures one streaming experiment.
+type VideoRun struct {
+	// Seed makes the run deterministic; vary it across repeats.
+	Seed int64
+	// Profile selects the device (default Nokia1).
+	Profile device.Profile
+	// DeviceOpts tweak the device assembly (ablations).
+	DeviceOpts device.Options
+	// Client selects the video client (default Firefox).
+	Client player.ClientProfile
+	// Video selects content (default the travel video, the paper's
+	// primary subject).
+	Video dash.Video
+	// Resolution and FPS select the rung.
+	Resolution dash.Resolution
+	FPS        int
+	// Pressure is the target memory state before playback starts.
+	Pressure proc.Level
+	// Organic applies pressure by opening background apps instead of
+	// the balloon (§4.3 "organic memory pressure").
+	OrganicApps int
+	// FPSOptions widens the manifest ladder (default 30/60 plus the
+	// requested FPS).
+	FPSOptions []int
+	// PlayerTweaks lets callers adjust the session config.
+	PlayerTweaks func(*player.Config)
+	// OnSession runs right after the session starts (attach ABR, etc.).
+	OnSession func(*player.Session, *device.Device)
+	// SettleTime is the boot settling period (default 3s).
+	SettleTime time.Duration
+	// PressureTimeout bounds the wait for the target signal
+	// (default 240s).
+	PressureTimeout time.Duration
+	// KeepTrace records full scheduler intervals for export
+	// (memory-heavy; off by default).
+	KeepTrace bool
+}
+
+func (r *VideoRun) applyDefaults() {
+	if r.Profile.Name == "" {
+		r.Profile = device.Nokia1
+	}
+	if r.Client.Name == "" {
+		r.Client = player.Firefox
+	}
+	if r.Video.Title == "" {
+		r.Video = dash.TestVideos[0]
+	}
+	if r.FPS == 0 {
+		r.FPS = 30
+	}
+	if len(r.FPSOptions) == 0 {
+		r.FPSOptions = []int{24, 30, 48, 60}
+	}
+	if r.SettleTime <= 0 {
+		r.SettleTime = 3 * time.Second
+	}
+	if r.PressureTimeout <= 0 {
+		r.PressureTimeout = 240 * time.Second
+	}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Metrics player.Metrics
+	Device  *device.Device
+	Session *player.Session
+	// PressureReached reports whether the target regime was achieved
+	// before the timeout.
+	PressureReached bool
+}
+
+// Run executes the experiment to completion (or crash) and returns the
+// session metrics together with the device for trace-level queries.
+func Run(cfg VideoRun) Result {
+	cfg.applyDefaults()
+	dev := device.New(cfg.Seed, cfg.Profile, cfg.DeviceOpts)
+	dev.Tracer.KeepIntervals(cfg.KeepTrace)
+	dev.Settle(cfg.SettleTime)
+
+	reached := cfg.Pressure == proc.Normal && cfg.OrganicApps == 0
+	if cfg.OrganicApps > 0 {
+		mempress.OpenBackgroundApps(dev, mempress.TypicalApps(cfg.OrganicApps), 500*time.Millisecond)
+		// Let the launches and resulting reclaim churn play out.
+		dev.Settle(time.Duration(cfg.OrganicApps)*500*time.Millisecond + 10*time.Second)
+		reached = true
+	} else if cfg.Pressure > proc.Normal {
+		mempress.Apply(dev, cfg.Pressure, func() { reached = true })
+		deadline := dev.Clock.Now() + cfg.PressureTimeout
+		for !reached && dev.Clock.Now() < deadline {
+			dev.Settle(time.Second)
+		}
+	}
+
+	manifest := dash.NewManifest(cfg.Video, cfg.FPSOptions...)
+	rung, ok := manifest.Rung(cfg.Resolution, cfg.FPS)
+	if !ok {
+		rung = manifest.Lowest()
+	}
+	pcfg := player.Config{
+		Device:   dev,
+		Client:   cfg.Client,
+		Manifest: manifest,
+		Rung:     rung,
+	}
+	if cfg.PlayerTweaks != nil {
+		cfg.PlayerTweaks(&pcfg)
+	}
+	sess := player.Start(pcfg)
+	if cfg.OnSession != nil {
+		cfg.OnSession(sess, dev)
+	}
+	// Play to the end (or crash), with slack for stalls.
+	deadline := dev.Clock.Now() + cfg.Video.Duration*3 + 30*time.Second
+	for sess.Active() && dev.Clock.Now() < deadline {
+		dev.Settle(time.Second)
+	}
+	dev.Tracer.Finish(dev.Clock.Now())
+	return Result{Metrics: sess.Metrics(), Device: dev, Session: sess, PressureReached: reached}
+}
+
+// Repeat runs the experiment n times with seeds base+1..base+n and
+// returns all results. This mirrors the paper's five-run methodology.
+func Repeat(cfg VideoRun, n int, baseSeed int64) []Result {
+	out := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = baseSeed + int64(i) + 1
+		out = append(out, Run(c))
+	}
+	return out
+}
+
+// DropStats aggregates the effective drop rates of repeated runs (a
+// crashed run counts its unplayed remainder as dropped, as the paper
+// does for unplayable Critical-state runs).
+func DropStats(results []Result) stats.MeanCI {
+	xs := make([]float64, len(results))
+	for i, r := range results {
+		xs[i] = r.Metrics.EffectiveDropRate
+	}
+	return stats.Summarize(xs)
+}
+
+// CrashRate returns the percentage of runs that crashed.
+func CrashRate(results []Result) float64 {
+	n := 0
+	for _, r := range results {
+		if r.Metrics.Crashed {
+			n++
+		}
+	}
+	if len(results) == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(len(results))
+}

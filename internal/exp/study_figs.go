@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"coalqoe/internal/plot"
+	"coalqoe/internal/proc"
+	"coalqoe/internal/study"
+)
+
+// fleetCache shares one fleet simulation across the §3 experiments,
+// since Figures 1–6 and the Table 1 study rows all derive from the
+// same SignalCapturer dataset.
+var fleetCache struct {
+	sync.Mutex
+	fleets map[string]*study.Fleet
+}
+
+func fleetFor(o Options) *study.Fleet {
+	fleetCache.Lock()
+	defer fleetCache.Unlock()
+	if fleetCache.fleets == nil {
+		fleetCache.fleets = make(map[string]*study.Fleet)
+	}
+	key := fmt.Sprintf("%d/%v", o.Seed, o.Quick)
+	if f, ok := fleetCache.fleets[key]; ok {
+		return f
+	}
+	n := 80
+	if o.Quick {
+		n = 24
+	}
+	f := study.RunFleet(n, o.Seed+1000)
+	fleetCache.fleets[key] = f
+	return f
+}
+
+func init() {
+	register("fig1", "usage-activity heatmap (user survey)", func(o Options) Report {
+		o.applyDefaults()
+		f := fleetFor(o)
+		r := Report{ID: "fig1", Title: "How frequently users engage in activities (fraction per 1-5 rating)"}
+		heat := f.Fig1Heatmap()
+		r.Addf("%-18s %6s %6s %6s %6s %6s", "activity", "1", "2", "3", "4", "5")
+		for _, a := range study.Activities {
+			row := heat[a]
+			r.Addf("%-18s %5.0f%% %5.0f%% %5.0f%% %5.0f%% %5.0f%%", a,
+				100*row[0], 100*row[1], 100*row[2], 100*row[3], 100*row[4])
+		}
+		return r
+	})
+
+	register("fig2", "CDF of median RAM utilization across devices", func(o Options) Report {
+		o.applyDefaults()
+		f := fleetFor(o)
+		r := Report{ID: "fig2", Title: "CDF of median RAM utilization"}
+		cdf := f.Fig2CDF()
+		for _, u := range []float64{0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.9} {
+			r.Addf("P[util <= %.0f%%] = %.0f%%", 100*u, 100*cdf.At(u))
+		}
+		r.Addf("devices with median utilization >= 60%%: %.0f%% (paper: 80%%)", 100*(1-cdf.At(0.5999)))
+		r.Addf("devices with median utilization >  75%%: %.0f%% (paper: 20%%)", 100*(1-cdf.At(0.75)))
+		r.Addf("")
+		for _, u := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+			r.Lines = append(r.Lines, plot.CDFRow(fmt.Sprintf("%.0f%%", 100*u), cdf.At(u), 30))
+		}
+		return r
+	})
+
+	register("fig3", "memory pressure signal frequency vs device RAM", func(o Options) Report {
+		o.applyDefaults()
+		f := fleetFor(o)
+		r := Report{ID: "fig3", Title: "Signals per hour by level and RAM"}
+		pts := f.Fig3Scatter()
+		r.Addf("%-8s %6s %-9s %10s", "user", "RAM", "level", "signals/h")
+		for _, p := range pts {
+			if p.PerHour > 0 {
+				r.Addf("%-8s %5.0fG %-9s %10.1f", p.User, p.RAMGiB, p.Level, p.PerHour)
+			}
+		}
+		// Headline fractions.
+		any, many := 0, 0
+		byUser := map[string]float64{}
+		crit := map[string]float64{}
+		for _, p := range pts {
+			byUser[p.User] += p.PerHour
+			if p.Level == proc.Critical {
+				crit[p.User] += p.PerHour
+			}
+		}
+		for u := range byUser {
+			if byUser[u] >= 1 {
+				any++
+			}
+			if crit[u] > 10 {
+				many++
+			}
+		}
+		n := len(byUser)
+		r.Addf("devices with >=1 signal/hour:          %3.0f%% (paper: 63%%)", pct(any, n))
+		r.Addf("devices with >10 Critical signals/hour: %3.0f%% (paper: 19%%)", pct(many, n))
+		return r
+	})
+
+	register("fig4", "time spent in pressure states vs device RAM", func(o Options) Report {
+		o.applyDefaults()
+		f := fleetFor(o)
+		r := Report{ID: "fig4", Title: "Fraction of time per pressure state"}
+		pts := f.Fig4TimeShares()
+		moderate2, critical4 := map[string]bool{}, map[string]bool{}
+		users := map[string]bool{}
+		for _, p := range pts {
+			users[p.User] = true
+			if p.Level == proc.Moderate && p.Share >= 0.02 {
+				moderate2[p.User] = true
+			}
+			if p.Level == proc.Critical && p.Share > 0.04 {
+				critical4[p.User] = true
+			}
+			if p.Share >= 0.005 {
+				r.Addf("%-8s %4.0fG %-9s %5.1f%% of time", p.User, p.RAMGiB, p.Level, 100*p.Share)
+			}
+		}
+		r.Addf("devices >=2%% time in Moderate: %3.0f%% (paper: 27%%)", pct(len(moderate2), len(users)))
+		r.Addf("devices > 4%% time in Critical: %3.0f%% (paper: 10%%)", pct(len(critical4), len(users)))
+		return r
+	})
+
+	register("fig5", "available memory by state, top-5 pressured devices", func(o Options) Report {
+		o.applyDefaults()
+		f := fleetFor(o)
+		r := Report{ID: "fig5", Title: "Available-memory distribution per pressure state (MiB)"}
+		for _, d := range f.Fig5TopDevices(5) {
+			r.Addf("%s (%.0f GiB RAM, %.0f%% time under pressure):", d.User, d.RAMGiB, 100*d.HighShare)
+			lvls := make([]proc.Level, 0, len(d.ByLevel))
+			for l := range d.ByLevel {
+				lvls = append(lvls, l)
+			}
+			sort.Slice(lvls, func(i, j int) bool { return lvls[i] < lvls[j] })
+			for _, l := range lvls {
+				bp := d.ByLevel[l]
+				if bp.N > 0 {
+					r.Addf("  %-9s %s", l, bp)
+				}
+			}
+		}
+		return r
+	})
+
+	register("fig6", "pressure-state transitions and dwell times", func(o Options) Report {
+		o.applyDefaults()
+		f := fleetFor(o)
+		r := Report{ID: "fig6", Title: "Next-state shares and dwell times (most-pressured devices)"}
+		st := f.Fig6Transitions(0.02)
+		if len(st.NextShare) == 0 {
+			// Small quick-mode fleets may lack heavily pressured
+			// devices; fall back to every device with transitions.
+			st = f.Fig6Transitions(0)
+		}
+		order := []proc.Level{proc.Normal, proc.Moderate, proc.Low, proc.Critical}
+		for _, from := range order {
+			tos, ok := st.NextShare[from]
+			if !ok {
+				continue
+			}
+			line := fmt.Sprintf("after %-9s ->", from)
+			for _, to := range order {
+				if share, ok := tos[to]; ok {
+					line += fmt.Sprintf("  %s %.1f%%", to, share)
+				}
+			}
+			r.Lines = append(r.Lines, line)
+			if bp, ok := st.Dwell[from]; ok && bp.N > 0 {
+				r.Addf("  dwell in %s: %s seconds", from, bp)
+			}
+		}
+		return r
+	})
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,218 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/device"
+	"coalqoe/internal/player"
+	"coalqoe/internal/plot"
+	"coalqoe/internal/proc"
+	"coalqoe/internal/stats"
+	"coalqoe/internal/trace"
+)
+
+// videoThreads matches the paper's §5 "video client threads":
+// SurfaceFlinger, MediaCodec, and the Firefox process threads.
+func videoThreads() trace.ThreadFilter {
+	return trace.AnyOf(trace.ByProcess(player.Firefox.Name), trace.ByName("SurfaceFlinger"))
+}
+
+// profiledRun runs the §5 profiling workload: 480p at 60 FPS on the
+// Nokia 1, at the given state, and returns the run with its trace.
+func profiledRun(o Options, state proc.Level, seed int64) Result {
+	return Run(VideoRun{
+		Seed:       seed,
+		Profile:    device.Nokia1,
+		Video:      o.video(dash.Travel),
+		Resolution: dash.R480p,
+		FPS:        60,
+		Pressure:   state,
+	})
+}
+
+func init() {
+	register("tab4", "video thread time-in-state, Normal vs Moderate", func(o Options) Report {
+		o.applyDefaults()
+		r := Report{ID: "tab4", Title: "Time in scheduler states for video client threads (480p60, Nokia 1)"}
+		states := []trace.State{trace.Running, trace.Runnable, trace.RunnablePreempted}
+		// Paper: mean over three runs.
+		runsPer := 3
+		if o.Quick {
+			runsPer = 1
+		}
+		means := map[proc.Level]map[trace.State]float64{}
+		for _, lvl := range []proc.Level{proc.Normal, proc.Moderate} {
+			means[lvl] = map[trace.State]float64{}
+			for i := 0; i < runsPer; i++ {
+				res := profiledRun(o, lvl, o.Seed+int64(i)+1)
+				for _, st := range states {
+					means[lvl][st] += res.Device.Tracer.TimeInState(videoThreads(), st).Seconds() / float64(runsPer)
+				}
+			}
+		}
+		r.Addf("%-22s %10s %10s %10s", "state", "Normal(s)", "Moderate(s)", "increase")
+		paper := map[trace.State]float64{trace.Running: -8.5, trace.Runnable: 24.2, trace.RunnablePreempted: 97.8}
+		for _, st := range states {
+			n, m := means[proc.Normal][st], means[proc.Moderate][st]
+			incr := 0.0
+			if n > 0 {
+				incr = 100 * (m - n) / n
+			}
+			r.Addf("%-22s %9.1fs %9.1fs %+9.1f%%  (paper: %+.1f%%)", st, n, m, incr, paper[st])
+		}
+		return r
+	})
+
+	register("tab5", "mmcqd preemption statistics, Normal vs Moderate", func(o Options) Report {
+		o.applyDefaults()
+		r := Report{ID: "tab5", Title: "Preemptions of video threads by mmcqd (480p60, Nokia 1)"}
+		type row struct {
+			count  float64
+			ranFor float64
+			waited float64
+		}
+		runsPer := 3
+		if o.Quick {
+			runsPer = 1
+		}
+		rows := map[proc.Level]*row{}
+		for _, lvl := range []proc.Level{proc.Normal, proc.Moderate} {
+			rows[lvl] = &row{}
+			for i := 0; i < runsPer; i++ {
+				res := profiledRun(o, lvl, o.Seed+int64(i)+1)
+				ps := res.Device.Tracer.PreemptionsBy(trace.ByName("mmcqd"), videoThreads())
+				rows[lvl].count += float64(ps.Count) / float64(runsPer)
+				rows[lvl].ranFor += ps.PreemptorRanFor.Seconds() / float64(runsPer)
+				rows[lvl].waited += ps.VictimsWaitedFor.Seconds() / float64(runsPer)
+			}
+		}
+		n, m := rows[proc.Normal], rows[proc.Moderate]
+		r.Addf("%-42s %10s %10s %8s", "metric", "Normal", "Moderate", "ratio")
+		r.Addf("%-42s %10.1f %10.1f %8s  (paper: 26.6x)", "mean number of preemptions", n.count, m.count, ratioStr(m.count, n.count))
+		r.Addf("%-42s %9.2fs %9.2fs %8s  (paper: 16.8x)", "mean time mmcqd runs after preemption", n.ranFor, m.ranFor, ratioStr(m.ranFor, n.ranFor))
+		r.Addf("%-42s %9.2fs %9.2fs %8s  (paper: 27.5x)", "mean time video waits to get CPU back", n.waited, m.waited, ratioStr(m.waited, n.waited))
+		r.Addf("(our Normal baseline is nearly interference-free, so the ratios degenerate;")
+		r.Addf(" the Moderate absolutes carry the comparison — see EXPERIMENTS.md)")
+		return r
+	})
+
+	register("fig13", "kswapd time-in-state, Normal vs Moderate", func(o Options) Report {
+		o.applyDefaults()
+		r := Report{ID: "fig13", Title: "kswapd scheduler-state shares (480p60, Nokia 1)"}
+		paper := map[proc.Level]map[trace.State]float64{
+			proc.Normal:   {trace.Sleeping: 75, trace.Running: 6},
+			proc.Moderate: {trace.Sleeping: 31, trace.Running: 56},
+		}
+		for _, lvl := range []proc.Level{proc.Normal, proc.Moderate} {
+			res := profiledRun(o, lvl, o.Seed+1)
+			breakdown := res.Device.Tracer.StateBreakdown(trace.ByName("kswapd"))
+			var total time.Duration
+			for _, d := range breakdown {
+				total += d
+			}
+			r.Addf("%s:", lvl)
+			for _, st := range []trace.State{trace.Sleeping, trace.Runnable, trace.RunnablePreempted, trace.Running} {
+				share := stats.Pct(breakdown[st].Seconds(), total.Seconds())
+				note := ""
+				if p, ok := paper[lvl][st]; ok {
+					note = "  (paper: " + fmtPct(p) + ")"
+				}
+				r.Addf("  %-22s %5.1f%%%s", st, share, note)
+			}
+		}
+		return r
+	})
+
+	register("fig14", "frame rate and lmkd CPU during a crashing session", func(o Options) Report {
+		o.applyDefaults()
+		r := Report{ID: "fig14", Title: "Instantaneous FPS and lmkd CPU until the client is killed (Nokia 1, Critical)"}
+		var lmkdCPU []float64
+		res := Run(VideoRun{
+			Seed:       o.Seed + 1,
+			Profile:    device.Nokia1,
+			Video:      o.video(dash.Travel),
+			Resolution: dash.R480p,
+			FPS:        60,
+			Pressure:   proc.Critical,
+			OnSession: func(s *player.Session, d *device.Device) {
+				var last time.Duration
+				d.Clock.Every(time.Second, func() {
+					cur := d.Lmkd.Thread().CPUTime()
+					lmkdCPU = append(lmkdCPU, (cur-last).Seconds()*100)
+					last = cur
+				})
+			},
+		})
+		r.Addf("fps      %s", plot.SparkFixed(res.Metrics.FPSTimeline, 60))
+		r.Addf("lmkd cpu %s", plot.Spark(lmkdCPU))
+		for i, f := range res.Metrics.FPSTimeline {
+			cpu := 0.0
+			if i < len(lmkdCPU) {
+				cpu = lmkdCPU[i]
+			}
+			r.Addf("t=%3ds fps=%4.0f lmkdCPU=%5.2f%%", i, f, cpu)
+		}
+		if res.Metrics.Crashed {
+			r.Addf("client killed by lmkd at t=%v (paper: crash coincides with lmkd CPU spike)",
+				res.Metrics.CrashedAt.Round(time.Second))
+		} else {
+			r.Addf("client survived this run")
+		}
+		return r
+	})
+
+	register("fig15", "FPS and process kills under organic pressure", func(o Options) Report {
+		o.applyDefaults()
+		r := Report{ID: "fig15", Title: "Rendered FPS and kills: organic Normal vs Moderate (Nokia 1, 480p60)"}
+		for _, apps := range []int{0, 8} {
+			label := "Normal (no background apps)"
+			if apps > 0 {
+				label = "Moderate (8 background apps)"
+			}
+			var kills []int
+			res := Run(VideoRun{
+				Seed:        o.Seed + 1,
+				Profile:     device.Nokia1,
+				Video:       o.video(dash.Travel),
+				Resolution:  dash.R480p,
+				FPS:         60,
+				OrganicApps: apps,
+				OnSession: func(s *player.Session, d *device.Device) {
+					d.Clock.Every(time.Second, func() {
+						kills = append(kills, len(d.Table.Kills()))
+					})
+				},
+			})
+			r.Addf("%s: drops=%.1f%% crashed=%v", label, res.Metrics.EffectiveDropRate, res.Metrics.Crashed)
+			killsF := make([]float64, len(kills))
+			for i, k := range kills {
+				killsF[i] = float64(k)
+			}
+			r.Addf("  fps   %s", plot.SparkFixed(plot.Downsample(res.Metrics.FPSTimeline, 72), 60))
+			r.Addf("  kills %s (final %d)", plot.Spark(plot.Downsample(killsF, 72)), len(res.Device.Table.Kills()))
+		}
+		return r
+	})
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// ratioStr renders a/b, degenerating gracefully when the baseline is 0.
+func ratioStr(a, b float64) string {
+	if b == 0 {
+		if a > 0 {
+			return "inf"
+		}
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1fx", a/b)
+}
+
+func fmtPct(p float64) string { return fmt.Sprintf("%.0f%%", p) }

@@ -1,0 +1,186 @@
+// Package kswapd implements the kernel swap daemon the paper identifies
+// as one of the two CPU thieves under memory pressure (§2, §5).
+//
+// The daemon wakes when free memory falls below the low watermark and
+// scans/reclaims in batches until free memory rises above the high
+// watermark. Crucially, reclaim progress is coupled to the CPU
+// scheduler: every batch costs CPU time on the kswapd thread, which is
+// in the *fair* class — so, as the paper observes, video client threads
+// "have to fairly share the CPU with the CPU-hungry thread — kswapd"
+// (§5), and when kswapd cannot keep up, allocations fall through to
+// direct reclaim on the allocating thread itself.
+//
+// The same scan mechanics are reused for direct reclaim via
+// DirectReclaim, which blocks the calling thread — including, as the
+// paper notes, "the foreground application's main UI thread" (§2).
+package kswapd
+
+import (
+	"time"
+
+	"coalqoe/internal/blockio"
+	"coalqoe/internal/mem"
+	"coalqoe/internal/sched"
+	"coalqoe/internal/simclock"
+	"coalqoe/internal/units"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// BatchPages is the LRU scan batch size. Default 128.
+	BatchPages units.Pages
+	// ScanCPUPerPage is CPU cost to scan one page. Default 1.5µs.
+	ScanCPUPerPage time.Duration
+	// CompressCPUPerPage is extra CPU per anonymous page compressed to
+	// zRAM. Default 12µs (LZ4-class on a small core).
+	CompressCPUPerPage time.Duration
+	// CheckInterval is the watermark poll cadence. Default 25ms.
+	// Allocation paths can also Kick the daemon explicitly.
+	CheckInterval time.Duration
+	// PinCore gives kswapd a soft affinity to core PinCore−1 when set
+	// (1-based; 0 disables) — the §7 coordinated-scheduling
+	// suggestion.
+	PinCore int
+}
+
+func (c *Config) applyDefaults() {
+	if c.BatchPages <= 0 {
+		c.BatchPages = 128
+	}
+	if c.ScanCPUPerPage <= 0 {
+		c.ScanCPUPerPage = 1500 * time.Nanosecond
+	}
+	if c.CompressCPUPerPage <= 0 {
+		c.CompressCPUPerPage = 15 * time.Microsecond
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = 25 * time.Millisecond
+	}
+}
+
+// Daemon is the kswapd model.
+type Daemon struct {
+	clock  *simclock.Clock
+	mem    *mem.Memory
+	disk   *blockio.Disk
+	cfg    Config
+	thread *sched.Thread
+	active bool
+
+	// Wakeups counts low-watermark activations.
+	Wakeups int
+	// BatchesRun counts scan batches executed.
+	BatchesRun int
+}
+
+// New creates the daemon, spawns its thread (fair class, like the real
+// kswapd which shares priority with foreground threads), and starts the
+// watermark poll.
+func New(clock *simclock.Clock, s *sched.Scheduler, m *mem.Memory, d *blockio.Disk, cfg Config) *Daemon {
+	cfg.applyDefaults()
+	k := &Daemon{
+		clock:  clock,
+		mem:    m,
+		disk:   d,
+		cfg:    cfg,
+		thread: s.Spawn("kswapd0", "kernel", sched.ClassFair, 0),
+	}
+	if cfg.PinCore > 0 {
+		k.thread.SetPreferredCore(cfg.PinCore - 1)
+	}
+	clock.Every(cfg.CheckInterval, k.Kick)
+	return k
+}
+
+// Thread returns the kswapd thread (for trace queries).
+func (k *Daemon) Thread() *sched.Thread { return k.thread }
+
+// Active reports whether a reclaim loop is in flight.
+func (k *Daemon) Active() bool { return k.active }
+
+// Kick checks the watermarks and starts the reclaim loop if needed.
+// Allocation paths call this on watermark breach; it also runs on the
+// poll timer.
+func (k *Daemon) Kick() {
+	if k.active || !k.mem.BelowLow() {
+		return
+	}
+	k.active = true
+	k.Wakeups++
+	k.loop()
+}
+
+// loop runs one scan batch on the kswapd thread, then re-arms until the
+// high watermark is restored. CPU time is charged before the batch
+// (scan cost) and after (compression cost), so reclaim throughput is
+// limited by the CPU share kswapd actually gets.
+func (k *Daemon) loop() {
+	scanCost := time.Duration(k.cfg.BatchPages) * k.cfg.ScanCPUPerPage
+	k.thread.Enqueue(scanCost, func() {
+		res := k.mem.ScanBatch(k.cfg.BatchPages)
+		k.BatchesRun++
+		if res.DirtyQueued > 0 {
+			dirty := res.DirtyQueued
+			k.disk.Write(dirty, func() { k.mem.CompleteWriteback(dirty) })
+		}
+		finish := func() {
+			if k.mem.AboveHigh() || (res.Reclaimed() == 0 && res.Scanned == 0) {
+				k.active = false
+				return
+			}
+			k.loop()
+		}
+		if res.AnonCompressed > 0 {
+			k.thread.Enqueue(time.Duration(res.AnonCompressed)*k.cfg.CompressCPUPerPage, finish)
+		} else {
+			finish()
+		}
+	})
+}
+
+// DirectReclaim performs synchronous reclaim of need pages on the
+// calling thread th: the kernel blocks the allocation "until it can
+// free up the memory requested" (§2). The thread pays scan/compression
+// CPU and waits in uninterruptible sleep for any writeback the reclaim
+// has to flush. onDone fires with the pages actually freed once enough
+// progress was made (or reclaim stalls with nothing reclaimable).
+func DirectReclaim(clock *simclock.Clock, th *sched.Thread, m *mem.Memory, d *blockio.Disk, cfg Config, need units.Pages, onDone func(freed units.Pages)) {
+	cfg.applyDefaults()
+	var freed units.Pages
+	attempts := 0
+	var step func()
+	step = func() {
+		if freed >= need || attempts > 64 {
+			onDone(freed)
+			return
+		}
+		attempts++
+		scanCost := time.Duration(cfg.BatchPages) * cfg.ScanCPUPerPage
+		th.Enqueue(scanCost, func() {
+			res := m.ScanBatch(cfg.BatchPages)
+			freed += res.FreedNow
+			cont := step
+			if res.DirtyQueued > 0 {
+				// The allocator must wait for the flush: this is the
+				// extra I/O wait in "any thread, including the
+				// foreground application's main UI thread" (§2).
+				dirty := res.DirtyQueued
+				barrier := th.EnqueueIOBarrier()
+				d.Write(dirty, func() {
+					m.CompleteWriteback(dirty)
+					freed += dirty
+					barrier()
+				})
+			}
+			if res.AnonCompressed > 0 {
+				th.Enqueue(time.Duration(res.AnonCompressed)*cfg.CompressCPUPerPage, cont)
+			} else if res.Reclaimed() == 0 && res.Scanned > 0 && m.Free() == 0 {
+				// Nothing reclaimable at all: give up (lmkd's job now).
+				onDone(freed)
+			} else {
+				th.Enqueue(0, cont)
+			}
+		})
+	}
+	step()
+}

@@ -1,0 +1,197 @@
+// Package ladderopt implements the paper's §7 implication for Internet
+// video providers: "platforms should consider offering a wider range of
+// video encodings (e.g., bitrates and frame rates) to improve video QoE
+// especially for low-end and medium-end smartphones."
+//
+// Given a device population (device classes with their memory-pressure
+// mix, as measured by the §3 study) and a QoE matrix (how well each
+// class plays each candidate rung in each pressure state), the
+// optimizer picks the K-rung ladder that maximizes population-expected
+// QoE, assuming each client selects its best playable rung — which is
+// what a memory-aware ABR does.
+//
+// The QoE matrix can be estimated analytically from the player model
+// (fast; EstimateQoE) or measured by running the full simulator
+// (exact; see the ladder experiment in internal/exp).
+package ladderopt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/device"
+	"coalqoe/internal/player"
+	"coalqoe/internal/proc"
+)
+
+// Class is one slice of the device population.
+type Class struct {
+	Name string
+	// Profile is the representative device.
+	Profile device.Profile
+	// Share is the population fraction (0–1).
+	Share float64
+	// StateMix is the fraction of viewing time spent in each pressure
+	// state (should sum to ~1). The §3 study measures exactly this.
+	StateMix map[proc.Level]float64
+}
+
+// DefaultPopulation mirrors the market mix the paper cites ([33]):
+// low-end and mid-range devices dominate outside developed regions.
+func DefaultPopulation() []Class {
+	return []Class{
+		{
+			Name: "entry (1GB)", Profile: device.Nokia1, Share: 0.3,
+			StateMix: map[proc.Level]float64{proc.Normal: 0.55, proc.Moderate: 0.35, proc.Critical: 0.10},
+		},
+		{
+			Name: "mid (2GB)", Profile: device.Nexus5, Share: 0.45,
+			StateMix: map[proc.Level]float64{proc.Normal: 0.75, proc.Moderate: 0.22, proc.Critical: 0.03},
+		},
+		{
+			Name: "high (3GB)", Profile: device.Nexus6P, Share: 0.25,
+			StateMix: map[proc.Level]float64{proc.Normal: 0.90, proc.Moderate: 0.09, proc.Critical: 0.01},
+		},
+	}
+}
+
+// QoEFunc scores one (class, rung, state) cell on the 1–5 MOS scale.
+type QoEFunc func(c Class, rung dash.Rung, state proc.Level) float64
+
+// EstimateQoE scores analytically from the player model: the decode
+// pipeline's demand against the device's per-core capacity, degraded
+// by a pressure factor, plus a quality reward for bitrate. It tracks
+// the simulator well enough to rank rungs (the exp package's ladder
+// experiment validates the chosen ladder against full simulations).
+func EstimateQoE(c Class, rung dash.Rung, state proc.Level) float64 {
+	// Fastest core handles the decode chain.
+	maxSpeed := 0.0
+	for _, s := range c.Profile.CoreSpeeds {
+		if s > maxSpeed {
+			maxSpeed = s
+		}
+	}
+	interval := 1.0 / float64(rung.FPS)
+	decode := player.Firefox.DecodeCost(rung, dash.Travel).Seconds() / maxSpeed
+	// Pressure steals pipeline time: calibrated against the fig9/fig11
+	// grids (Moderate ≈ 35% loss on an entry device, Critical far more).
+	loss := map[proc.Level]float64{proc.Normal: 0, proc.Moderate: 0.35, proc.Critical: 0.75}[state]
+	// Larger devices absorb pressure better.
+	gib := float64(c.Profile.RAM) / (1 << 30)
+	loss /= gib
+	effective := decode / (1 - loss)
+	dropRate := 0.0
+	if effective > interval {
+		dropRate = 1 - interval/effective
+	}
+	// Crash regime: entry devices at Critical with big footprints.
+	heap := float64(player.Firefox.BasePSS+player.Firefox.VideoHeap(rung)) / float64(c.Profile.RAM)
+	if state == proc.Critical && heap > 0.25 {
+		return 1
+	}
+	mos := 5 - 7*dropRate
+	if mos < 1 {
+		mos = 1
+	}
+	// Quality reward: higher bitrate is worth up to ~1 MOS point when
+	// playback is smooth.
+	quality := 0.25 * log2(float64(rung.Bitrate)/0.6e6)
+	if quality > 1.2 {
+		quality = 1.2
+	}
+	mos = mos - 1.2 + quality
+	if mos < 1 {
+		mos = 1
+	}
+	if mos > 5 {
+		mos = 5
+	}
+	return mos
+}
+
+func log2(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log2(x)
+}
+
+// Result is a chosen ladder with its expected QoE.
+type Result struct {
+	Ladder []dash.Rung
+	// ExpectedMOS is the population-weighted score of the ladder.
+	ExpectedMOS float64
+	// PerClass breaks the expectation down.
+	PerClass map[string]float64
+}
+
+// expectedMOS computes the population score of a ladder: every
+// (class, state) cell picks its best rung.
+func expectedMOS(pop []Class, ladder []dash.Rung, qoe QoEFunc) (float64, map[string]float64) {
+	perClass := make(map[string]float64, len(pop))
+	total, weight := 0.0, 0.0
+	for _, c := range pop {
+		classScore, classWeight := 0.0, 0.0
+		for state, mix := range c.StateMix {
+			best := 0.0
+			for _, r := range ladder {
+				if s := qoe(c, r, state); s > best {
+					best = s
+				}
+			}
+			classScore += mix * best
+			classWeight += mix
+		}
+		if classWeight > 0 {
+			classScore /= classWeight
+		}
+		perClass[c.Name] = classScore
+		total += c.Share * classScore
+		weight += c.Share
+	}
+	if weight > 0 {
+		total /= weight
+	}
+	return total, perClass
+}
+
+// Optimize greedily picks up to k rungs from candidates maximizing the
+// population-expected MOS. Greedy is within a constant factor of
+// optimal here because the objective is submodular (adding a rung only
+// helps cells whose current best is worse).
+func Optimize(pop []Class, candidates []dash.Rung, k int, qoe QoEFunc) Result {
+	if qoe == nil {
+		qoe = EstimateQoE
+	}
+	if k <= 0 || k > len(candidates) {
+		k = len(candidates)
+	}
+	remaining := append([]dash.Rung(nil), candidates...)
+	var ladder []dash.Rung
+	for len(ladder) < k {
+		bestIdx, bestScore := -1, -1.0
+		for i, cand := range remaining {
+			trial := append(append([]dash.Rung(nil), ladder...), cand)
+			score, _ := expectedMOS(pop, trial, qoe)
+			if score > bestScore {
+				bestScore, bestIdx = score, i
+			}
+		}
+		ladder = append(ladder, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	sort.Slice(ladder, func(i, j int) bool { return ladder[i].Bitrate < ladder[j].Bitrate })
+	score, perClass := expectedMOS(pop, ladder, qoe)
+	return Result{Ladder: ladder, ExpectedMOS: score, PerClass: perClass}
+}
+
+// String renders the result.
+func (r Result) String() string {
+	s := fmt.Sprintf("expected MOS %.2f with ladder:", r.ExpectedMOS)
+	for _, rung := range r.Ladder {
+		s += " " + rung.String()
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package ladderopt
+
+import (
+	"testing"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/proc"
+)
+
+func TestDefaultPopulationSane(t *testing.T) {
+	pop := DefaultPopulation()
+	var share float64
+	for _, c := range pop {
+		share += c.Share
+		var mix float64
+		for _, m := range c.StateMix {
+			mix += m
+		}
+		if mix < 0.99 || mix > 1.01 {
+			t.Errorf("%s state mix sums to %v", c.Name, mix)
+		}
+	}
+	if share < 0.99 || share > 1.01 {
+		t.Errorf("population shares sum to %v", share)
+	}
+}
+
+func TestEstimateQoEShape(t *testing.T) {
+	pop := DefaultPopulation()
+	entry, high := pop[0], pop[2]
+	lo := dash.Rung{Resolution: dash.R240p, FPS: 24, Bitrate: dash.BitrateFor(dash.R240p, 24)}
+	hi := dash.Rung{Resolution: dash.R1080p, FPS: 60, Bitrate: dash.BitrateFor(dash.R1080p, 60)}
+
+	// A flagship plays 1080p60 better than an entry device.
+	if EstimateQoE(high, hi, proc.Normal) <= EstimateQoE(entry, hi, proc.Normal) {
+		t.Error("flagship should beat entry device at 1080p60")
+	}
+	// Pressure hurts (at a rung near the entry device's capacity edge).
+	mid := dash.Rung{Resolution: dash.R720p, FPS: 60, Bitrate: dash.BitrateFor(dash.R720p, 60)}
+	if EstimateQoE(entry, mid, proc.Moderate) >= EstimateQoE(entry, mid, proc.Normal) {
+		t.Error("pressure should reduce QoE")
+	}
+	// On an entry device under pressure, the low rung beats the high one.
+	if EstimateQoE(entry, lo, proc.Moderate) <= EstimateQoE(entry, hi, proc.Moderate) {
+		t.Error("a pressured entry device should prefer the low rung")
+	}
+	// On a flagship at Normal, the high rung wins (quality reward).
+	if EstimateQoE(high, hi, proc.Normal) <= EstimateQoE(high, lo, proc.Normal) {
+		t.Error("a healthy flagship should prefer the high rung")
+	}
+	// Bounds.
+	for _, c := range pop {
+		for _, r := range dash.Ladder(24, 30, 48, 60) {
+			for _, s := range []proc.Level{proc.Normal, proc.Moderate, proc.Critical} {
+				q := EstimateQoE(c, r, s)
+				if q < 1 || q > 5 {
+					t.Fatalf("QoE %v out of [1,5] for %s %v %v", q, c.Name, r, s)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimizeMonotoneInK(t *testing.T) {
+	pop := DefaultPopulation()
+	cands := dash.Ladder(24, 30, 48, 60)
+	prev := 0.0
+	for k := 1; k <= 6; k++ {
+		res := Optimize(pop, cands, k, nil)
+		if len(res.Ladder) != k {
+			t.Fatalf("k=%d produced %d rungs", k, len(res.Ladder))
+		}
+		if res.ExpectedMOS+1e-9 < prev {
+			t.Errorf("expected MOS decreased when k grew to %d: %v < %v", k, res.ExpectedMOS, prev)
+		}
+		prev = res.ExpectedMOS
+	}
+}
+
+func TestOptimizeCoversLowEnd(t *testing.T) {
+	pop := DefaultPopulation()
+	cands := dash.Ladder(24, 30, 48, 60)
+	res := Optimize(pop, cands, 4, nil)
+	// With 30% of the population on pressured 1 GB devices, a sane
+	// 4-rung ladder includes something cheap and low-frame-rate.
+	hasLow := false
+	for _, r := range res.Ladder {
+		if r.Resolution <= dash.R480p && r.FPS <= 30 {
+			hasLow = true
+		}
+	}
+	if !hasLow {
+		t.Errorf("4-rung ladder ignores the low end: %v", res.Ladder)
+	}
+	if res.PerClass["entry (1GB)"] <= 1.5 {
+		t.Errorf("entry class scored %v; ladder abandoned it", res.PerClass["entry (1GB)"])
+	}
+}
+
+func TestWideLadderBeatsBitrateOnly(t *testing.T) {
+	// The §7 claim: offering multiple frame rates (not just bitrates)
+	// improves population QoE.
+	pop := DefaultPopulation()
+	wide := Optimize(pop, dash.Ladder(24, 30, 48, 60), 6, nil)
+	narrow := Optimize(pop, dash.Ladder(60), 6, nil)
+	if wide.ExpectedMOS <= narrow.ExpectedMOS {
+		t.Errorf("wide ladder %.3f should beat 60fps-only ladder %.3f",
+			wide.ExpectedMOS, narrow.ExpectedMOS)
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	pop := DefaultPopulation()
+	cands := dash.Ladder(24, 30, 48, 60)
+	a := Optimize(pop, cands, 5, nil)
+	b := Optimize(pop, cands, 5, nil)
+	if a.String() != b.String() {
+		t.Error("optimizer nondeterministic")
+	}
+}

@@ -1,0 +1,202 @@
+// Package lmkd implements the userspace low-memory killer daemon.
+//
+// As §2 of the paper describes, lmkd "relies on memory pressure signals
+// from the kernel to decide which process groups (i.e., processes with
+// certain oom_adj scores) become eligible to be killed", using the
+// estimate P = (1 − R/S) · 100:
+//
+//   - when 60 < P < 95, processes with high oom_adj (cached/background
+//     apps) become eligible,
+//   - when P ≥ 95, foreground apps become eligible — this is what kills
+//     the video client and produces the crash rates of Tables 2–3 and
+//     the lmkd CPU spike of Figure 14.
+//
+// Victim selection follows §2: highest oom_adj first, least recently
+// used first within a group.
+package lmkd
+
+import (
+	"time"
+
+	"coalqoe/internal/mem"
+	"coalqoe/internal/proc"
+	"coalqoe/internal/sched"
+	"coalqoe/internal/simclock"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// PollInterval is the pressure-check cadence. Default 100ms.
+	PollInterval time.Duration
+	// CachedThreshold is the P value above which cached apps become
+	// killable. Default 60.
+	CachedThreshold float64
+	// CriticalThreshold is the P value at or above which foreground
+	// apps become killable. Default 95.
+	CriticalThreshold float64
+	// KillCPU is the CPU lmkd burns per kill (victim lookup, signal
+	// delivery, reaping). Default 8ms — this is the utilization spike
+	// visible when a session crashes (Figure 14).
+	KillCPU time.Duration
+	// MinFreeCachedFrac gates cached-app kills: free memory must be
+	// below this fraction of total RAM. Android's lowmemorykiller
+	// minfree levels sit well above the kernel watermarks; default 0.08.
+	MinFreeCachedFrac float64
+	// AvailCachedFrac makes cached apps killable whenever available
+	// memory (free + file cache) sinks below this fraction of total
+	// RAM, regardless of the P estimate — the legacy minfree
+	// criterion. Default 0.15.
+	AvailCachedFrac float64
+	// MinFreeForegroundFrac gates foreground kills. Default 0.045.
+	MinFreeForegroundFrac float64
+	// DisableMinFree removes the free-memory gates (pressure alone
+	// decides), for ablation.
+	DisableMinFree bool
+	// FgSustainPolls is how many consecutive polls must observe
+	// critical pressure before a foreground app may be killed,
+	// mirroring lmkd's PSI stall windows. Default 15 (1.5 s).
+	FgSustainPolls int
+	// KillCooldown is the minimum gap between kills, letting the freed
+	// memory land before the next victim is chosen. Default 500ms.
+	KillCooldown time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.PollInterval <= 0 {
+		c.PollInterval = 100 * time.Millisecond
+	}
+	if c.CachedThreshold <= 0 {
+		c.CachedThreshold = 60
+	}
+	if c.CriticalThreshold <= 0 {
+		c.CriticalThreshold = 95
+	}
+	if c.KillCPU <= 0 {
+		c.KillCPU = 8 * time.Millisecond
+	}
+	if c.MinFreeCachedFrac <= 0 {
+		c.MinFreeCachedFrac = 0.08
+	}
+	if c.MinFreeForegroundFrac <= 0 {
+		c.MinFreeForegroundFrac = 0.045
+	}
+	if c.AvailCachedFrac <= 0 {
+		c.AvailCachedFrac = 0.15
+	}
+	if c.FgSustainPolls <= 0 {
+		c.FgSustainPolls = 15
+	}
+	if c.KillCooldown <= 0 {
+		c.KillCooldown = 500 * time.Millisecond
+	}
+}
+
+// Daemon is the lmkd model.
+type Daemon struct {
+	clock  *simclock.Clock
+	mem    *mem.Memory
+	table  *proc.Table
+	cfg    Config
+	thread *sched.Thread
+
+	killInFlight  bool
+	criticalPolls int           // consecutive polls with P >= CriticalThreshold
+	lastKill      time.Duration // for the kill cooldown
+
+	// KillCount is the number of processes killed so far.
+	KillCount int
+	// ForegroundKills counts kills with adj <= visible (app crashes).
+	ForegroundKills int
+}
+
+// New creates the daemon and starts its poll loop. The lmkd thread is
+// in the fair class (the real daemon is a normal userspace process).
+func New(clock *simclock.Clock, s *sched.Scheduler, m *mem.Memory, table *proc.Table, cfg Config) *Daemon {
+	cfg.applyDefaults()
+	d := &Daemon{
+		clock:  clock,
+		mem:    m,
+		table:  table,
+		cfg:    cfg,
+		thread: s.Spawn("lmkd", "lmkd", sched.ClassFair, -10),
+	}
+	clock.Every(cfg.PollInterval, d.poll)
+	return d
+}
+
+// Thread returns lmkd's thread, e.g. for CPU-utilization sampling
+// (Figure 14 tracks it with top).
+func (d *Daemon) Thread() *sched.Thread { return d.thread }
+
+// minAdj returns the kill-eligibility floor for the current pressure,
+// or false if nothing is eligible. Cached apps are eligible either
+// through the P estimate (§2) or through the legacy minfree criterion
+// on available memory.
+func (d *Daemon) minAdj() (int, bool) {
+	p := d.mem.Pressure()
+	switch {
+	case p >= d.cfg.CriticalThreshold:
+		return proc.AdjForeground, true
+	case p > d.cfg.CachedThreshold:
+		return proc.AdjCached, true
+	case float64(d.mem.Available()) < d.cfg.AvailCachedFrac*float64(d.mem.Total()):
+		return proc.AdjCached, true
+	default:
+		return 0, false
+	}
+}
+
+func (d *Daemon) poll() {
+	if d.mem.Pressure() >= d.cfg.CriticalThreshold {
+		d.criticalPolls++
+	} else {
+		d.criticalPolls = 0
+	}
+	if d.killInFlight {
+		return
+	}
+	if d.KillCount > 0 && d.clock.Now()-d.lastKill < d.cfg.KillCooldown {
+		return
+	}
+	minAdj, eligible := d.minAdj()
+	if !eligible {
+		return
+	}
+	if !d.cfg.DisableMinFree {
+		total := float64(d.mem.Total())
+		if minAdj <= proc.AdjForeground {
+			if float64(d.mem.Free()) >= d.cfg.MinFreeForegroundFrac*total {
+				return
+			}
+		} else if float64(d.mem.Free()) >= d.cfg.MinFreeCachedFrac*total &&
+			float64(d.mem.Available()) >= d.cfg.AvailCachedFrac*total {
+			return
+		}
+	}
+	cands := d.table.KillCandidates(minAdj)
+	if len(cands) == 0 {
+		return
+	}
+	victim := cands[0]
+	// Foreground (and visible) apps die only under *sustained*
+	// critical pressure — a transient P spike from one allocation
+	// burst must not kill the app the user is watching.
+	if victim.Adj <= proc.AdjVisible && d.criticalPolls < d.cfg.FgSustainPolls {
+		return
+	}
+	// The kill costs lmkd CPU before the memory comes back; under heavy
+	// contention even the killer is slow.
+	d.killInFlight = true
+	d.thread.Enqueue(d.cfg.KillCPU, func() {
+		d.killInFlight = false
+		if victim.Dead() {
+			return
+		}
+		d.KillCount++
+		d.lastKill = d.clock.Now()
+		if victim.Adj <= proc.AdjVisible {
+			d.ForegroundKills++
+		}
+		d.table.Kill(victim, "lmkd")
+	})
+}

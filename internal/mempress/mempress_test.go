@@ -1,0 +1,100 @@
+package mempress
+
+import (
+	"testing"
+	"time"
+
+	"coalqoe/internal/device"
+	"coalqoe/internal/proc"
+)
+
+func TestApplyNormalIsInert(t *testing.T) {
+	d := device.New(1, device.Nokia1, device.Options{})
+	d.Settle(2 * time.Second)
+	fired := false
+	a := Apply(d, proc.Normal, func() { fired = true })
+	d.Settle(time.Second)
+	if !fired {
+		t.Error("onReached never fired for Normal")
+	}
+	if a.BalloonBytes() != 0 {
+		t.Error("Normal applicator allocated memory")
+	}
+}
+
+func TestReachesModerate(t *testing.T) {
+	d := device.New(1, device.Nokia1, device.Options{})
+	d.Settle(2 * time.Second)
+	var reachedAt time.Duration
+	Apply(d, proc.Moderate, func() { reachedAt = d.Clock.Now() })
+	d.Settle(120 * time.Second)
+	if reachedAt == 0 {
+		t.Fatalf("never reached Moderate: level=%v P=%.0f free=%s balloon growing",
+			d.Table.Level(), d.Mem.Pressure(), d.Mem.Free().Bytes())
+	}
+	if d.Table.Level() < proc.Moderate {
+		t.Errorf("level decayed to %v after reaching Moderate", d.Table.Level())
+	}
+	if d.Lmkd.KillCount == 0 {
+		t.Error("reaching Moderate should involve lmkd killing cached apps")
+	}
+}
+
+func TestReachesCritical(t *testing.T) {
+	d := device.New(1, device.Nokia1, device.Options{})
+	d.Settle(2 * time.Second)
+	var reachedAt time.Duration
+	Apply(d, proc.Critical, func() { reachedAt = d.Clock.Now() })
+	d.Settle(240 * time.Second)
+	if reachedAt == 0 {
+		t.Fatalf("never reached Critical: level=%v P=%.0f free=%s cached=%d",
+			d.Table.Level(), d.Mem.Pressure(), d.Mem.Free().Bytes(), d.Table.CachedCount())
+	}
+	if got := d.Table.CachedCount(); got > d.Profile.Thresholds.Critical {
+		t.Errorf("cached count = %d at Critical, want <= %d", got, d.Profile.Thresholds.Critical)
+	}
+}
+
+func TestStopReleasesBalloon(t *testing.T) {
+	d := device.New(1, device.Nokia1, device.Options{})
+	d.Settle(2 * time.Second)
+	a := Apply(d, proc.Moderate, nil)
+	d.Settle(120 * time.Second)
+	if a.BalloonBytes() == 0 {
+		t.Fatal("balloon empty")
+	}
+	free := d.Mem.Free()
+	a.Stop()
+	d.Settle(time.Second)
+	if d.Mem.Free() <= free {
+		t.Error("stopping the balloon did not free memory")
+	}
+}
+
+func TestTypicalApps(t *testing.T) {
+	apps := TypicalApps(10)
+	if len(apps) != 10 {
+		t.Fatalf("got %d apps", len(apps))
+	}
+	seen := map[string]bool{}
+	for _, a := range apps {
+		if seen[a.Name] {
+			t.Errorf("duplicate app name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Anon <= 0 {
+			t.Errorf("app %q has no heap", a.Name)
+		}
+	}
+}
+
+func TestOrganicPressureKillsApps(t *testing.T) {
+	d := device.New(1, device.Nokia1, device.Options{})
+	d.Settle(2 * time.Second)
+	OpenBackgroundApps(d, TypicalApps(8), 500*time.Millisecond)
+	d.Settle(60 * time.Second)
+	if d.Lmkd.KillCount == 0 {
+		t.Errorf("8 big apps on a 1 GiB device caused no kills (P=%.0f free=%s)",
+			d.Mem.Pressure(), d.Mem.Free().Bytes())
+	}
+}

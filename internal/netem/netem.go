@@ -1,0 +1,107 @@
+// Package netem models the network path between the video client and
+// the server. The paper's controlled experiments run over a dedicated
+// WiFi LAN provisioned so "the network never became a bottleneck"
+// (§4.1); the LAN profile reproduces that, while constrained profiles
+// let the ABR experiments exercise network adaptation too.
+//
+// Two mechanisms are provided: a virtual-time Link for the simulator,
+// and a wall-clock Shaper for the real net/http examples.
+package netem
+
+import (
+	"io"
+	"time"
+
+	"coalqoe/internal/simclock"
+	"coalqoe/internal/units"
+)
+
+// Link is a simulated bottleneck link: serial transmission at a fixed
+// rate plus a propagation delay.
+type Link struct {
+	clock     *simclock.Clock
+	rate      units.BitsPerSecond
+	delay     time.Duration
+	busyUntil time.Duration
+
+	// TotalBytes counts transferred payload.
+	TotalBytes units.Bytes
+}
+
+// LAN returns the paper's non-bottleneck profile: 300 Mbps, 2 ms.
+func LAN(clock *simclock.Clock) *Link { return NewLink(clock, 300*units.Mbps, 2*time.Millisecond) }
+
+// NewLink builds a link with the given rate and one-way delay.
+func NewLink(clock *simclock.Clock, rate units.BitsPerSecond, delay time.Duration) *Link {
+	if rate <= 0 {
+		panic("netem: non-positive rate")
+	}
+	return &Link{clock: clock, rate: rate, delay: delay}
+}
+
+// Rate returns the link rate.
+func (l *Link) Rate() units.BitsPerSecond { return l.rate }
+
+// SetRate changes the link rate (e.g. mid-experiment bandwidth drop).
+func (l *Link) SetRate(rate units.BitsPerSecond) {
+	if rate <= 0 {
+		panic("netem: non-positive rate")
+	}
+	l.rate = rate
+}
+
+// Transfer schedules the delivery of b bytes and invokes onDone when
+// the last byte arrives. Transfers share the link serially (FIFO).
+func (l *Link) Transfer(b units.Bytes, onDone func()) {
+	if b < 0 {
+		b = 0
+	}
+	now := l.clock.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	tx := time.Duration(float64(b) / l.rate.BytesPerSecond() * float64(time.Second))
+	l.busyUntil = start + tx
+	l.TotalBytes += b
+	if onDone != nil {
+		l.clock.At(l.busyUntil+l.delay, onDone)
+	}
+}
+
+// TransferTime estimates the uncontended delivery time for b bytes.
+func (l *Link) TransferTime(b units.Bytes) time.Duration {
+	return time.Duration(float64(b)/l.rate.BytesPerSecond()*float64(time.Second)) + l.delay
+}
+
+// Shaper rate-limits an io.Reader in wall-clock time, for the real
+// net/http examples (the loopback is far faster than any WiFi LAN).
+type Shaper struct {
+	r       io.Reader
+	rate    units.BitsPerSecond
+	started time.Time
+	read    int64
+	sleep   func(time.Duration)
+	now     func() time.Time
+}
+
+// NewShaper wraps r so reads average the given rate.
+func NewShaper(r io.Reader, rate units.BitsPerSecond) *Shaper {
+	return &Shaper{r: r, rate: rate, sleep: time.Sleep, now: time.Now}
+}
+
+// Read implements io.Reader with pacing.
+func (s *Shaper) Read(p []byte) (int, error) {
+	if s.started.IsZero() {
+		s.started = s.now()
+	}
+	n, err := s.r.Read(p)
+	s.read += int64(n)
+	// Sleep long enough that total bytes / elapsed == rate.
+	due := time.Duration(float64(s.read) / s.rate.BytesPerSecond() * float64(time.Second))
+	elapsed := s.now().Sub(s.started)
+	if due > elapsed {
+		s.sleep(due - elapsed)
+	}
+	return n, err
+}

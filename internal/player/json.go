@@ -1,0 +1,69 @@
+package player
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// metricsDTO is the wire form of Metrics: map keys become strings and
+// durations become seconds, so the logs are consumable by any plotting
+// stack (the paper's repository ships analysis notebooks over similar
+// JSON/CSV logs).
+type metricsDTO struct {
+	Device           string         `json:"device"`
+	Client           string         `json:"client"`
+	Video            string         `json:"video"`
+	Rung             string         `json:"rung"`
+	FramesRendered   int            `json:"frames_rendered"`
+	FramesDropped    int            `json:"frames_dropped"`
+	DropRatePct      float64        `json:"drop_rate_pct"`
+	EffectiveDropPct float64        `json:"effective_drop_rate_pct"`
+	Crashed          bool           `json:"crashed"`
+	CrashedAtSec     float64        `json:"crashed_at_sec,omitempty"`
+	Stalls           int            `json:"stalls"`
+	StallSec         float64        `json:"stall_sec"`
+	FPSTimeline      []float64      `json:"fps_timeline"`
+	MeanPSSMiB       float64        `json:"mean_pss_mib"`
+	PeakPSSMiB       float64        `json:"peak_pss_mib"`
+	Signals          map[string]int `json:"signals"`
+	Switches         []switchDTO    `json:"switches,omitempty"`
+}
+
+type switchDTO struct {
+	AtSec float64 `json:"at_sec"`
+	From  string  `json:"from"`
+	To    string  `json:"to"`
+}
+
+// MarshalJSON implements json.Marshaler for Metrics.
+func (m Metrics) MarshalJSON() ([]byte, error) {
+	dto := metricsDTO{
+		Device:           m.Device,
+		Client:           m.Client,
+		Video:            m.Video,
+		Rung:             m.Rung.String(),
+		FramesRendered:   m.FramesRendered,
+		FramesDropped:    m.FramesDropped,
+		DropRatePct:      m.DropRate,
+		EffectiveDropPct: m.EffectiveDropRate,
+		Crashed:          m.Crashed,
+		Stalls:           m.Stalls,
+		StallSec:         m.StallTime.Seconds(),
+		FPSTimeline:      m.FPSTimeline,
+		MeanPSSMiB:       m.MeanPSS.MiBf(),
+		PeakPSSMiB:       m.PeakPSS.MiBf(),
+		Signals:          map[string]int{},
+	}
+	if m.Crashed {
+		dto.CrashedAtSec = m.CrashedAt.Seconds()
+	}
+	for l, n := range m.Signals {
+		dto.Signals[l.String()] = n
+	}
+	for _, sw := range m.Switches {
+		dto.Switches = append(dto.Switches, switchDTO{
+			AtSec: time.Duration(sw.At).Seconds(), From: sw.From.String(), To: sw.To.String(),
+		})
+	}
+	return json.Marshal(dto)
+}

@@ -1,0 +1,134 @@
+package player
+
+import (
+	"fmt"
+	"time"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/proc"
+	"coalqoe/internal/stats"
+	"coalqoe/internal/units"
+)
+
+// Metrics is the QoE summary of a session, covering every client-level
+// measure the paper reports: frame drops (Figures 9, 11, 12, 16–19),
+// crash occurrence (Tables 2–3, Figure 14), PSS footprint (Figure 8),
+// and the rendered-FPS timeline (Figures 14–17).
+type Metrics struct {
+	Device string
+	Client string
+	Video  string
+	Rung   dash.Rung
+
+	FramesRendered int
+	FramesDropped  int
+	// DropRate is dropped / (rendered + dropped) over the frames whose
+	// presentation slot actually arrived, in percent.
+	DropRate float64
+	// EffectiveDropRate additionally counts the unplayed remainder of
+	// a crashed session as dropped — matching how the paper reports
+	// Critical-state runs where "the video was either unplayable or
+	// the video client crashed" (§4.3) as ~100% loss.
+	EffectiveDropRate float64
+
+	Crashed   bool
+	CrashedAt time.Duration
+
+	Stalls    int
+	StallTime time.Duration
+
+	// FPSTimeline is the rendered frames per second, one entry per
+	// playback second.
+	FPSTimeline []float64
+
+	// MeanPSS / PeakPSS / MinPSS summarize the client footprint.
+	MeanPSS, PeakPSS, MinPSS units.Bytes
+
+	// Signals counts onTrimMemory deliveries by level.
+	Signals map[proc.Level]int
+
+	// Switches lists quality changes.
+	Switches []SwitchEvent
+}
+
+// Metrics snapshots the session's QoE counters.
+func (s *Session) Metrics() Metrics {
+	m := Metrics{
+		Device:         s.dev.Profile.Name,
+		Client:         s.cfg.Client.Name,
+		Video:          s.cfg.Manifest.Video.Title,
+		Rung:           s.rung,
+		FramesRendered: s.rendered,
+		FramesDropped:  s.dropped,
+		Crashed:        s.crashed,
+		CrashedAt:      s.crashedAt,
+		Stalls:         s.stalls,
+		StallTime:      s.stallTime,
+		Signals:        make(map[proc.Level]int, len(s.signals)),
+		Switches:       append([]SwitchEvent(nil), s.switches...),
+	}
+	total := s.rendered + s.dropped
+	if total > 0 {
+		m.DropRate = 100 * float64(s.dropped) / float64(total)
+	}
+	m.EffectiveDropRate = m.DropRate
+	if s.crashed {
+		// Count every frame the crashed session never played as lost.
+		video := s.cfg.Manifest.Video
+		remaining := 0
+		if video.Duration > s.playedTime {
+			remaining = int((video.Duration - s.playedTime).Seconds() * float64(s.rung.FPS))
+		}
+		if total+remaining > 0 {
+			m.EffectiveDropRate = stats.Clamp(
+				100*float64(s.dropped+remaining)/float64(total+remaining), 0, 100)
+		} else {
+			m.EffectiveDropRate = 100
+		}
+	}
+	maxSec := -1
+	for sec := range s.fpsBins {
+		if sec > maxSec {
+			maxSec = sec
+		}
+	}
+	if s.started {
+		// Extend the timeline over the full (attempted) playback span.
+		span := int((s.dev.Clock.Now() - s.startedAt) / time.Second)
+		if span > maxSec {
+			maxSec = span
+		}
+	}
+	for sec := 0; sec <= maxSec; sec++ {
+		m.FPSTimeline = append(m.FPSTimeline, float64(s.fpsBins[sec]))
+	}
+	for l, n := range s.signals {
+		m.Signals[l] = n
+	}
+	if len(s.pssSamples) > 0 {
+		m.MinPSS = s.pssSamples[0]
+		var sum units.Bytes
+		for _, p := range s.pssSamples {
+			sum += p
+			if p > m.PeakPSS {
+				m.PeakPSS = p
+			}
+			if p < m.MinPSS {
+				m.MinPSS = p
+			}
+		}
+		m.MeanPSS = sum / units.Bytes(len(s.pssSamples))
+	}
+	return m
+}
+
+// String renders the headline numbers.
+func (m Metrics) String() string {
+	crash := ""
+	if m.Crashed {
+		crash = fmt.Sprintf(" CRASHED@%v", m.CrashedAt.Round(time.Second))
+	}
+	return fmt.Sprintf("%s/%s %s: drops=%.1f%% (%d/%d)%s pss=%s",
+		m.Device, m.Client, m.Rung, m.DropRate, m.FramesDropped,
+		m.FramesRendered+m.FramesDropped, crash, m.MeanPSS)
+}

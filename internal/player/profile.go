@@ -1,0 +1,135 @@
+// Package player implements the video client: segment download into a
+// playback buffer, frame decoding on a MediaCodec thread, vsync-paced
+// presentation through SurfaceFlinger, and the memory behavior that
+// couples the client to the kernel (heap sized like the paper's §4.2
+// PSS measurements, page-cache refaults under pressure, zRAM swap-ins,
+// and death by lmkd).
+//
+// Frame drops emerge from the mechanism the paper identifies: "if the
+// video client suffers from slow rendering, it is forced to skip frames
+// to maintain 1× rate" (§4.1). The decoder skips frames whose deadline
+// already passed, so the drop rate reflects how much CPU and I/O time
+// the pipeline actually got.
+package player
+
+import (
+	"time"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/units"
+)
+
+// ClientProfile captures the memory and compute character of a video
+// client implementation. The paper evaluates three: Firefox (primary,
+// §4), Chrome and ExoPlayer (Appendix B), which differ mainly in
+// memory footprint — "the decrease in frame drops can be partly
+// attributed to the lower memory footprint" (App. B).
+type ClientProfile struct {
+	Name string
+	// BasePSS is the video-independent heap (browser engine, JS, UI).
+	BasePSS units.Bytes
+	// BytesPerPixel sizes the decode surfaces and compositor buffers.
+	BytesPerPixel float64
+	// FPSFootprint is the extra footprint factor per (fps/30 − 1);
+	// §4.2 measured ≈ +20 MB from 30 to 60 FPS.
+	FPSFootprint float64
+	// FileWS is the file-backed working set (binary, libraries).
+	FileWS units.Bytes
+	// DecodeNsPerPixel is reference-CPU decode+render prep time per
+	// pixel per frame.
+	DecodeNsPerPixel float64
+	// ComposeCost is the per-frame SurfaceFlinger work.
+	ComposeCost time.Duration
+	// DemuxCost is the per-segment main-thread work.
+	DemuxCost time.Duration
+	// HotAnonFrac is how much of the heap stays hot.
+	HotAnonFrac float64
+	// FaultsPerSec scales refault I/O per second of playback at full
+	// cache deficit (the client touches its working set continuously,
+	// independent of frame rate).
+	FaultsPerSec float64
+	// StallBurstsPerSec scales the rate (at full cache deficit) of
+	// serial dependent-fault bursts: a thread walking evicted data
+	// structures faults page after page, each read gating the next —
+	// the multi-ten-millisecond freezes that drop whole frame runs.
+	StallBurstsPerSec float64
+	// Workers is the number of auxiliary busy threads (JS, layout,
+	// audio, network, image decode — a real browser runs dozens).
+	// They matter because under memory pressure the extra runnable
+	// threads are what turn kswapd/mmcqd activity into CPU
+	// oversubscription: Table 4's growth in Runnable time.
+	Workers int
+	// WorkerDuty is each worker's CPU duty cycle (fraction of a
+	// reference core).
+	WorkerDuty float64
+}
+
+// The paper's three clients. Footprints follow §4.2 and Appendix B:
+// Firefox is the heaviest, Chrome lighter, ExoPlayer (a native app
+// without a browser engine) lightest.
+var (
+	Firefox = ClientProfile{
+		Name:              "firefox",
+		BasePSS:           170 * units.MiB,
+		BytesPerPixel:     45,
+		FPSFootprint:      0.35,
+		FileWS:            110 * units.MiB,
+		DecodeNsPerPixel:  21.5,
+		ComposeCost:       2 * time.Millisecond,
+		DemuxCost:         3 * time.Millisecond,
+		HotAnonFrac:       0.7,
+		FaultsPerSec:      3000,
+		StallBurstsPerSec: 30,
+		Workers:           5,
+		WorkerDuty:        0.13,
+	}
+	Chrome = ClientProfile{
+		Name:              "chrome",
+		BasePSS:           130 * units.MiB,
+		BytesPerPixel:     32,
+		FPSFootprint:      0.35,
+		FileWS:            80 * units.MiB,
+		DecodeNsPerPixel:  20.0,
+		ComposeCost:       2 * time.Millisecond,
+		DemuxCost:         3 * time.Millisecond,
+		HotAnonFrac:       0.7,
+		FaultsPerSec:      2100,
+		StallBurstsPerSec: 21,
+		Workers:           4,
+		WorkerDuty:        0.12,
+	}
+	ExoPlayer = ClientProfile{
+		Name:              "exoplayer",
+		BasePSS:           72 * units.MiB,
+		BytesPerPixel:     24,
+		FPSFootprint:      0.35,
+		FileWS:            45 * units.MiB,
+		DecodeNsPerPixel:  17.0,
+		ComposeCost:       1500 * time.Microsecond,
+		DemuxCost:         2 * time.Millisecond,
+		HotAnonFrac:       0.7,
+		FaultsPerSec:      1100,
+		StallBurstsPerSec: 11,
+		Workers:           2,
+		WorkerDuty:        0.09,
+	}
+)
+
+// VideoHeap returns the video-dependent heap for a rung: decode
+// surfaces plus compositor buffers (excludes the segment buffer, which
+// is tracked live as it fills).
+func (c ClientProfile) VideoHeap(rung dash.Rung) units.Bytes {
+	px := float64(rung.Resolution.Pixels())
+	mult := 1.0
+	if rung.FPS > 30 {
+		mult += c.FPSFootprint * (float64(rung.FPS)/30 - 1)
+	}
+	return units.Bytes(c.BytesPerPixel * px * mult)
+}
+
+// DecodeCost returns the reference-CPU time to decode one frame of the
+// given rung and genre.
+func (c ClientProfile) DecodeCost(rung dash.Rung, genre dash.Genre) time.Duration {
+	px := float64(rung.Resolution.Pixels())
+	return time.Duration(c.DecodeNsPerPixel * px * genre.Complexity())
+}

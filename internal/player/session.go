@@ -1,0 +1,621 @@
+package player
+
+import (
+	"fmt"
+	"time"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/device"
+	"coalqoe/internal/netem"
+	"coalqoe/internal/proc"
+	"coalqoe/internal/sched"
+	"coalqoe/internal/units"
+)
+
+// Config describes one streaming session.
+type Config struct {
+	// Device is the simulated phone the client runs on.
+	Device *device.Device
+	// Client selects the implementation profile (Firefox, Chrome,
+	// ExoPlayer).
+	Client ClientProfile
+	// Manifest is the content to stream.
+	Manifest *dash.Manifest
+	// Link is the network path; nil uses the paper's non-bottleneck LAN.
+	Link *netem.Link
+	// Rung is the starting quality.
+	Rung dash.Rung
+	// BufferCapacity caps the playback buffer; default 60s (§4.1).
+	BufferCapacity time.Duration
+	// StartupBuffer is the media level at which playback starts;
+	// default 4s (one segment).
+	StartupBuffer time.Duration
+	// Lookahead is how many frames the decoder may work ahead of the
+	// resync point; default 2. This is the pipeline's only latency
+	// cushion: stalls longer than Lookahead frame intervals drop
+	// frames, which is why 60 FPS content suffers roughly twice as
+	// hard as 30 FPS under the same memory pressure (§4.3).
+	Lookahead int
+	// SwitchLatency is the delay for a quality switch to take effect
+	// (codec reconfiguration + buffer splice); default 2s.
+	SwitchLatency time.Duration
+	// DisableGC turns off periodic client GC pauses (ablation).
+	DisableGC bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.BufferCapacity <= 0 {
+		c.BufferCapacity = 60 * time.Second
+	}
+	if c.StartupBuffer <= 0 {
+		c.StartupBuffer = 4 * time.Second
+	}
+	if c.Lookahead <= 0 {
+		c.Lookahead = 2
+	}
+	if c.SwitchLatency <= 0 {
+		c.SwitchLatency = 2 * time.Second
+	}
+}
+
+// Session is a live (or finished) playback session.
+type Session struct {
+	cfg  Config
+	dev  *device.Device
+	link *netem.Link
+
+	process *proc.Process
+	decoder *sched.Thread // "MediaCodec"
+	comp    *sched.Thread // client compositor
+	sf      *sched.Thread // system SurfaceFlinger
+	workers []*sched.Thread
+
+	rung  dash.Rung
+	genre dash.Genre
+
+	// playback state
+	started        bool
+	startedAt      time.Duration
+	done           bool
+	crashed        bool
+	crashedAt      time.Duration
+	playFrame      int
+	nextDecode     int
+	lastDecode     int
+	decodedQ       []int // decoded, not-yet-presented frame indices
+	decoding       bool
+	playedTime     time.Duration
+	decodeWallEWMA time.Duration
+
+	// buffer state
+	nextSeg        int
+	downloadedTime time.Duration
+	segSizes       []units.Bytes // in-buffer segment sizes (FIFO)
+	consumedInSeg  time.Duration
+
+	// metrics
+	rendered, dropped int
+	stalls            int
+	stallTime         time.Duration
+	fpsBins           map[int]int
+	droppedBins       map[int]int
+	pssSamples        []units.Bytes
+	signals           map[proc.Level]int
+	switches          []SwitchEvent
+	throughput        units.BitsPerSecond
+
+	onSignal func(proc.Level)
+	onFinish []func()
+}
+
+// SwitchEvent records a quality change.
+type SwitchEvent struct {
+	At   time.Duration
+	From dash.Rung
+	To   dash.Rung
+}
+
+// Start launches a session on the device. Playback begins once the
+// startup buffer fills; run the device clock to make progress.
+func Start(cfg Config) *Session {
+	cfg.applyDefaults()
+	d := cfg.Device
+	link := cfg.Link
+	if link == nil {
+		link = netem.LAN(d.Clock)
+	}
+	s := &Session{
+		cfg:         cfg,
+		dev:         d,
+		link:        link,
+		rung:        cfg.Rung,
+		genre:       cfg.Manifest.Video.Genre,
+		lastDecode:  -1,
+		fpsBins:     make(map[int]int),
+		droppedBins: make(map[int]int),
+		signals:     make(map[proc.Level]int),
+	}
+	s.process = d.Table.Start(proc.Spec{
+		Name:        cfg.Client.Name,
+		Adj:         proc.AdjForeground,
+		AnonBytes:   cfg.Client.BasePSS + cfg.Client.VideoHeap(cfg.Rung),
+		FileWSBytes: cfg.Client.FileWS,
+		HotAnonFrac: cfg.Client.HotAnonFrac,
+		RampTime:    6 * time.Second,
+		ExtraThreads: append([]string{
+			"MediaCodec", "Compositor",
+		}, workerNames(cfg.Client.Workers)...),
+		OnTrim: func(l proc.Level) {
+			s.signals[l]++
+			if s.onSignal != nil {
+				s.onSignal(l)
+			}
+		},
+		OnKilled: func(string) {
+			s.crashed = true
+			s.crashedAt = d.Clock.Now()
+			for _, fn := range s.onFinish {
+				fn()
+			}
+		},
+	})
+	s.decoder = s.process.Thread("MediaCodec")
+	s.comp = s.process.Thread("Compositor")
+	s.sf = d.SurfaceFlinger
+	s.decodeWallEWMA = s.estimateDecodeWall()
+	s.startWorkers()
+
+	s.download()
+	if !cfg.DisableGC {
+		s.scheduleGC()
+	}
+	d.Clock.Every(time.Second, s.samplePSS)
+	d.Clock.Every(500*time.Millisecond, s.memoryChurn)
+	d.Clock.Every(100*time.Millisecond, s.pageFaultPump)
+	return s
+}
+
+// OnSignal registers a callback for onTrimMemory deliveries to the
+// client — the hook ABR algorithms use (§6).
+func (s *Session) OnSignal(fn func(proc.Level)) { s.onSignal = fn }
+
+// OnFinish registers a callback invoked when playback completes or the
+// client crashes.
+func (s *Session) OnFinish(fn func()) { s.onFinish = append(s.onFinish, fn) }
+
+// Rung returns the current quality.
+func (s *Session) Rung() dash.Rung { return s.rung }
+
+// BufferLevel returns the media time buffered ahead of the playhead.
+func (s *Session) BufferLevel() time.Duration { return s.downloadedTime - s.playedTime }
+
+// Throughput returns the last measured download throughput.
+func (s *Session) Throughput() units.BitsPerSecond { return s.throughput }
+
+// RecentDropRate returns the percentage of frames dropped over the
+// last window seconds of playback — the client-side QoE signal an ABR
+// algorithm can observe.
+func (s *Session) RecentDropRate(window int) float64 {
+	if !s.started {
+		return 0
+	}
+	now := int((s.dev.Clock.Now() - s.startedAt) / time.Second)
+	rendered, dropped := 0, 0
+	for sec := now - window; sec <= now; sec++ {
+		rendered += s.fpsBins[sec]
+		dropped += s.droppedBins[sec]
+	}
+	if rendered+dropped == 0 {
+		return 0
+	}
+	return 100 * float64(dropped) / float64(rendered+dropped)
+}
+
+// Manifest returns the session's manifest.
+func (s *Session) Manifest() *dash.Manifest { return s.cfg.Manifest }
+
+// Active reports whether the session is still playing.
+func (s *Session) Active() bool { return !s.done && !s.crashed }
+
+// Crashed reports whether lmkd killed the client.
+func (s *Session) Crashed() bool { return s.crashed }
+
+// frameInterval is the current presentation interval.
+func (s *Session) frameInterval() time.Duration {
+	return time.Duration(float64(time.Second) / float64(s.rung.FPS))
+}
+
+// download runs the fetch loop: fill the buffer to capacity, one
+// segment at a time, over the link.
+func (s *Session) download() {
+	if !s.Active() {
+		return
+	}
+	video := s.cfg.Manifest.Video
+	if s.nextSeg >= video.Segments() {
+		return
+	}
+	if s.BufferLevel() >= s.cfg.BufferCapacity {
+		s.dev.Clock.Schedule(500*time.Millisecond, s.download)
+		return
+	}
+	seg := s.nextSeg
+	s.nextSeg++
+	bytes := video.SegmentBytes(s.rung, seg)
+	reqStart := s.dev.Clock.Now()
+	s.link.Transfer(bytes, func() {
+		if s.crashed {
+			return
+		}
+		if dur := s.dev.Clock.Now() - reqStart; dur > 0 {
+			s.throughput = units.BitsPerSecond(float64(bytes*8) / dur.Seconds())
+		}
+		// Demux on the main thread, then the media lands in the buffer.
+		s.process.Main().Enqueue(s.cfg.Client.DemuxCost, func() {
+			s.downloadedTime += video.SegmentDuration
+			s.segSizes = append(s.segSizes, bytes)
+			s.process.GrowAnon(bytes, nil)
+			if !s.started && s.downloadedTime >= s.cfg.StartupBuffer {
+				s.started = true
+				s.startedAt = s.dev.Clock.Now()
+				s.dev.Clock.Schedule(s.frameInterval(), s.vsync)
+			}
+			s.kickDecoder()
+			s.download()
+		})
+	})
+}
+
+// vsync presents one frame per interval: rendered if the decoder got it
+// done in time, dropped otherwise — the skip-to-maintain-1× behavior.
+func (s *Session) vsync() {
+	if !s.Active() {
+		return
+	}
+	video := s.cfg.Manifest.Video
+	if s.playedTime >= video.Duration {
+		s.finish()
+		return
+	}
+	if s.BufferLevel() <= 0 {
+		// Rebuffering: the playhead pauses; no frames drop.
+		s.stalls++
+		s.stallTime += 100 * time.Millisecond
+		s.dev.Clock.Schedule(100*time.Millisecond, s.vsync)
+		return
+	}
+	interval := s.frameInterval()
+	// Discard decoded frames whose slot already passed (decoded late).
+	for len(s.decodedQ) > 0 && s.decodedQ[0] < s.playFrame {
+		s.decodedQ = s.decodedQ[1:]
+	}
+	if len(s.decodedQ) > 0 && s.decodedQ[0] == s.playFrame {
+		s.decodedQ = s.decodedQ[1:]
+		s.rendered++
+		sec := int((s.dev.Clock.Now() - s.startedAt) / time.Second)
+		s.fpsBins[sec]++
+	} else {
+		s.dropped++
+		sec := int((s.dev.Clock.Now() - s.startedAt) / time.Second)
+		s.droppedBins[sec]++
+	}
+	s.playFrame++
+	s.playedTime += interval
+	s.consumeBuffer(interval)
+	s.kickDecoder()
+	s.dev.Clock.Schedule(interval, s.vsync)
+}
+
+// consumeBuffer releases segment memory as media plays out.
+func (s *Session) consumeBuffer(d time.Duration) {
+	s.consumedInSeg += d
+	segDur := s.cfg.Manifest.Video.SegmentDuration
+	for s.consumedInSeg >= segDur && len(s.segSizes) > 0 {
+		s.consumedInSeg -= segDur
+		s.process.ShrinkAnon(s.segSizes[0])
+		s.segSizes = s.segSizes[1:]
+	}
+}
+
+// kickDecoder advances the decode pipeline.
+func (s *Session) kickDecoder() {
+	if s.decoding || !s.Active() {
+		return
+	}
+	// Skip frames whose deadline is no longer reachable: the decoder
+	// resyncs to the earliest frame it can still finish on time,
+	// maintaining 1× rate (§4.1). Everything in between is dropped.
+	// The reachability estimate is the measured wall-clock decode time
+	// (EWMA), which under memory pressure includes preemption and
+	// fault waits.
+	minLead := 1 + int(s.decodeWallEWMA/s.frameInterval())
+	// The decode-ahead window is bounded by the codec's frame pool: a
+	// stalled pipeline cannot buy arbitrary slack by skipping ahead.
+	// The cap leaves room for genuinely CPU-bound decoding (where the
+	// lead legitimately spans several intervals) plus two pool slots.
+	cpuWall := s.estimateDecodeWall()
+	cap := 2 + int(2*cpuWall/s.frameInterval())
+	if minLead > cap {
+		minLead = cap
+	}
+	if s.started && s.nextDecode < s.playFrame+minLead {
+		s.nextDecode = s.playFrame + minLead
+	}
+	if s.nextDecode > s.playFrame+minLead+s.cfg.Lookahead {
+		return // far enough ahead; vsync re-kicks
+	}
+	// The frame's media must be in the buffer.
+	frameTime := s.playedTime + time.Duration(s.nextDecode-s.playFrame)*s.frameInterval()
+	if frameTime >= s.downloadedTime || frameTime >= s.cfg.Manifest.Video.Duration {
+		return // waiting for download or at end; download re-kicks
+	}
+	s.decoding = true
+	frame := s.nextDecode
+	s.nextDecode++
+
+	cost := s.decodeCost(frame)
+	started := s.dev.Clock.Now()
+	epoch := len(s.switches)
+	s.decoder.Enqueue(cost, func() {
+		// Decode done: the frame moves down the render chain while the
+		// decoder starts the next one. Composition and SurfaceFlinger
+		// each queue on their own threads; under contention the chain
+		// latency is what misses vsync deadlines.
+		s.decoding = false
+		s.kickDecoder()
+		compCost := s.cfg.Client.ComposeCost/2 + time.Duration(0.4*float64(cost))
+		s.comp.Enqueue(compCost, func() {
+			// Frame submission goes through the main/UI thread — the
+			// thread that direct reclaim and GC stall ("an extra I/O
+			// wait in any thread, including the foreground
+			// application's main UI thread", §2) — then composition.
+			s.process.Main().Enqueue(500*time.Microsecond, func() {
+				s.sf.Enqueue(s.cfg.Client.ComposeCost, func() {
+					if len(s.switches) != epoch {
+						return // rung switched while in flight; frame discarded
+					}
+					wall := s.dev.Clock.Now() - started
+					s.decodeWallEWMA = time.Duration(0.8*float64(s.decodeWallEWMA) + 0.2*float64(wall))
+					if frame > s.lastDecode {
+						s.lastDecode = frame
+						s.decodedQ = append(s.decodedQ, frame)
+					}
+				})
+			})
+		})
+	})
+}
+
+// estimateDecodeWall seeds the wall-clock decode estimate: the
+// reference cost on the device's fastest core.
+func (s *Session) estimateDecodeWall() time.Duration {
+	maxSpeed := 1.0
+	for _, sp := range s.dev.Profile.CoreSpeeds {
+		if sp > maxSpeed {
+			maxSpeed = sp
+		}
+	}
+	chain := 1.4*float64(s.cfg.Client.DecodeCost(s.rung, s.genre)) + 1.5*float64(s.cfg.Client.ComposeCost)
+	return time.Duration(chain / maxSpeed)
+}
+
+// decodeCost returns the jittered decode cost for one frame: a base
+// per-pixel cost, scaled by genre complexity, with periodic keyframe
+// spikes.
+func (s *Session) decodeCost(frame int) time.Duration {
+	base := s.cfg.Client.DecodeCost(s.rung, s.genre)
+	jitter := 0.85 + 0.3*s.dev.Clock.Rand().Float64()
+	// Keyframes every ~2 seconds cost ~2.2x.
+	if frame%(2*s.rung.FPS) == 0 {
+		jitter *= 2.2
+	}
+	return time.Duration(float64(base) * jitter)
+}
+
+// pageFaultPump injects the memory-pressure I/O the paper traces to
+// mmcqd (§5). It runs on a fixed cadence: when the client's file
+// working set has been evicted, the pipeline refaults pages from
+// storage (blocking the decoder in D state); when its heap was
+// compressed, it swaps pages back in from zRAM (costing CPU). The
+// volume scales with the cache deficit, not the frame rate — an active
+// client sweeps its working set per unit time.
+func (s *Session) pageFaultPump() {
+	if !s.Active() || !s.started {
+		return
+	}
+	const interval = 0.1 // seconds per pump tick
+	m := s.dev.Mem
+	rng := s.dev.Clock.Rand()
+	if deficit := m.RefaultDeficit(); deficit > 0 {
+		expected := s.cfg.Client.FaultsPerSec * deficit * interval
+		n := int(expected)
+		if rng.Float64() < expected-float64(n) {
+			n++
+		}
+		// Faults hit every thread that touches evicted pages — "any
+		// thread, including the foreground application's main UI
+		// thread" (§2) — so they stall the whole render chain, not
+		// just the decoder. Faults are demand paging: a thread that is
+		// already blocked cannot raise more of them, which is the
+		// natural flow control that keeps the disk queue bounded.
+		targets := append([]*sched.Thread{s.decoder, s.comp, s.sf, s.process.Main()}, s.workers...)
+		for i := 0; i < n; i++ {
+			th := targets[rng.Intn(len(targets))]
+			if th.QueueLen() > 3 {
+				continue
+			}
+			pages := units.Pages(8 + rng.Intn(24))
+			barrier := th.EnqueueIOBarrier()
+			s.dev.Disk.Read(pages, func() {
+				// The refaulted pages re-enter the cache, sustaining
+				// pressure — the thrashing loop of §2.
+				m.FileRead(pages)
+				barrier()
+			})
+		}
+	}
+	if deficit := m.RefaultDeficit(); deficit > 0 {
+		// Serial dependent-fault bursts: each fault gates the next, so
+		// one cold pointer chase freezes its thread for tens of ms.
+		expected := s.cfg.Client.StallBurstsPerSec * deficit * interval
+		if rng.Float64() < expected {
+			targets := []*sched.Thread{s.decoder, s.comp, s.process.Main()}
+			th := targets[rng.Intn(len(targets))]
+			if th.QueueLen() > 3 {
+				return
+			}
+			depth := 8 + rng.Intn(20)
+			for i := 0; i < depth; i++ {
+				pages := units.Pages(2 + rng.Intn(6))
+				barrier := th.EnqueueIOBarrier()
+				s.dev.Disk.Read(pages, func() {
+					m.FileRead(pages)
+					barrier()
+				})
+				th.Enqueue(50*time.Microsecond, nil)
+			}
+		}
+	}
+	if zfrac := m.AnonCompressedFraction(); zfrac > 0 {
+		// Touching compressed heap pages costs decompression CPU.
+		if rng.Float64() < zfrac {
+			pages := units.Pages(8 + rng.Intn(16))
+			s.decoder.Enqueue(time.Duration(pages)*8*time.Microsecond, func() {
+				m.SwapInAnon(pages)
+			})
+		}
+	}
+}
+
+// workerNames generates thread names for the client's worker pool.
+func workerNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("Worker#%d", i)
+	}
+	return out
+}
+
+// startWorkers runs the client's auxiliary threads (JS, layout, audio,
+// network): each periodically burns CPU at its duty cycle. Under memory
+// pressure these are the extra runnable threads that contend with the
+// decode pipeline (Table 4's Runnable growth).
+func (s *Session) startWorkers() {
+	const period = 100 * time.Millisecond
+	burst := time.Duration(s.cfg.Client.WorkerDuty * float64(period))
+	for i := 0; i < s.cfg.Client.Workers; i++ {
+		w := s.process.Thread(fmt.Sprintf("Worker#%d", i))
+		if w == nil {
+			continue
+		}
+		s.workers = append(s.workers, w)
+		// Desynchronize workers across the period.
+		offset := time.Duration(s.dev.Clock.Rand().Int63n(int64(period)))
+		s.dev.Clock.Schedule(offset, func() {
+			s.dev.Clock.Every(period, func() {
+				if !s.Active() {
+					return
+				}
+				jitter := 0.7 + 0.6*s.dev.Clock.Rand().Float64()
+				w.Enqueue(time.Duration(float64(burst)*jitter), nil)
+			})
+		})
+	}
+}
+
+// scheduleGC models the client's periodic garbage-collection pauses,
+// which stall the pipeline for tens of milliseconds every few seconds.
+func (s *Session) scheduleGC() {
+	if !s.Active() {
+		return
+	}
+	gap := 2*time.Second + time.Duration(s.dev.Clock.Rand().Intn(2500))*time.Millisecond
+	s.dev.Clock.Schedule(gap, func() {
+		if !s.Active() {
+			return
+		}
+		// Browser GC pauses on low-memory devices run 40–140ms and
+		// stall the media pipeline with them.
+		pause := time.Duration(40+s.dev.Clock.Rand().Intn(100)) * time.Millisecond
+		s.decoder.Enqueue(pause, nil)
+		s.process.Main().Enqueue(pause/2, nil)
+		s.scheduleGC()
+	})
+}
+
+// memoryChurn models ongoing allocator activity (JS objects, media
+// buffers): small allocations that, under pressure, push the main
+// thread into direct reclaim. It also dirties a little page cache
+// (cookies, databases, media cache) — the pages whose writeback later
+// occupies mmcqd when reclaim flushes them (§2).
+func (s *Session) memoryChurn() {
+	if !s.Active() {
+		return
+	}
+	const churn = 3 * units.MiB
+	s.process.GrowAnon(churn, func() {
+		s.dev.Clock.Schedule(time.Second, func() {
+			if !s.process.Dead() {
+				s.process.ShrinkAnon(churn)
+			}
+		})
+	})
+	dirty := units.PagesOf(512 * units.KiB)
+	s.dev.Mem.FileRead(dirty)
+	s.dev.Mem.MarkDirty(dirty)
+}
+
+func (s *Session) samplePSS() {
+	if s.process.Dead() {
+		return
+	}
+	s.pssSamples = append(s.pssSamples, s.process.PSS())
+}
+
+// SwitchRung requests a quality change; it takes effect after the
+// configured switch latency (codec reconfiguration), briefly resetting
+// the decode pipeline — visible as a short dip, as in Figure 17.
+func (s *Session) SwitchRung(to dash.Rung) {
+	if !s.Active() || to == s.rung {
+		return
+	}
+	s.dev.Clock.Schedule(s.cfg.SwitchLatency, func() {
+		if !s.Active() || s.rung == to {
+			return
+		}
+		from := s.rung
+		s.switches = append(s.switches, SwitchEvent{At: s.dev.Clock.Now(), From: from, To: to})
+		s.rung = to
+		// Adjust the video heap to the new rung.
+		oldHeap, newHeap := s.cfg.Client.VideoHeap(from), s.cfg.Client.VideoHeap(to)
+		if newHeap > oldHeap {
+			s.process.GrowAnon(newHeap-oldHeap, nil)
+		} else {
+			s.process.ShrinkAnon(oldHeap - newHeap)
+		}
+		// Codec reconfiguration stalls the decoder and resets lookahead.
+		s.lastDecode = s.playFrame - 1
+		s.nextDecode = s.playFrame
+		s.decodedQ = nil
+		s.decodeWallEWMA = s.estimateDecodeWall()
+		s.decoder.Enqueue(30*time.Millisecond, func() {
+			s.kickDecoder()
+		})
+	})
+}
+
+func (s *Session) finish() {
+	if s.done {
+		return
+	}
+	s.done = true
+	for _, fn := range s.onFinish {
+		fn()
+	}
+}
+
+// String summarizes the session.
+func (s *Session) String() string {
+	return fmt.Sprintf("session{%s %s on %s: rendered=%d dropped=%d crashed=%v}",
+		s.cfg.Client.Name, s.rung, s.dev.Profile.Name, s.rendered, s.dropped, s.crashed)
+}

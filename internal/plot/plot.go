@@ -1,0 +1,103 @@
+// Package plot renders small ASCII charts for the CLI reports: the
+// timeline figures (14, 15, 17) read much better as sparklines and bar
+// rows than as number columns.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkLevels are the eight block glyphs of a sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders xs as a one-line sparkline scaled to [0, max(xs)].
+// An empty input yields an empty string.
+func Spark(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	max := 0.0
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		idx := 0
+		if max > 0 {
+			idx = int(x / max * float64(len(sparkLevels)-1))
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// SparkFixed renders xs against a fixed maximum (e.g. the encoded
+// frame rate), so multiple series share a scale.
+func SparkFixed(xs []float64, max float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		idx := 0
+		if max > 0 {
+			idx = int(math.Max(0, math.Min(x/max, 1)) * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// Bar renders one horizontal bar of the given value against max, width
+// characters wide, with the numeric value appended.
+func Bar(label string, value, max float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	n := 0
+	if max > 0 {
+		n = int(math.Max(0, math.Min(value/max, 1)) * float64(width))
+	}
+	return fmt.Sprintf("%-12s %-*s %.1f", label, width, strings.Repeat("█", n), value)
+}
+
+// Downsample reduces xs to at most n points by averaging buckets, so a
+// long timeline fits one terminal row.
+func Downsample(xs []float64, n int) []float64 {
+	if n <= 0 || len(xs) <= n {
+		return append([]float64(nil), xs...)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		lo := i * len(xs) / n
+		hi := (i + 1) * len(xs) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, x := range xs[lo:hi] {
+			sum += x
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// CDFRow renders one row of an ASCII CDF: the fraction as a bar.
+func CDFRow(x string, frac float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	n := int(math.Max(0, math.Min(frac, 1)) * float64(width))
+	return fmt.Sprintf("%8s │%-*s│ %3.0f%%", x, width, strings.Repeat("▒", n), 100*frac)
+}

@@ -1,0 +1,129 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestSpark(t *testing.T) {
+	if Spark(nil) != "" {
+		t.Error("empty input should give empty spark")
+	}
+	s := Spark([]float64{0, 1, 2, 3})
+	if utf8.RuneCountInString(s) != 4 {
+		t.Errorf("spark length = %d runes", utf8.RuneCountInString(s))
+	}
+	if !strings.HasSuffix(s, "█") {
+		t.Errorf("max value should render full block: %q", s)
+	}
+	if !strings.HasPrefix(s, "▁") {
+		t.Errorf("zero should render lowest block: %q", s)
+	}
+}
+
+func TestSparkAllZero(t *testing.T) {
+	s := Spark([]float64{0, 0, 0})
+	if s != "▁▁▁" {
+		t.Errorf("all-zero spark = %q", s)
+	}
+}
+
+func TestSparkFixedScale(t *testing.T) {
+	a := SparkFixed([]float64{30}, 60)
+	b := SparkFixed([]float64{60}, 60)
+	if a == b {
+		t.Error("half and full scale render identically")
+	}
+	// Values beyond max clamp rather than panic.
+	if c := SparkFixed([]float64{120}, 60); c != "█" {
+		t.Errorf("over-max = %q", c)
+	}
+}
+
+func TestSparkLengthProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		return utf8.RuneCountInString(Spark(xs)) == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBar(t *testing.T) {
+	row := Bar("drops", 50, 100, 10)
+	if !strings.Contains(row, "█████") || strings.Contains(row, "██████") {
+		t.Errorf("50%% bar of width 10 = %q", row)
+	}
+	if !strings.Contains(row, "50.0") {
+		t.Errorf("missing value: %q", row)
+	}
+	if !strings.Contains(Bar("x", 0, 0, 10), "0.0") {
+		t.Error("zero max should not panic")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	xs := []float64{1, 1, 3, 3, 5, 5}
+	out := Downsample(xs, 3)
+	if len(out) != 3 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0] != 1 || out[1] != 3 || out[2] != 5 {
+		t.Errorf("downsample = %v", out)
+	}
+	// Short inputs pass through.
+	if got := Downsample(xs, 10); len(got) != 6 {
+		t.Errorf("short input resized to %d", len(got))
+	}
+}
+
+func TestDownsampleMeanPreservedProperty(t *testing.T) {
+	f := func(raw []uint8, nRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var sum float64
+		for i, r := range raw {
+			xs[i] = float64(r)
+			sum += float64(r)
+		}
+		n := int(nRaw)%len(raw) + 1
+		out := Downsample(xs, n)
+		// Bucket means stay within the input's range.
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		for _, o := range out {
+			if o < min-1e-9 || o > max+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFRow(t *testing.T) {
+	row := CDFRow("60%", 0.5, 10)
+	if !strings.Contains(row, "50%") {
+		t.Errorf("row = %q", row)
+	}
+	if !strings.Contains(row, "▒▒▒▒▒") {
+		t.Errorf("bar missing: %q", row)
+	}
+}

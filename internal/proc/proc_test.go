@@ -1,0 +1,351 @@
+package proc
+
+import (
+	"testing"
+	"time"
+
+	"coalqoe/internal/blockio"
+	"coalqoe/internal/kswapd"
+	"coalqoe/internal/mem"
+	"coalqoe/internal/sched"
+	"coalqoe/internal/simclock"
+	"coalqoe/internal/trace"
+	"coalqoe/internal/units"
+)
+
+type env struct {
+	clock *simclock.Clock
+	sch   *sched.Scheduler
+	tr    *trace.Tracer
+	mem   *mem.Memory
+	table *Table
+}
+
+func setup(t *testing.T, total units.Bytes) *env {
+	t.Helper()
+	clock := simclock.New(1)
+	tr := trace.New(0)
+	s := sched.New(clock, sched.Config{CoreSpeeds: []float64{1, 1}, Tracer: tr})
+	m := mem.New(clock, mem.Config{Total: total, KernelReserve: 100 * units.MiB, ZRAMMax: total / 4})
+	d := blockio.New(clock, s, blockio.Config{})
+	k := kswapd.New(clock, s, m, d, kswapd.Config{})
+	tab := NewTable(clock, s, m, d, k, SignalThresholds{})
+	return &env{clock: clock, sch: s, tr: tr, mem: m, table: tab}
+}
+
+func startCached(e *env, name string, heap units.Bytes) *Process {
+	return e.table.Start(Spec{Name: name, Adj: AdjCached, Cached: true, AnonBytes: heap})
+}
+
+func TestStartAllocatesHeap(t *testing.T) {
+	e := setup(t, units.GiB)
+	p := e.table.Start(Spec{Name: "app", Adj: AdjForeground, AnonBytes: 100 * units.MiB, FileWSBytes: 50 * units.MiB})
+	e.clock.RunUntil(time.Second)
+	if p.AnonPages() != units.PagesOf(100*units.MiB) {
+		t.Errorf("AnonPages = %d, want %d", p.AnonPages(), units.PagesOf(100*units.MiB))
+	}
+	if e.mem.Anon() != units.PagesOf(100*units.MiB) {
+		t.Errorf("global anon = %d", e.mem.Anon())
+	}
+	if p.PSS() != 150*units.MiB {
+		t.Errorf("PSS = %v, want 150MiB", p.PSS())
+	}
+}
+
+func TestSignalLevelsFollowCachedCount(t *testing.T) {
+	e := setup(t, 2*units.GiB)
+	var procs []*Process
+	for i := 0; i < 8; i++ {
+		procs = append(procs, startCached(e, name(i), 10*units.MiB))
+	}
+	e.clock.RunUntil(100 * time.Millisecond)
+	if e.table.Level() != Normal {
+		t.Fatalf("level = %v with 8 cached, want Normal", e.table.Level())
+	}
+	e.table.Kill(procs[0], "test") // 7 cached
+	e.table.Kill(procs[1], "test") // 6 -> Moderate
+	if e.table.Level() != Moderate {
+		t.Errorf("level = %v with 6 cached, want Moderate", e.table.Level())
+	}
+	e.table.Kill(procs[2], "test") // 5 -> Low
+	if e.table.Level() != Low {
+		t.Errorf("level = %v with 5 cached, want Low", e.table.Level())
+	}
+	e.table.Kill(procs[3], "test") // 4 -> still Low
+	e.table.Kill(procs[4], "test") // 3 -> Critical
+	if e.table.Level() != Critical {
+		t.Errorf("level = %v with 3 cached, want Critical", e.table.Level())
+	}
+}
+
+func name(i int) string { return string(rune('a'+i)) + "app" }
+
+func TestSignalsReemittedPeriodically(t *testing.T) {
+	e := setup(t, 2*units.GiB)
+	var procs []*Process
+	for i := 0; i < 6; i++ { // 6 cached -> Moderate immediately
+		procs = append(procs, startCached(e, name(i), units.MiB))
+	}
+	_ = procs
+	n := 0
+	e.table.Subscribe(func(l Level) {
+		if l == Moderate {
+			n++
+		}
+	})
+	e.clock.RunUntil(5500 * time.Millisecond)
+	if n < 5 {
+		t.Errorf("got %d Moderate re-emissions over 5.5s, want >= 5", n)
+	}
+}
+
+func TestOnTrimDelivered(t *testing.T) {
+	e := setup(t, 2*units.GiB)
+	var got []Level
+	e.table.Start(Spec{Name: "video", Adj: AdjForeground, OnTrim: func(l Level) { got = append(got, l) }})
+	for i := 0; i < 7; i++ {
+		startCached(e, name(i), units.MiB)
+	}
+	p := e.table.Find(name(0))
+	e.table.Kill(p, "test") // 6 cached -> Moderate
+	if len(got) == 0 || got[len(got)-1] != Moderate {
+		t.Errorf("OnTrim got %v, want trailing Moderate", got)
+	}
+}
+
+func TestKillFreesMemory(t *testing.T) {
+	e := setup(t, units.GiB)
+	p := startCached(e, "bg", 200*units.MiB)
+	e.clock.RunUntil(time.Second)
+	free := e.mem.Free()
+	e.table.Kill(p, "lmkd")
+	if e.mem.Free() <= free {
+		t.Error("kill did not free memory")
+	}
+	if !p.Dead() {
+		t.Error("process not dead")
+	}
+	if e.table.Find("bg") != nil {
+		t.Error("dead process still findable")
+	}
+	if len(e.table.Kills()) != 1 || e.table.Kills()[0].Reason != "lmkd" {
+		t.Errorf("kill log = %+v", e.table.Kills())
+	}
+}
+
+func TestKillCandidatesOrder(t *testing.T) {
+	e := setup(t, 2*units.GiB)
+	e.table.Start(Spec{Name: "fg", Adj: AdjForeground})
+	e.table.Start(Spec{Name: "svc", Adj: AdjService})
+	a := startCached(e, "olda", units.MiB)
+	b := startCached(e, "newb", units.MiB)
+	b.Adj = AdjCached + 1 // less important than a
+	_ = a
+
+	cands := e.table.KillCandidates(AdjCached)
+	if len(cands) != 2 {
+		t.Fatalf("got %d candidates, want 2", len(cands))
+	}
+	if cands[0].Name != "newb" {
+		t.Errorf("first victim = %s, want newb (higher adj)", cands[0].Name)
+	}
+	// With foreground eligible, everything with adj >= 0 qualifies.
+	all := e.table.KillCandidates(0)
+	if len(all) != 4 {
+		t.Errorf("got %d candidates at minAdj=0, want 4", len(all))
+	}
+	if all[len(all)-1].Name != "fg" {
+		t.Errorf("foreground should be last resort, got %s", all[len(all)-1].Name)
+	}
+}
+
+func TestGrowAnonStallsUnderPressure(t *testing.T) {
+	e := setup(t, 512*units.MiB)
+	// Fill most of memory with file cache so growth needs reclaim.
+	e.mem.FileRead(units.PagesOf(350 * units.MiB))
+	p := e.table.Start(Spec{Name: "big", Adj: AdjForeground})
+	done := false
+	p.GrowAnon(380*units.MiB, func() { done = true })
+	e.clock.RunUntil(30 * time.Second)
+	if !done {
+		t.Fatalf("allocation never completed: %v, anon=%d", e.mem.String(), p.AnonPages())
+	}
+	if e.mem.DirectReclaims == 0 {
+		t.Error("expected the allocation to hit direct reclaim")
+	}
+}
+
+func TestShrinkAnon(t *testing.T) {
+	e := setup(t, units.GiB)
+	p := e.table.Start(Spec{Name: "app", Adj: AdjForeground, AnonBytes: 100 * units.MiB})
+	e.clock.RunUntil(time.Second)
+	p.ShrinkAnon(40 * units.MiB)
+	if p.AnonPages() != units.PagesOf(60*units.MiB) {
+		t.Errorf("AnonPages = %d after shrink", p.AnonPages())
+	}
+}
+
+func TestDeadProcessIgnoresGrow(t *testing.T) {
+	e := setup(t, units.GiB)
+	p := e.table.Start(Spec{Name: "app", Adj: AdjForeground})
+	e.table.Kill(p, "test")
+	p.GrowAnon(units.MiB, func() { t.Error("grow completed on dead process") })
+	e.clock.RunUntil(time.Second)
+}
+
+func TestOnKilledFires(t *testing.T) {
+	e := setup(t, units.GiB)
+	var reason string
+	p := e.table.Start(Spec{Name: "app", Adj: AdjForeground, OnKilled: func(r string) { reason = r }})
+	e.table.Kill(p, "lowmem")
+	if reason != "lowmem" {
+		t.Errorf("OnKilled reason = %q", reason)
+	}
+}
+
+func TestSignalEventRecordsAvailable(t *testing.T) {
+	e := setup(t, 2*units.GiB)
+	for i := 0; i < 6; i++ {
+		startCached(e, name(i), units.MiB)
+	}
+	sigs := e.table.Signals()
+	if len(sigs) == 0 {
+		t.Fatal("no signals recorded")
+	}
+	if sigs[len(sigs)-1].Available <= 0 {
+		t.Error("signal did not record available memory")
+	}
+}
+
+func TestThreadsSpawned(t *testing.T) {
+	e := setup(t, units.GiB)
+	p := e.table.Start(Spec{Name: "firefox", Adj: AdjForeground, ExtraThreads: []string{"MediaCodec", "Compositor"}})
+	if p.Thread("MediaCodec") == nil || p.Thread("Compositor") == nil {
+		t.Error("extra threads missing")
+	}
+	if p.Thread("nope") != nil {
+		t.Error("found nonexistent thread")
+	}
+	if len(p.Threads()) != 3 {
+		t.Errorf("Threads() = %d, want 3", len(p.Threads()))
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Normal.String() != "Normal" || Critical.String() != "Critical" {
+		t.Error("level names wrong")
+	}
+}
+
+func TestSetCachedTransitions(t *testing.T) {
+	e := setup(t, units.GiB)
+	p := e.table.Start(Spec{Name: "app", Adj: AdjForeground, AnonBytes: 50 * units.MiB})
+	e.clock.RunUntil(time.Second)
+	before := e.table.CachedCount()
+	p.SetCached(true, AdjCached+10)
+	if e.table.CachedCount() != before+1 {
+		t.Error("demotion did not grow the cached LRU")
+	}
+	if p.Adj != AdjCached+10 {
+		t.Errorf("Adj = %d", p.Adj)
+	}
+	p.SetCached(false, AdjForeground)
+	if e.table.CachedCount() != before {
+		t.Error("promotion did not shrink the cached LRU")
+	}
+}
+
+func TestOOMKillerPicksLargest(t *testing.T) {
+	e := setup(t, units.GiB)
+	small := e.table.Start(Spec{Name: "small", Adj: AdjForeground, AnonBytes: 20 * units.MiB})
+	big := e.table.Start(Spec{Name: "big", Adj: AdjForeground, AnonBytes: 200 * units.MiB})
+	native := e.table.Start(Spec{Name: "daemon", Adj: AdjNative, AnonBytes: 300 * units.MiB})
+	e.clock.RunUntil(time.Second)
+	e.table.oomKill()
+	if !big.Dead() {
+		t.Error("OOM killer spared the largest killable process")
+	}
+	if small.Dead() || native.Dead() {
+		t.Error("OOM killer hit the wrong victim")
+	}
+	kills := e.table.Kills()
+	if len(kills) != 1 || kills[0].Reason != "oom" {
+		t.Errorf("kill log = %+v", kills)
+	}
+}
+
+func TestOOMKillerPrefersHighAdj(t *testing.T) {
+	e := setup(t, units.GiB)
+	fg := e.table.Start(Spec{Name: "fg", Adj: AdjForeground, AnonBytes: 100 * units.MiB})
+	cached := e.table.Start(Spec{Name: "bg", Adj: AdjCached, Cached: true, AnonBytes: 80 * units.MiB})
+	e.clock.RunUntil(time.Second)
+	e.table.oomKill()
+	// Similar sizes: the adj shift must tip the badness to the cached app.
+	if !cached.Dead() || fg.Dead() {
+		t.Errorf("oom victim: cached dead=%v fg dead=%v", cached.Dead(), fg.Dead())
+	}
+}
+
+func TestAvailThresholdSignals(t *testing.T) {
+	e := setup(t, units.GiB)
+	// Enough cached apps that the count mechanism stays at Normal; the
+	// avail thresholds drive the level in this test.
+	for i := 0; i < 10; i++ {
+		startCached(e, name(i), units.MiB)
+	}
+	e.table.Avail = AvailThresholds{
+		Moderate: units.PagesOf(400 * units.MiB),
+		Low:      units.PagesOf(300 * units.MiB),
+		Critical: units.PagesOf(200 * units.MiB),
+	}
+	e.clock.RunUntil(time.Second)
+	if e.table.Level() != Normal {
+		t.Fatalf("level = %v with ample memory", e.table.Level())
+	}
+	// Squeeze available memory below the Moderate threshold.
+	e.mem.AllocAnon(e.mem.Free() - units.PagesOf(350*units.MiB))
+	e.clock.RunUntil(2 * time.Second) // poll fires
+	if e.table.Level() != Moderate {
+		t.Errorf("level = %v with avail ~350MiB, want Moderate", e.table.Level())
+	}
+	e.mem.AllocAnon(units.PagesOf(200 * units.MiB))
+	e.clock.RunUntil(3 * time.Second)
+	if e.table.Level() < Low {
+		t.Errorf("level = %v with avail ~150MiB, want >= Low", e.table.Level())
+	}
+}
+
+func TestWarmForCoolsOff(t *testing.T) {
+	e := setup(t, 2*units.GiB)
+	e.table.Start(Spec{
+		Name: "warm", Adj: AdjCached, Cached: true,
+		AnonBytes: 100 * units.MiB, FileWSBytes: 50 * units.MiB,
+		HotAnonFrac: 0.8, WarmFor: 10 * time.Second,
+	})
+	e.clock.RunUntil(time.Second)
+	warmDeficitBase := e.mem.RefaultDeficit()
+	_ = warmDeficitBase
+	// While warm, the working set is registered: scans rotate.
+	e.mem.ScanBatch(1000)
+	pWarm := e.mem.Pressure()
+	e.clock.RunUntil(15 * time.Second) // past WarmFor
+	e.mem.ScanBatch(1000)
+	pCold := e.mem.Pressure()
+	if pCold >= pWarm {
+		t.Errorf("pressure warm=%v cold=%v: cooling should make reclaim easier", pWarm, pCold)
+	}
+}
+
+func TestRampTimeSpreadsAllocation(t *testing.T) {
+	e := setup(t, units.GiB)
+	p := e.table.Start(Spec{Name: "ramp", Adj: AdjForeground, AnonBytes: 120 * units.MiB, RampTime: 10 * time.Second})
+	e.clock.RunUntil(time.Second)
+	early := p.AnonPages()
+	if early >= units.PagesOf(120*units.MiB) {
+		t.Error("ramped allocation completed immediately")
+	}
+	e.clock.RunUntil(15 * time.Second)
+	if p.AnonPages() != units.PagesOf(120*units.MiB) {
+		t.Errorf("ramp ended at %d pages, want full 120MiB", p.AnonPages())
+	}
+}

@@ -1,0 +1,574 @@
+// Package sched simulates the Android/Linux CPU scheduler at the level
+// of detail the paper's §5 analysis depends on.
+//
+// The model is tick-based: every tick (1 ms by default) the scheduler
+// assigns runnable threads to cores. Two scheduling classes exist, with
+// the exact priority relationship the paper identifies as the root cause
+// of frame drops:
+//
+//   - ClassRT: strictly prioritized over everything else. The storage
+//     I/O daemon mmcqd runs here, so it "steals CPU time from foreground
+//     processes" (§5, Table 5).
+//   - ClassFair: a CFS-like fair class picked by lowest virtual runtime.
+//     Video client threads AND kswapd run here, so "Firefox threads have
+//     to fairly share the CPU with the CPU-hungry thread — kswapd" (§5).
+//
+// Threads execute FIFO queues of CPU jobs and may contain I/O barriers
+// (uninterruptible sleep, state D) that the block layer resolves. Every
+// state change is reported to a trace.Tracer, which is how Table 4
+// (time in state), Figure 13 (kswapd states) and Table 5 (preemption
+// triples) are regenerated.
+//
+// Cores may have heterogeneous speeds (big.LITTLE, e.g. the Nexus 6P's
+// 4×1.55 GHz + 4×2.0 GHz): job costs are expressed in reference-CPU time
+// and a core of speed s completes s ticks of reference work per tick.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"coalqoe/internal/simclock"
+	"coalqoe/internal/trace"
+)
+
+// Class is a scheduling class.
+type Class int
+
+// Scheduling classes.
+const (
+	// ClassFair is the default time-sharing class (CFS-like).
+	ClassFair Class = iota
+	// ClassRT is strictly prioritized over ClassFair; used by mmcqd.
+	ClassRT
+)
+
+// DefaultTick is the scheduling quantum of the simulation.
+const DefaultTick = time.Millisecond
+
+type jobKind int
+
+const (
+	jobCPU jobKind = iota
+	jobIOBarrier
+)
+
+type job struct {
+	kind      jobKind
+	remaining time.Duration // reference-CPU time for jobCPU
+	onDone    func()
+	ioDone    bool // for jobIOBarrier: completion arrived
+}
+
+// Thread is a schedulable entity. Create threads with Scheduler.Spawn.
+type Thread struct {
+	key   trace.ThreadKey
+	class Class
+	nice  int
+	sched *Scheduler
+
+	state     trace.State
+	vruntime  time.Duration
+	weight    float64
+	wokenAt   time.Duration // for RT FIFO ordering
+	core      int           // core while Running, else -1
+	preferred int           // soft core affinity; -1 = none
+	jobs      []*job
+	dead      bool
+
+	// accounting
+	cpuTime time.Duration
+}
+
+// Key returns the thread's trace identity.
+func (t *Thread) Key() trace.ThreadKey { return t.key }
+
+// SetPreferredCore gives the thread a soft core affinity: the
+// dispatcher places it there when that core is available, drastically
+// reducing migrations (the §7 scheduling suggestion for kswapd).
+// Pass -1 to clear.
+func (t *Thread) SetPreferredCore(core int) { t.preferred = core }
+
+// State returns the thread's current scheduler state.
+func (t *Thread) State() trace.State { return t.state }
+
+// CPUTime returns total reference-CPU time consumed by the thread.
+func (t *Thread) CPUTime() time.Duration { return t.cpuTime }
+
+// QueueLen returns the number of queued (unfinished) jobs.
+func (t *Thread) QueueLen() int { return len(t.jobs) }
+
+// Idle reports whether the thread has no pending work.
+func (t *Thread) Idle() bool { return len(t.jobs) == 0 }
+
+// Dead reports whether the thread has been killed.
+func (t *Thread) Dead() bool { return t.dead }
+
+// PendingWork returns the total queued reference-CPU time.
+func (t *Thread) PendingWork() time.Duration {
+	var sum time.Duration
+	for _, j := range t.jobs {
+		if j.kind == jobCPU {
+			sum += j.remaining
+		}
+	}
+	return sum
+}
+
+// Enqueue appends a CPU job costing cost of reference-CPU time. onDone
+// (may be nil) fires when the job completes. Enqueueing on a dead
+// thread is a no-op.
+func (t *Thread) Enqueue(cost time.Duration, onDone func()) {
+	if t.dead {
+		return
+	}
+	if cost < 0 {
+		cost = 0
+	}
+	t.jobs = append(t.jobs, &job{kind: jobCPU, remaining: cost, onDone: onDone})
+	t.wake()
+}
+
+// EnqueueIOBarrier appends an I/O barrier: when the barrier reaches the
+// queue head the thread enters uninterruptible sleep (D) until the
+// returned completion function is called. Jobs queued behind the
+// barrier do not run until it resolves. The completion function is
+// idempotent and safe to call after the thread dies.
+func (t *Thread) EnqueueIOBarrier() (complete func()) {
+	if t.dead {
+		return func() {}
+	}
+	j := &job{kind: jobIOBarrier}
+	t.jobs = append(t.jobs, j)
+	t.wake()
+	done := false
+	return func() {
+		if done || t.dead {
+			done = true
+			return
+		}
+		done = true
+		j.ioDone = true
+		t.sched.reapBarriers(t)
+	}
+}
+
+// wake moves an idle/sleeping thread to Runnable.
+func (t *Thread) wake() {
+	if t.dead || t.state == trace.Running || t.state == trace.Runnable || t.state == trace.RunnablePreempted {
+		return
+	}
+	if t.blockedOnIO() {
+		return // stays in D until the barrier resolves
+	}
+	now := t.sched.clock.Now()
+	t.wokenAt = now
+	// Prevent a long-sleeping thread from monopolizing the CPU by
+	// carrying an ancient (tiny) vruntime: re-sync to the minimum.
+	if t.class == ClassFair {
+		if mv, ok := t.sched.minVruntime(); ok && t.vruntime < mv {
+			t.vruntime = mv
+		}
+	}
+	t.setState(trace.Runnable)
+}
+
+// blockedOnIO reports whether the queue head is an unresolved barrier.
+func (t *Thread) blockedOnIO() bool {
+	return len(t.jobs) > 0 && t.jobs[0].kind == jobIOBarrier && !t.jobs[0].ioDone
+}
+
+func (t *Thread) setState(s trace.State) {
+	if t.state == s {
+		return
+	}
+	t.state = s
+	core := -1
+	if s == trace.Running {
+		core = t.core
+	}
+	t.sched.tracer.Transition(t.key.TID, s, core, t.sched.clock.Now())
+}
+
+// Scheduler assigns threads to cores each tick.
+type Scheduler struct {
+	clock      *simclock.Clock
+	tracer     *trace.Tracer
+	coreSpeed  []float64
+	tick       time.Duration
+	threads    []*Thread
+	nextTID    int
+	stopped    bool
+	dispatched bool      // a dispatch interval is in flight
+	running    []*Thread // per core; nil = idle
+	idleTime   time.Duration
+	busyTime   time.Duration
+	totalTicks int64
+}
+
+// Config configures a Scheduler.
+type Config struct {
+	// CoreSpeeds gives one relative speed per core (1.0 = reference).
+	CoreSpeeds []float64
+	// Tick is the scheduling quantum; DefaultTick if zero.
+	Tick time.Duration
+	// Tracer receives all state transitions; required.
+	Tracer *trace.Tracer
+}
+
+// New creates a Scheduler and starts its tick loop on clock.
+func New(clock *simclock.Clock, cfg Config) *Scheduler {
+	if len(cfg.CoreSpeeds) == 0 {
+		panic("sched: no cores configured")
+	}
+	if cfg.Tracer == nil {
+		panic("sched: Tracer is required")
+	}
+	tick := cfg.Tick
+	if tick <= 0 {
+		tick = DefaultTick
+	}
+	s := &Scheduler{
+		clock:     clock,
+		tracer:    cfg.Tracer,
+		coreSpeed: append([]float64(nil), cfg.CoreSpeeds...),
+		tick:      tick,
+		running:   make([]*Thread, len(cfg.CoreSpeeds)),
+		nextTID:   1,
+	}
+	// Ticks fire at t=0, tick, 2·tick, …: each tick retires the work of
+	// the interval that just ended, then dispatches the next interval.
+	clock.Schedule(0, s.step)
+	return s
+}
+
+// Stop halts the tick loop (e.g. at the end of a session).
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Cores returns the number of simulated cores.
+func (s *Scheduler) Cores() int { return len(s.coreSpeed) }
+
+// Tick returns the scheduling quantum.
+func (s *Scheduler) Tick() time.Duration { return s.tick }
+
+// Utilization returns the fraction of core-time spent busy so far.
+func (s *Scheduler) Utilization() float64 {
+	total := s.busyTime + s.idleTime
+	if total == 0 {
+		return 0
+	}
+	return float64(s.busyTime) / float64(total)
+}
+
+// Spawn creates a thread in the Sleeping state.
+func (s *Scheduler) Spawn(name, process string, class Class, nice int) *Thread {
+	t := &Thread{
+		key:       trace.ThreadKey{TID: s.nextTID, Name: name, Process: process},
+		class:     class,
+		nice:      nice,
+		sched:     s,
+		state:     trace.Sleeping,
+		weight:    niceWeight(nice),
+		core:      -1,
+		preferred: -1,
+	}
+	s.nextTID++
+	s.threads = append(s.threads, t)
+	s.tracer.Register(t.key, trace.Sleeping, s.clock.Now())
+	return t
+}
+
+// Kill terminates a thread: pending jobs are dropped and it never runs
+// again.
+func (s *Scheduler) Kill(t *Thread) {
+	if t.dead {
+		return
+	}
+	t.dead = true
+	t.jobs = nil
+	if t.state == trace.Running {
+		s.vacateCore(t)
+	}
+	t.setState(trace.Sleeping)
+	s.tracer.Unregister(t.key.TID, s.clock.Now())
+}
+
+// KillProcess kills every thread of the named process.
+func (s *Scheduler) KillProcess(process string) int {
+	n := 0
+	for _, t := range s.threads {
+		if !t.dead && t.key.Process == process {
+			s.Kill(t)
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Scheduler) vacateCore(t *Thread) {
+	if t.core >= 0 && t.core < len(s.running) && s.running[t.core] == t {
+		s.running[t.core] = nil
+	}
+	t.core = -1
+}
+
+// niceWeight approximates the kernel's nice-to-weight table:
+// each nice step changes weight by ~1.25×.
+func niceWeight(nice int) float64 {
+	return 1024 / math.Pow(1.25, float64(nice))
+}
+
+func (s *Scheduler) minVruntime() (time.Duration, bool) {
+	var mv time.Duration
+	found := false
+	for _, t := range s.threads {
+		if t.dead || t.class != ClassFair {
+			continue
+		}
+		if t.state == trace.Running || t.state == trace.Runnable || t.state == trace.RunnablePreempted {
+			if !found || t.vruntime < mv {
+				mv = t.vruntime
+				found = true
+			}
+		}
+	}
+	return mv, found
+}
+
+// reapBarriers removes resolved barriers from the head of t's queue and
+// wakes the thread if work follows.
+func (s *Scheduler) reapBarriers(t *Thread) {
+	for len(t.jobs) > 0 && t.jobs[0].kind == jobIOBarrier && t.jobs[0].ioDone {
+		done := t.jobs[0].onDone
+		t.jobs = t.jobs[1:]
+		if done != nil {
+			done()
+		}
+	}
+	if t.state == trace.UninterruptibleSleep {
+		if len(t.jobs) > 0 {
+			t.wokenAt = s.clock.Now()
+			t.setState(trace.Runnable)
+		} else {
+			t.setState(trace.Sleeping)
+		}
+	}
+}
+
+// runnable reports whether t wants a core this tick.
+func runnable(t *Thread) bool {
+	if t.dead || len(t.jobs) == 0 {
+		return false
+	}
+	return !t.blockedOnIO()
+}
+
+// step runs once per tick boundary: it retires the interval that just
+// ended, then dispatches threads for the interval that starts now.
+func (s *Scheduler) step() {
+	if s.stopped {
+		return
+	}
+	s.totalTicks++
+	now := s.clock.Now()
+	s.clock.Schedule(s.tick, s.step)
+
+	// Retire phase: account the work performed during [now-tick, now).
+	if s.dispatched {
+		for core, t := range s.running {
+			if t == nil {
+				s.idleTime += s.tick
+				continue
+			}
+			s.busyTime += s.tick
+			budget := time.Duration(float64(s.tick) * s.coreSpeed[core])
+			t.cpuTime += budget
+			if t.class == ClassFair {
+				t.vruntime += time.Duration(float64(s.tick) * 1024 / t.weight)
+			}
+			s.consume(t, budget)
+		}
+	}
+	s.dispatched = true
+
+	// Settle threads that finished their work or hit an I/O barrier
+	// during the retired interval.
+	for _, t := range s.threads {
+		if t.dead {
+			continue
+		}
+		if t.state == trace.Running && len(t.jobs) == 0 {
+			s.vacateCore(t)
+			s.tracer.PreemptorStopped(t.key.TID, now)
+			t.setState(trace.Sleeping)
+		} else if t.blockedOnIO() && t.state != trace.UninterruptibleSleep {
+			if t.state == trace.Running {
+				s.vacateCore(t)
+				s.tracer.PreemptorStopped(t.key.TID, now)
+			}
+			t.setState(trace.UninterruptibleSleep)
+		}
+	}
+
+	// Candidate ordering: RT first (FIFO by wake time), then fair by
+	// vruntime. Ties broken by TID for determinism.
+	var cands []*Thread
+	for _, t := range s.threads {
+		if runnable(t) {
+			cands = append(cands, t)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.class != b.class {
+			return a.class == ClassRT
+		}
+		if a.class == ClassRT {
+			if a.wokenAt != b.wokenAt {
+				return a.wokenAt < b.wokenAt
+			}
+			return a.key.TID < b.key.TID
+		}
+		if a.vruntime != b.vruntime {
+			return a.vruntime < b.vruntime
+		}
+		return a.key.TID < b.key.TID
+	})
+
+	ncores := len(s.coreSpeed)
+	selected := cands
+	if len(selected) > ncores {
+		selected = selected[:ncores]
+	}
+	selSet := make(map[*Thread]bool, len(selected))
+	for _, t := range selected {
+		selSet[t] = true
+	}
+
+	// Displacement: threads that were running but are not selected.
+	var displaced []*Thread
+	for _, t := range s.threads {
+		if t.state == trace.Running && !selSet[t] {
+			displaced = append(displaced, t)
+		}
+	}
+	// New arrivals among the selected (were not running last tick).
+	var arrivals []*Thread
+	for _, t := range selected {
+		if t.state != trace.Running {
+			arrivals = append(arrivals, t)
+		}
+	}
+
+	// Record preemptions: a displaced thread was preempted if some
+	// newly arriving selected thread outranks it. Attribute the event
+	// to the highest-priority arrival (RT beats fair; then ordering).
+	for _, v := range displaced {
+		s.vacateCore(v)
+		s.tracer.PreemptorStopped(v.key.TID, now)
+		if len(v.jobs) == 0 {
+			v.setState(trace.Sleeping)
+			continue
+		}
+		if v.blockedOnIO() {
+			v.setState(trace.UninterruptibleSleep)
+			continue
+		}
+		if len(arrivals) > 0 {
+			v.setState(trace.RunnablePreempted)
+			s.tracer.RecordPreemption(v.key, arrivals[0].key, now)
+		} else {
+			v.setState(trace.Runnable)
+		}
+	}
+
+	// Core assignment with affinity: keep previous core when possible.
+	newRunning := make([]*Thread, ncores)
+	var needCore []*Thread
+	for _, t := range selected {
+		if t.core >= 0 && t.core < ncores && s.running[t.core] == t && newRunning[t.core] == nil {
+			newRunning[t.core] = t
+		} else {
+			needCore = append(needCore, t)
+		}
+	}
+	// Soft affinity first: place threads on their preferred core when
+	// it is open.
+	var rest []*Thread
+	for _, t := range needCore {
+		if t.preferred >= 0 && t.preferred < ncores && newRunning[t.preferred] == nil {
+			newRunning[t.preferred] = t
+			t.core = t.preferred
+			continue
+		}
+		rest = append(rest, t)
+	}
+	free := 0
+	for _, t := range rest {
+		for free < ncores && newRunning[free] != nil {
+			free++
+		}
+		if free >= ncores {
+			break
+		}
+		newRunning[free] = t
+		t.core = free
+	}
+	s.running = newRunning
+
+	// Mark the dispatched threads Running for the interval [now, now+tick).
+	for core, t := range s.running {
+		if t == nil {
+			continue
+		}
+		t.core = core
+		t.setState(trace.Running)
+	}
+}
+
+// consume burns budget of reference-CPU time from t's job queue.
+func (s *Scheduler) consume(t *Thread, budget time.Duration) {
+	for budget > 0 && len(t.jobs) > 0 {
+		j := t.jobs[0]
+		if j.kind == jobIOBarrier {
+			if !j.ioDone {
+				return // blocked; handled by caller
+			}
+			t.jobs = t.jobs[1:]
+			if j.onDone != nil {
+				j.onDone()
+			}
+			continue
+		}
+		if j.remaining > budget {
+			j.remaining -= budget
+			return
+		}
+		budget -= j.remaining
+		t.jobs = t.jobs[1:]
+		if j.onDone != nil {
+			j.onDone()
+		}
+		if t.dead {
+			return
+		}
+	}
+}
+
+// Threads returns all live threads (for diagnostics).
+func (s *Scheduler) Threads() []*Thread {
+	out := make([]*Thread, 0, len(s.threads))
+	for _, t := range s.threads {
+		if !t.dead {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// String summarizes the scheduler configuration.
+func (s *Scheduler) String() string {
+	return fmt.Sprintf("sched{cores=%d tick=%v threads=%d}", len(s.coreSpeed), s.tick, len(s.threads))
+}

@@ -1,0 +1,191 @@
+// Package simclock implements the discrete-event simulation kernel that
+// drives the Android device model.
+//
+// All simulator packages share one Clock. Time is virtual: it advances
+// only when the event loop dispatches the next scheduled event, so a
+// simulated two-minute video session runs in milliseconds of wall time
+// and is fully deterministic for a given seed.
+//
+// The clock supports one-shot events (Schedule/At), repeating events
+// (Every), and cancellation. Events at the same instant fire in the
+// order they were scheduled, which keeps runs reproducible.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Clock is a discrete-event virtual clock. It is not safe for concurrent
+// use: the simulation is single-goroutine by design so that runs are
+// deterministic.
+type Clock struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+}
+
+// Event is a handle to a scheduled callback. Cancel it to prevent firing.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	fn       func()
+	index    int // heap index; -1 when not queued
+	canceled bool
+	period   time.Duration // >0 for repeating events
+	clock    *Clock
+}
+
+// Cancel prevents the event from firing (and from repeating). Canceling
+// an already-fired one-shot event is a no-op.
+func (e *Event) Cancel() {
+	if e == nil {
+		return
+	}
+	e.canceled = true
+}
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// When returns the virtual time at which the event will next fire.
+func (e *Event) When() time.Duration { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// New returns a clock at virtual time zero with a deterministic RNG
+// seeded by seed.
+func New(seed int64) *Clock {
+	return &Clock{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (duration since simulation start).
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Rand returns the clock's deterministic random source. All stochastic
+// model components must draw from this source (never the global rand)
+// so that a seed fully determines a run.
+func (c *Clock) Rand() *rand.Rand { return c.rng }
+
+// Schedule runs fn after delay d. It returns a cancelable handle.
+// A negative delay is treated as zero (fire at the current instant,
+// after already-queued events for this instant).
+func (c *Clock) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return c.At(c.now+d, fn)
+}
+
+// At runs fn at absolute virtual time t. Times in the past are clamped
+// to now.
+func (c *Clock) At(t time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("simclock: At called with nil callback")
+	}
+	if t < c.now {
+		t = c.now
+	}
+	e := &Event{at: t, seq: c.seq, fn: fn, clock: c}
+	c.seq++
+	heap.Push(&c.queue, e)
+	return e
+}
+
+// Every runs fn every period, with the first firing after one period.
+// The returned handle cancels all future firings.
+func (c *Clock) Every(period time.Duration, fn func()) *Event {
+	if period <= 0 {
+		panic(fmt.Sprintf("simclock: Every called with non-positive period %v", period))
+	}
+	e := c.Schedule(period, fn)
+	e.period = period
+	return e
+}
+
+// Pending returns the number of events waiting in the queue, including
+// canceled events that have not been collected yet.
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// Stop makes the current Run/RunUntil call return after the in-flight
+// event completes.
+func (c *Clock) Stop() { c.stopped = true }
+
+// RunUntil dispatches events in time order until the queue is empty or
+// the next event would fire after deadline. The clock is left at
+// min(deadline, last event time): if events remain past the deadline,
+// time is advanced exactly to the deadline.
+func (c *Clock) RunUntil(deadline time.Duration) {
+	c.stopped = false
+	for len(c.queue) > 0 && !c.stopped {
+		next := c.queue[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&c.queue)
+		if next.canceled {
+			continue
+		}
+		c.now = next.at
+		if next.period > 0 {
+			// Re-arm before running so the callback can Cancel it.
+			next.at = c.now + next.period
+			next.seq = c.seq
+			c.seq++
+			heap.Push(&c.queue, next)
+		}
+		next.fn()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// Run dispatches events until the queue is empty or Stop is called.
+// It panics if a repeating event is queued, because the run would never
+// terminate.
+func (c *Clock) Run() {
+	c.stopped = false
+	for len(c.queue) > 0 && !c.stopped {
+		next := heap.Pop(&c.queue).(*Event)
+		if next.canceled {
+			continue
+		}
+		if next.period > 0 {
+			panic("simclock: Run would never terminate with a repeating event queued; use RunUntil")
+		}
+		c.now = next.at
+		next.fn()
+	}
+}

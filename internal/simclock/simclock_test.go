@@ -1,0 +1,226 @@
+package simclock
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	c := New(1)
+	var got []int
+	c.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	c.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	c.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	c.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if c.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", c.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	c := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	c.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("same-instant events fired out of scheduling order: %v", got)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	c := New(1)
+	fired := false
+	c.Schedule(-time.Second, func() { fired = true })
+	c.Run()
+	if !fired {
+		t.Error("negative-delay event did not fire")
+	}
+	if c.Now() != 0 {
+		t.Errorf("Now = %v, want 0", c.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	c := New(1)
+	fired := false
+	e := c.Schedule(time.Millisecond, func() { fired = true })
+	e.Cancel()
+	c.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	c := New(1)
+	n := 0
+	var e *Event
+	e = c.Every(10*time.Millisecond, func() {
+		n++
+		if n == 5 {
+			e.Cancel()
+		}
+	})
+	c.RunUntil(time.Second)
+	if n != 5 {
+		t.Errorf("repeating event fired %d times, want 5", n)
+	}
+}
+
+func TestEveryCadence(t *testing.T) {
+	c := New(1)
+	var times []time.Duration
+	c.Every(250*time.Millisecond, func() { times = append(times, c.Now()) })
+	c.RunUntil(time.Second)
+	want := []time.Duration{250 * time.Millisecond, 500 * time.Millisecond, 750 * time.Millisecond, time.Second}
+	if len(times) != len(want) {
+		t.Fatalf("fired at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", times, want)
+		}
+	}
+}
+
+func TestRunUntilAdvancesToDeadline(t *testing.T) {
+	c := New(1)
+	c.Schedule(10*time.Second, func() {})
+	c.RunUntil(3 * time.Second)
+	if c.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", c.Now())
+	}
+	if c.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", c.Pending())
+	}
+	// The remaining event still fires later.
+	fired := false
+	c.Schedule(time.Second, func() { fired = true })
+	c.RunUntil(20 * time.Second)
+	if !fired {
+		t.Error("event scheduled after partial run did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	c := New(1)
+	n := 0
+	c.Schedule(time.Millisecond, func() { n++; c.Stop() })
+	c.Schedule(2*time.Millisecond, func() { n++ })
+	c.Run()
+	if n != 1 {
+		t.Errorf("processed %d events after Stop, want 1", n)
+	}
+}
+
+func TestAtClampsPast(t *testing.T) {
+	c := New(1)
+	c.Schedule(time.Second, func() {
+		c.At(0, func() {
+			if c.Now() != time.Second {
+				t.Errorf("past event ran at %v, want clamped to 1s", c.Now())
+			}
+		})
+	})
+	c.Run()
+}
+
+func TestSchedulingInsideCallback(t *testing.T) {
+	c := New(1)
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			c.Schedule(time.Millisecond, rec)
+		}
+	}
+	c.Schedule(time.Millisecond, rec)
+	c.Run()
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if c.Now() != 100*time.Millisecond {
+		t.Errorf("Now = %v, want 100ms", c.Now())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		c := New(42)
+		var out []time.Duration
+		for i := 0; i < 50; i++ {
+			d := time.Duration(c.Rand().Intn(1000)) * time.Millisecond
+			c.Schedule(d, func() { out = append(out, c.Now()) })
+		}
+		c.Run()
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths across identical seeded runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// the order they are scheduled.
+func TestMonotoneDispatchProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		c := New(7)
+		var fired []time.Duration
+		for _, d := range delays {
+			c.Schedule(time.Duration(d)*time.Millisecond, func() {
+				fired = append(fired, c.Now())
+			})
+		}
+		c.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEveryPanicsOnZeroPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(0) did not panic")
+		}
+	}()
+	New(1).Every(0, func() {})
+}
+
+func TestRunPanicsWithRepeatingEvent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Run with repeating event did not panic")
+		}
+	}()
+	c := New(1)
+	c.Every(time.Second, func() {})
+	c.Run()
+}

@@ -1,0 +1,271 @@
+package study
+
+import (
+	"runtime"
+	"sync"
+
+	"coalqoe/internal/proc"
+	"coalqoe/internal/stats"
+	"coalqoe/internal/units"
+)
+
+// Fleet is the full user study: participants plus their device logs.
+type Fleet struct {
+	// Recruited is everyone who installed the app (the paper's 80).
+	Recruited []*User
+	// Kept are participants with ≥ MinInteractiveHours of screen-on
+	// data (the paper's 48) — only they contribute to the analyses.
+	Kept []*User
+	// Logs holds one telemetry log per kept user.
+	Logs []*DeviceLog
+}
+
+// MinInteractiveHours is the §3 data-cleaning threshold.
+const MinInteractiveHours = 10.0
+
+// RunFleet recruits n users and simulates every kept user's device.
+// Devices run concurrently; each is seeded independently so the fleet
+// is deterministic for a given seed regardless of scheduling.
+func RunFleet(n int, seed int64) *Fleet {
+	f := &Fleet{Recruited: GenerateUsers(n, seed)}
+	for _, u := range f.Recruited {
+		if u.InteractiveHours >= MinInteractiveHours {
+			f.Kept = append(f.Kept, u)
+		}
+	}
+	f.Logs = make([]*DeviceLog, len(f.Kept))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, u := range f.Kept {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			f.Logs[i] = RunUser(u, seed+int64(i)*7919)
+		}()
+	}
+	wg.Wait()
+	return f
+}
+
+// Fig1Heatmap returns, per activity, the fraction of kept users giving
+// each 1–5 rating — the Figure 1 heatmap rows.
+func (f *Fleet) Fig1Heatmap() map[Activity][5]float64 {
+	out := make(map[Activity][5]float64, len(Activities))
+	n := float64(len(f.Kept))
+	for _, a := range Activities {
+		var row [5]float64
+		for _, u := range f.Kept {
+			row[u.Ratings[a]-1]++
+		}
+		if n > 0 {
+			for i := range row {
+				row[i] /= n
+			}
+		}
+		out[a] = row
+	}
+	return out
+}
+
+// Fig2CDF returns the CDF of median RAM utilization across devices.
+func (f *Fleet) Fig2CDF() *stats.CDF {
+	xs := make([]float64, len(f.Logs))
+	for i, l := range f.Logs {
+		xs[i] = l.MedianUtilization
+	}
+	return stats.NewCDF(xs)
+}
+
+// SignalFreqPoint is one Figure 3 scatter point.
+type SignalFreqPoint struct {
+	User    string
+	RAMGiB  float64
+	Level   proc.Level
+	PerHour float64
+}
+
+// Fig3Scatter returns per-device per-level signal frequencies.
+func (f *Fleet) Fig3Scatter() []SignalFreqPoint {
+	var out []SignalFreqPoint
+	for _, l := range f.Logs {
+		for _, lvl := range []proc.Level{proc.Moderate, proc.Low, proc.Critical} {
+			out = append(out, SignalFreqPoint{
+				User:    l.User.ID,
+				RAMGiB:  float64(l.User.RAM) / float64(units.GiB),
+				Level:   lvl,
+				PerHour: l.SignalsPerHour[lvl],
+			})
+		}
+	}
+	return out
+}
+
+// TimeSharePoint is one Figure 4 point: fraction of time a device
+// spent at a pressure level.
+type TimeSharePoint struct {
+	User   string
+	RAMGiB float64
+	Level  proc.Level
+	Share  float64
+}
+
+// Fig4TimeShares returns per-device time shares in non-Normal states.
+func (f *Fleet) Fig4TimeShares() []TimeSharePoint {
+	var out []TimeSharePoint
+	for _, l := range f.Logs {
+		for _, lvl := range []proc.Level{proc.Moderate, proc.Low, proc.Critical} {
+			out = append(out, TimeSharePoint{
+				User:   l.User.ID,
+				RAMGiB: float64(l.User.RAM) / float64(units.GiB),
+				Level:  lvl,
+				Share:  l.TimeShare[lvl],
+			})
+		}
+	}
+	return out
+}
+
+// highPressureShare is the fraction of time outside Normal.
+func highPressureShare(l *DeviceLog) float64 {
+	return l.TimeShare[proc.Moderate] + l.TimeShare[proc.Low] + l.TimeShare[proc.Critical]
+}
+
+// Fig5Device is the available-memory distribution of one device across
+// pressure states (Figure 5's violins, summarized as five-number
+// boxplots).
+type Fig5Device struct {
+	User      string
+	RAMGiB    float64
+	ByLevel   map[proc.Level]stats.BoxPlot
+	HighShare float64
+}
+
+// Fig5TopDevices returns the k devices that spent the most time out of
+// Normal, with their per-state available-memory distributions.
+func (f *Fleet) Fig5TopDevices(k int) []Fig5Device {
+	logs := append([]*DeviceLog(nil), f.Logs...)
+	for i := 0; i < len(logs); i++ {
+		for j := i + 1; j < len(logs); j++ {
+			if highPressureShare(logs[j]) > highPressureShare(logs[i]) {
+				logs[i], logs[j] = logs[j], logs[i]
+			}
+		}
+	}
+	if k > len(logs) {
+		k = len(logs)
+	}
+	out := make([]Fig5Device, 0, k)
+	for _, l := range logs[:k] {
+		d := Fig5Device{
+			User:      l.User.ID,
+			RAMGiB:    float64(l.User.RAM) / float64(units.GiB),
+			ByLevel:   make(map[proc.Level]stats.BoxPlot),
+			HighShare: highPressureShare(l),
+		}
+		for lvl, xs := range l.AvailableByLevel {
+			d.ByLevel[lvl] = stats.NewBoxPlot(xs)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Fig6Stats aggregates pressure-state transitions (Figure 6): the
+// next-state percentages and the dwell-time distributions, over the
+// devices that spent the most time under pressure.
+type Fig6Stats struct {
+	// NextShare[from][to] is the percentage of transitions out of
+	// `from` that land in `to`.
+	NextShare map[proc.Level]map[proc.Level]float64
+	// Dwell[from] summarizes how long devices stayed in `from` before
+	// moving on.
+	Dwell map[proc.Level]stats.BoxPlot
+}
+
+// Fig6Transitions computes the transition statistics over devices with
+// at least minHighShare of their time under pressure (the paper used
+// the nine devices above 30%).
+func (f *Fleet) Fig6Transitions(minHighShare float64) Fig6Stats {
+	counts := make(map[proc.Level]map[proc.Level]int)
+	dwell := make(map[proc.Level][]float64)
+	for _, l := range f.Logs {
+		if highPressureShare(l) < minHighShare {
+			continue
+		}
+		for _, tr := range l.Transitions {
+			if counts[tr.From] == nil {
+				counts[tr.From] = make(map[proc.Level]int)
+			}
+			counts[tr.From][tr.To]++
+			dwell[tr.From] = append(dwell[tr.From], tr.Dwell.Seconds())
+		}
+	}
+	out := Fig6Stats{
+		NextShare: make(map[proc.Level]map[proc.Level]float64),
+		Dwell:     make(map[proc.Level]stats.BoxPlot),
+	}
+	for from, tos := range counts {
+		total := 0
+		for _, c := range tos {
+			total += c
+		}
+		out.NextShare[from] = make(map[proc.Level]float64)
+		for to, c := range tos {
+			out.NextShare[from][to] = 100 * float64(c) / float64(total)
+		}
+	}
+	for from, xs := range dwell {
+		out.Dwell[from] = stats.NewBoxPlot(xs)
+	}
+	return out
+}
+
+// Insights are the §3 rows of Table 1.
+type Insights struct {
+	// PctAnySignal is the share of devices receiving at least one
+	// Moderate/Low/Critical signal per hour (paper: 63%).
+	PctAnySignal float64
+	// PctManyCritical is the share receiving > 10 critical signals
+	// per hour (paper: 19%).
+	PctManyCritical float64
+	// PctUtilOver60 is the share with median utilization ≥ 60%
+	// (paper: 80%).
+	PctUtilOver60 float64
+	// PctHighTimeOver50 is the share spending > 50% of time under
+	// pressure (paper: 10%).
+	PctHighTimeOver50 float64
+	// PctHighTimeOver2 is the share spending ≥ 2% of time under
+	// pressure (paper: 35%).
+	PctHighTimeOver2 float64
+}
+
+// Table1 computes the §3 key-insight fractions.
+func (f *Fleet) Table1() Insights {
+	var ins Insights
+	n := float64(len(f.Logs))
+	if n == 0 {
+		return ins
+	}
+	for _, l := range f.Logs {
+		any := l.SignalsPerHour[proc.Moderate] + l.SignalsPerHour[proc.Low] + l.SignalsPerHour[proc.Critical]
+		if any >= 1 {
+			ins.PctAnySignal += 100 / n
+		}
+		if l.SignalsPerHour[proc.Critical] > 10 {
+			ins.PctManyCritical += 100 / n
+		}
+		if l.MedianUtilization >= 0.60 {
+			ins.PctUtilOver60 += 100 / n
+		}
+		if hs := highPressureShare(l); hs > 0.5 {
+			ins.PctHighTimeOver50 += 100 / n
+		} else if hs >= 0.02 {
+			ins.PctHighTimeOver2 += 100 / n
+		}
+	}
+	// Over-2% includes the over-50% devices.
+	ins.PctHighTimeOver2 += ins.PctHighTimeOver50
+	return ins
+}

@@ -1,0 +1,140 @@
+package study
+
+import (
+	"testing"
+	"time"
+
+	"coalqoe/internal/proc"
+	"coalqoe/internal/units"
+)
+
+// craftedFleet builds a fleet with hand-written logs so the analytics
+// are testable without simulation.
+func craftedFleet() *Fleet {
+	mkUser := func(id string, ram units.Bytes) *User {
+		return &User{ID: id, RAM: ram, InteractiveHours: 20,
+			Ratings: map[Activity]int{PlayingGames: 1, ListeningMusic: 3, StreamingVideo: 5}}
+	}
+	u1 := mkUser("quiet", 4*units.GiB)
+	u2 := mkUser("pressured", 1*units.GiB)
+	f := &Fleet{Recruited: []*User{u1, u2}, Kept: []*User{u1, u2}}
+	f.Logs = []*DeviceLog{
+		{
+			User: u1, ObservedHours: 1,
+			SignalsPerHour:    map[proc.Level]float64{},
+			TimeShare:         map[proc.Level]float64{proc.Normal: 1},
+			MedianUtilization: 0.5,
+			AvailableByLevel:  map[proc.Level][]float64{proc.Normal: {2000, 2100}},
+		},
+		{
+			User: u2, ObservedHours: 1,
+			SignalsPerHour: map[proc.Level]float64{proc.Moderate: 5, proc.Critical: 12},
+			TimeShare: map[proc.Level]float64{
+				proc.Normal: 0.4, proc.Moderate: 0.3, proc.Low: 0.1, proc.Critical: 0.2,
+			},
+			MedianUtilization: 0.85,
+			AvailableByLevel: map[proc.Level][]float64{
+				proc.Moderate: {120, 140}, proc.Critical: {60, 70},
+			},
+			Transitions: []Transition{
+				{From: proc.Normal, To: proc.Moderate, Dwell: 10 * time.Second},
+				{From: proc.Moderate, To: proc.Critical, Dwell: 5 * time.Second},
+				{From: proc.Critical, To: proc.Low, Dwell: 12 * time.Second},
+				{From: proc.Low, To: proc.Critical, Dwell: 3 * time.Second},
+				{From: proc.Critical, To: proc.Normal, Dwell: 11 * time.Second},
+			},
+		},
+	}
+	return f
+}
+
+func TestTable1Crafted(t *testing.T) {
+	ins := craftedFleet().Table1()
+	if ins.PctAnySignal != 50 {
+		t.Errorf("PctAnySignal = %v, want 50", ins.PctAnySignal)
+	}
+	if ins.PctManyCritical != 50 {
+		t.Errorf("PctManyCritical = %v, want 50", ins.PctManyCritical)
+	}
+	if ins.PctUtilOver60 != 50 {
+		t.Errorf("PctUtilOver60 = %v, want 50", ins.PctUtilOver60)
+	}
+	if ins.PctHighTimeOver50 != 50 {
+		t.Errorf("PctHighTimeOver50 = %v (pressured device is 60%% out of Normal)", ins.PctHighTimeOver50)
+	}
+	if ins.PctHighTimeOver2 != 50 {
+		t.Errorf("PctHighTimeOver2 = %v, want 50 (includes the >50%% device)", ins.PctHighTimeOver2)
+	}
+}
+
+func TestFig5TopDevicesCrafted(t *testing.T) {
+	top := craftedFleet().Fig5TopDevices(1)
+	if len(top) != 1 || top[0].User != "pressured" {
+		t.Fatalf("top device = %+v", top)
+	}
+	crit := top[0].ByLevel[proc.Critical]
+	if crit.N != 2 || crit.Min != 60 || crit.Max != 70 {
+		t.Errorf("critical availability summary = %+v", crit)
+	}
+	// The paper's ordering: mean available lowest at Critical.
+	mod := top[0].ByLevel[proc.Moderate]
+	if crit.Mean >= mod.Mean {
+		t.Errorf("available at Critical (%v) should be below Moderate (%v)", crit.Mean, mod.Mean)
+	}
+}
+
+func TestFig6TransitionsCrafted(t *testing.T) {
+	st := craftedFleet().Fig6Transitions(0.5)
+	// Out of Critical: one to Low, one to Normal -> 50/50.
+	if got := st.NextShare[proc.Critical][proc.Low]; got != 50 {
+		t.Errorf("Critical->Low = %v%%, want 50", got)
+	}
+	if got := st.NextShare[proc.Critical][proc.Normal]; got != 50 {
+		t.Errorf("Critical->Normal = %v%%, want 50", got)
+	}
+	dwell := st.Dwell[proc.Critical]
+	if dwell.N != 2 || dwell.Min != 11 || dwell.Max != 12 {
+		t.Errorf("Critical dwell = %+v", dwell)
+	}
+	// Threshold excludes the quiet device entirely.
+	if _, ok := st.NextShare[proc.Low]; !ok {
+		t.Error("Low transitions missing")
+	}
+}
+
+func TestFig3Fig4Crafted(t *testing.T) {
+	f := craftedFleet()
+	pts := f.Fig3Scatter()
+	if len(pts) != 6 {
+		t.Fatalf("fig3 points = %d, want 2 users x 3 levels", len(pts))
+	}
+	var critPerHour float64
+	for _, p := range pts {
+		if p.User == "pressured" && p.Level == proc.Critical {
+			critPerHour = p.PerHour
+		}
+	}
+	if critPerHour != 12 {
+		t.Errorf("critical rate = %v, want 12", critPerHour)
+	}
+	shares := f.Fig4TimeShares()
+	var modShare float64
+	for _, p := range shares {
+		if p.User == "pressured" && p.Level == proc.Moderate {
+			modShare = p.Share
+		}
+	}
+	if modShare != 0.3 {
+		t.Errorf("moderate share = %v, want 0.3", modShare)
+	}
+}
+
+func TestFig2CDFCrafted(t *testing.T) {
+	cdf := craftedFleet().Fig2CDF()
+	if got := cdf.At(0.5); got != 0.5 {
+		t.Errorf("P[util<=0.5] = %v, want 0.5", got)
+	}
+	if got := cdf.At(0.9); got != 1 {
+		t.Errorf("P[util<=0.9] = %v, want 1", got)
+	}
+}

@@ -1,0 +1,168 @@
+package study
+
+import (
+	"testing"
+	"time"
+
+	"coalqoe/internal/proc"
+	"coalqoe/internal/units"
+)
+
+func TestGenerateUsersDemographics(t *testing.T) {
+	users := GenerateUsers(80, 1)
+	if len(users) != 80 {
+		t.Fatalf("generated %d users", len(users))
+	}
+	small, kept := 0, 0
+	for _, u := range users {
+		if u.RAM < units.GiB || u.RAM > 8*units.GiB {
+			t.Errorf("user %s RAM %v out of the study's 1-8 GB range", u.ID, u.RAM)
+		}
+		if u.RAM <= 2*units.GiB {
+			small++
+		}
+		if u.InteractiveHours >= MinInteractiveHours {
+			kept++
+		}
+		for _, a := range Activities {
+			if r := u.Ratings[a]; r < 1 || r > 5 {
+				t.Errorf("rating %d out of range", r)
+			}
+		}
+	}
+	if small < 10 {
+		t.Errorf("only %d low-RAM devices; the study skews low-end", small)
+	}
+	// The paper kept 48 of 80; ours should also lose a meaningful
+	// fraction to the 10-hour filter.
+	if kept == 80 || kept < 40 {
+		t.Errorf("kept %d of 80, want a majority but not all", kept)
+	}
+}
+
+func TestGenerateUsersDeterministic(t *testing.T) {
+	a := GenerateUsers(10, 7)
+	b := GenerateUsers(10, 7)
+	for i := range a {
+		if *&a[i].RAM != *&b[i].RAM || a[i].LaunchEvery != b[i].LaunchEvery {
+			t.Fatalf("user %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestSurveyVideoMostFrequent(t *testing.T) {
+	users := GenerateUsers(300, 3)
+	sum := map[Activity]int{}
+	for _, u := range users {
+		for a, r := range u.Ratings {
+			sum[a] += r
+		}
+	}
+	if !(sum[StreamingVideo] > sum[ListeningMusic] && sum[ListeningMusic] > sum[PlayingGames]) {
+		t.Errorf("activity ordering wrong: video=%d music=%d games=%d",
+			sum[StreamingVideo], sum[ListeningMusic], sum[PlayingGames])
+	}
+}
+
+func TestRunUserProducesTelemetry(t *testing.T) {
+	u := &User{
+		ID: "t", RAM: units.GiB, Cores: 4, CoreSpeed: 1.1,
+		InteractiveHours: 0.15, // 9 minutes: fast test
+		LaunchEvery:      15 * time.Second,
+		AppMiB:           200,
+		MultitaskApps:    5,
+		Ratings:          map[Activity]int{PlayingGames: 5, ListeningMusic: 3, StreamingVideo: 5},
+	}
+	log := RunUser(u, 11)
+	if len(log.Samples) < 450 {
+		t.Fatalf("got %d samples for a 9-minute run, want ~540", len(log.Samples))
+	}
+	if log.MedianUtilization <= 0 || log.MedianUtilization >= 1 {
+		t.Errorf("median utilization = %v", log.MedianUtilization)
+	}
+	var share float64
+	for _, s := range log.TimeShare {
+		share += s
+	}
+	if share < 0.9 || share > 1.1 {
+		t.Errorf("time shares sum to %v, want ~1", share)
+	}
+	// A 1 GiB device cycling 200 MiB apps should see pressure signals.
+	if log.SignalsPerHour[proc.Moderate]+log.SignalsPerHour[proc.Low]+log.SignalsPerHour[proc.Critical] == 0 {
+		t.Error("no pressure signals on a hard-driven 1 GiB device")
+	}
+}
+
+func TestTransitionsFromSamples(t *testing.T) {
+	samples := []Sample{
+		{At: 0, Level: proc.Normal},
+		{At: time.Second, Level: proc.Normal},
+		{At: 2 * time.Second, Level: proc.Moderate},
+		{At: 3 * time.Second, Level: proc.Moderate},
+		{At: 4 * time.Second, Level: proc.Critical},
+		{At: 5 * time.Second, Level: proc.Normal},
+	}
+	trs := transitions(samples)
+	if len(trs) != 3 {
+		t.Fatalf("got %d transitions, want 3", len(trs))
+	}
+	if trs[0].From != proc.Normal || trs[0].To != proc.Moderate || trs[0].Dwell != 2*time.Second {
+		t.Errorf("first transition = %+v", trs[0])
+	}
+	if trs[1].From != proc.Moderate || trs[1].Dwell != 2*time.Second {
+		t.Errorf("second transition = %+v", trs[1])
+	}
+}
+
+func TestSmallFleetEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulation is slow")
+	}
+	// Shrink the per-user span via InteractiveHours override.
+	users := GenerateUsers(12, 5)
+	f := &Fleet{Recruited: users}
+	for _, u := range users {
+		u.InteractiveHours = MinInteractiveHours // keep everyone
+		f.Kept = append(f.Kept, u)
+	}
+	f.Logs = make([]*DeviceLog, len(f.Kept))
+	for i, u := range f.Kept {
+		short := *u
+		short.InteractiveHours = 0.05 // 3 minutes each
+		f.Logs[i] = RunUser(&short, int64(i))
+	}
+
+	cdf := f.Fig2CDF()
+	if cdf.N() != 12 {
+		t.Errorf("CDF over %d devices", cdf.N())
+	}
+	heat := f.Fig1Heatmap()
+	for _, a := range Activities {
+		total := 0.0
+		for _, frac := range heat[a] {
+			total += frac
+		}
+		if total < 0.99 || total > 1.01 {
+			t.Errorf("heatmap row %v sums to %v", a, total)
+		}
+	}
+	if pts := f.Fig3Scatter(); len(pts) != 12*3 {
+		t.Errorf("fig3 has %d points", len(pts))
+	}
+	if pts := f.Fig4TimeShares(); len(pts) != 12*3 {
+		t.Errorf("fig4 has %d points", len(pts))
+	}
+	top := f.Fig5TopDevices(5)
+	if len(top) != 5 {
+		t.Fatalf("got %d top devices", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].HighShare > top[i-1].HighShare {
+			t.Error("top devices not sorted by pressure share")
+		}
+	}
+	ins := f.Table1()
+	if ins.PctUtilOver60 < 0 || ins.PctUtilOver60 > 100 {
+		t.Errorf("insights out of range: %+v", ins)
+	}
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Interval is one contiguous span a thread spent in a state — the
+// row format of a Perfetto scheduling track.
+type Interval struct {
+	Key   ThreadKey
+	State State
+	Start time.Duration
+	End   time.Duration
+}
+
+// Duration returns the interval length.
+func (iv Interval) Duration() time.Duration { return iv.End - iv.Start }
+
+// KeepIntervals switches the tracer to record every state interval in
+// addition to the aggregates. Recording is off by default because a
+// multi-minute session generates hundreds of thousands of transitions;
+// turn it on for sessions you intend to export.
+func (t *Tracer) KeepIntervals(on bool) { t.keepIntervals = on }
+
+// Intervals returns the recorded intervals in chronological order.
+// Only populated after KeepIntervals(true).
+func (t *Tracer) Intervals() []Interval {
+	out := append([]Interval(nil), t.intervals...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Key.TID < out[j].Key.TID
+	})
+	return out
+}
+
+// WriteText dumps a human-readable trace: a per-thread summary sorted
+// by running time (the "top running threads" view of §5), and, if
+// interval recording was enabled, the chronological interval log.
+func (t *Tracer) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# trace over %v\n", t.Duration()); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "#\n# top running threads\n")
+	fmt.Fprintf(w, "%-5s %-20s %-24s %12s %12s %12s %6s\n",
+		"tid", "thread", "process", "running", "runnable", "dsleep", "migr")
+	for _, rank := range t.TopRunning(0) {
+		r := t.threads[rank.Key.TID]
+		fmt.Fprintf(w, "%-5d %-20s %-24s %12v %12v %12v %6d\n",
+			rank.Key.TID, rank.Key.Name, rank.Key.Process,
+			r.inState[Running].Round(time.Millisecond),
+			(r.inState[Runnable] + r.inState[RunnablePreempted]).Round(time.Millisecond),
+			r.inState[UninterruptibleSleep].Round(time.Millisecond),
+			rank.Migrations)
+	}
+	if len(t.preempt) > 0 {
+		fmt.Fprintf(w, "#\n# preemption events: %d\n", len(t.preempt))
+	}
+	if t.keepIntervals {
+		fmt.Fprintf(w, "#\n# intervals\n")
+		for _, iv := range t.Intervals() {
+			if _, err := fmt.Fprintf(w, "%12v %12v %-20s %-24s %s\n",
+				iv.Start, iv.End, iv.Key.Name, iv.Key.Process, iv.State); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

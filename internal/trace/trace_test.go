@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func key(tid int, name, proc string) ThreadKey {
+	return ThreadKey{TID: tid, Name: name, Process: proc}
+}
+
+func TestTimeInState(t *testing.T) {
+	tr := New(0)
+	k := key(1, "MediaCodec", "firefox")
+	tr.Register(k, Sleeping, 0)
+	tr.Transition(1, Running, 0, 10*time.Millisecond)
+	tr.Transition(1, Runnable, -1, 30*time.Millisecond)
+	tr.Transition(1, Running, 0, 50*time.Millisecond)
+	tr.Finish(100 * time.Millisecond)
+
+	f := ByProcess("firefox")
+	if got := tr.TimeInState(f, Sleeping); got != 10*time.Millisecond {
+		t.Errorf("Sleeping = %v, want 10ms", got)
+	}
+	if got := tr.TimeInState(f, Running); got != 70*time.Millisecond {
+		t.Errorf("Running = %v, want 70ms", got)
+	}
+	if got := tr.TimeInState(f, Runnable); got != 20*time.Millisecond {
+		t.Errorf("Runnable = %v, want 20ms", got)
+	}
+}
+
+func TestStateBreakdownSumsToSpan(t *testing.T) {
+	tr := New(0)
+	tr.Register(key(1, "a", "p"), Sleeping, 0)
+	tr.Transition(1, Running, 0, 25*time.Millisecond)
+	tr.Transition(1, UninterruptibleSleep, -1, 60*time.Millisecond)
+	tr.Finish(200 * time.Millisecond)
+	var sum time.Duration
+	for _, d := range tr.StateBreakdown(ByProcess("p")) {
+		sum += d
+	}
+	if sum != 200*time.Millisecond {
+		t.Errorf("state breakdown sums to %v, want 200ms", sum)
+	}
+}
+
+func TestSameStateTransitionKeepsInterval(t *testing.T) {
+	tr := New(0)
+	tr.Register(key(1, "a", "p"), Running, 0)
+	tr.Transition(1, Running, 0, 50*time.Millisecond) // no-op
+	tr.Finish(100 * time.Millisecond)
+	if got := tr.TimeInState(ByProcess("p"), Running); got != 100*time.Millisecond {
+		t.Errorf("Running = %v, want 100ms", got)
+	}
+}
+
+func TestTopRunningAndRank(t *testing.T) {
+	tr := New(0)
+	tr.Register(key(1, "kswapd0", "kernel"), Running, 0)
+	tr.Register(key(2, "GeckoMain", "firefox"), Sleeping, 0)
+	tr.Transition(2, Running, 1, 0)
+	tr.Transition(1, Sleeping, -1, 30*time.Millisecond) // kswapd ran 30ms
+	tr.Finish(100 * time.Millisecond)                   // firefox ran 100ms
+
+	top := tr.TopRunning(2)
+	if top[0].Key.Name != "GeckoMain" || top[1].Key.Name != "kswapd0" {
+		t.Errorf("unexpected order: %v, %v", top[0].Key.Name, top[1].Key.Name)
+	}
+	if got := tr.RankOf("kswapd0"); got != 2 {
+		t.Errorf("RankOf(kswapd0) = %d, want 2", got)
+	}
+	if got := tr.RankOf("nonexistent"); got != 0 {
+		t.Errorf("RankOf(nonexistent) = %d, want 0", got)
+	}
+}
+
+func TestMigrations(t *testing.T) {
+	tr := New(0)
+	tr.Register(key(1, "kswapd0", "kernel"), Sleeping, 0)
+	tr.Transition(1, Running, 0, 0)
+	tr.Transition(1, Runnable, -1, 10*time.Millisecond)
+	tr.Transition(1, Running, 1, 20*time.Millisecond) // migrated 0->1
+	tr.Transition(1, Runnable, -1, 30*time.Millisecond)
+	tr.Transition(1, Running, 1, 40*time.Millisecond) // same core
+	tr.Transition(1, Runnable, -1, 50*time.Millisecond)
+	tr.Transition(1, Running, 3, 60*time.Millisecond) // migrated 1->3
+	tr.Finish(70 * time.Millisecond)
+	if got := tr.Migrations(1); got != 2 {
+		t.Errorf("Migrations = %d, want 2", got)
+	}
+}
+
+func TestPreemptionResolution(t *testing.T) {
+	tr := New(0)
+	victim := key(1, "MediaCodec", "firefox")
+	mmcqd := key(2, "mmcqd/0", "kernel")
+	tr.Register(victim, Running, 0)
+	tr.Register(mmcqd, Sleeping, 0)
+
+	// At t=10ms mmcqd preempts the codec thread.
+	tr.Transition(1, RunnablePreempted, -1, 10*time.Millisecond)
+	tr.Transition(2, Running, 0, 10*time.Millisecond)
+	tr.RecordPreemption(victim, mmcqd, 10*time.Millisecond)
+
+	// mmcqd runs 4ms, then the victim resumes at 20ms.
+	tr.Transition(2, Sleeping, -1, 14*time.Millisecond)
+	tr.PreemptorStopped(2, 14*time.Millisecond)
+	tr.Transition(1, Running, 0, 20*time.Millisecond)
+	tr.Finish(30 * time.Millisecond)
+
+	s := tr.PreemptionsBy(ByName("mmcqd"), ByProcess("firefox"))
+	if s.Count != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count)
+	}
+	if s.PreemptorRanFor != 4*time.Millisecond {
+		t.Errorf("PreemptorRanFor = %v, want 4ms", s.PreemptorRanFor)
+	}
+	if s.VictimsWaitedFor != 10*time.Millisecond {
+		t.Errorf("VictimsWaitedFor = %v, want 10ms", s.VictimsWaitedFor)
+	}
+	if got := tr.TimeInState(ByProcess("firefox"), RunnablePreempted); got != 10*time.Millisecond {
+		t.Errorf("RunnablePreempted = %v, want 10ms", got)
+	}
+}
+
+func TestFinishResolvesOpenPreemptions(t *testing.T) {
+	tr := New(0)
+	victim := key(1, "v", "p")
+	pre := key(2, "rt", "kernel")
+	tr.Register(victim, Running, 0)
+	tr.Register(pre, Sleeping, 0)
+	tr.Transition(1, RunnablePreempted, -1, 5*time.Millisecond)
+	tr.Transition(2, Running, 0, 5*time.Millisecond)
+	tr.RecordPreemption(victim, pre, 5*time.Millisecond)
+	tr.Finish(25 * time.Millisecond)
+	s := tr.PreemptionsBy(ByName("rt"), ByProcess("p"))
+	if s.PreemptorRanFor != 20*time.Millisecond || s.VictimsWaitedFor != 20*time.Millisecond {
+		t.Errorf("unresolved preemption not closed at Finish: %+v", s)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	k := key(9, "mmcqd/0", "kernel")
+	if !ByName("mmcqd")(k) || ByName("kswapd")(k) {
+		t.Error("ByName misbehaves")
+	}
+	if !AnyOf(ByName("zzz"), ByProcess("kernel"))(k) {
+		t.Error("AnyOf misbehaves")
+	}
+	if AnyOf(ByName("zzz"))(k) {
+		t.Error("AnyOf matched nothing")
+	}
+}
+
+func TestUnregisterClosesInterval(t *testing.T) {
+	tr := New(0)
+	tr.Register(key(1, "a", "p"), Running, 0)
+	tr.Unregister(1, 40*time.Millisecond)
+	tr.Finish(100 * time.Millisecond)
+	if got := tr.TimeInState(ByProcess("p"), Running); got != 40*time.Millisecond {
+		t.Errorf("Running = %v, want 40ms", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if RunnablePreempted.String() != "Runnable (Preempted)" {
+		t.Errorf("got %q", RunnablePreempted.String())
+	}
+	if State(99).String() == "" {
+		t.Error("unknown state should still render")
+	}
+}
+
+func TestDuration(t *testing.T) {
+	tr := New(time.Second)
+	tr.Register(key(1, "a", "p"), Sleeping, time.Second)
+	tr.Finish(3 * time.Second)
+	if tr.Duration() != 2*time.Second {
+		t.Errorf("Duration = %v, want 2s", tr.Duration())
+	}
+}
+
+func TestIntervalRecordingAndExport(t *testing.T) {
+	tr := New(0)
+	tr.KeepIntervals(true)
+	tr.Register(key(1, "MediaCodec", "firefox"), Sleeping, 0)
+	tr.Transition(1, Running, 0, 10*time.Millisecond)
+	tr.Transition(1, Runnable, -1, 30*time.Millisecond)
+	tr.Finish(50 * time.Millisecond)
+
+	ivs := tr.Intervals()
+	if len(ivs) != 3 {
+		t.Fatalf("got %d intervals, want 3", len(ivs))
+	}
+	var total time.Duration
+	for i, iv := range ivs {
+		total += iv.Duration()
+		if i > 0 && iv.Start < ivs[i-1].Start {
+			t.Error("intervals not sorted")
+		}
+	}
+	if total != 50*time.Millisecond {
+		t.Errorf("intervals cover %v, want 50ms", total)
+	}
+
+	var buf strings.Builder
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, needle := range []string{"MediaCodec", "firefox", "intervals", "Running"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("export missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestIntervalsOffByDefault(t *testing.T) {
+	tr := New(0)
+	tr.Register(key(1, "a", "p"), Sleeping, 0)
+	tr.Transition(1, Running, 0, 10*time.Millisecond)
+	tr.Finish(20 * time.Millisecond)
+	if len(tr.Intervals()) != 0 {
+		t.Error("intervals recorded without KeepIntervals")
+	}
+}

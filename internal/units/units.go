@@ -1,0 +1,89 @@
+// Package units provides byte-size, page, and rate units shared by the
+// simulator packages.
+//
+// The memory model works in 4 KiB pages, matching the Android/Linux page
+// size the paper describes (§2: "Typically, a page is 4 KB of memory").
+// All conversions between bytes and pages live here so that rounding is
+// consistent across packages.
+package units
+
+import "fmt"
+
+// Bytes is a byte count. It is a distinct type so that byte quantities
+// are not confused with page counts in function signatures.
+type Bytes int64
+
+// Common byte sizes.
+const (
+	KiB Bytes = 1 << 10
+	MiB Bytes = 1 << 20
+	GiB Bytes = 1 << 30
+)
+
+// PageSize is the size of one physical memory page.
+const PageSize = 4 * KiB
+
+// Pages is a count of 4 KiB physical pages.
+type Pages int64
+
+// PagesOf returns the number of pages needed to hold b bytes, rounding up.
+func PagesOf(b Bytes) Pages {
+	if b <= 0 {
+		return 0
+	}
+	return Pages((b + PageSize - 1) / PageSize)
+}
+
+// Bytes returns the byte size of p pages.
+func (p Pages) Bytes() Bytes { return Bytes(p) * PageSize }
+
+// MiB returns the size of p pages in mebibytes as a float.
+func (p Pages) MiB() float64 { return float64(p.Bytes()) / float64(MiB) }
+
+// String renders a byte count in a human-friendly unit.
+func (b Bytes) String() string {
+	switch {
+	case b >= GiB && b%GiB == 0:
+		return fmt.Sprintf("%dGiB", b/GiB)
+	case b >= GiB:
+		return fmt.Sprintf("%.2fGiB", float64(b)/float64(GiB))
+	case b >= MiB && b%MiB == 0:
+		return fmt.Sprintf("%dMiB", b/MiB)
+	case b >= MiB:
+		return fmt.Sprintf("%.2fMiB", float64(b)/float64(MiB))
+	case b >= KiB:
+		return fmt.Sprintf("%.1fKiB", float64(b)/float64(KiB))
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// MiBf returns the byte count as a float number of mebibytes.
+func (b Bytes) MiBf() float64 { return float64(b) / float64(MiB) }
+
+// BitsPerSecond is a network or disk throughput rate.
+type BitsPerSecond float64
+
+// Common rates.
+const (
+	Kbps BitsPerSecond = 1e3
+	Mbps BitsPerSecond = 1e6
+	Gbps BitsPerSecond = 1e9
+)
+
+// BytesPerSecond converts a bit rate to a byte rate.
+func (r BitsPerSecond) BytesPerSecond() float64 { return float64(r) / 8 }
+
+// String renders a rate in a human-friendly unit.
+func (r BitsPerSecond) String() string {
+	switch {
+	case r >= Gbps:
+		return fmt.Sprintf("%.2fGbps", float64(r)/float64(Gbps))
+	case r >= Mbps:
+		return fmt.Sprintf("%.2fMbps", float64(r)/float64(Mbps))
+	case r >= Kbps:
+		return fmt.Sprintf("%.1fKbps", float64(r)/float64(Kbps))
+	default:
+		return fmt.Sprintf("%.0fbps", float64(r))
+	}
+}

@@ -1,0 +1,108 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPagesOf(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want Pages
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1},
+		{PageSize, 1},
+		{PageSize + 1, 2},
+		{2 * PageSize, 2},
+		{MiB, 256},
+		{GiB, 256 * 1024},
+	}
+	for _, c := range cases {
+		if got := PagesOf(c.in); got != c.want {
+			t.Errorf("PagesOf(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPagesBytesRoundTrip(t *testing.T) {
+	f := func(n uint16) bool {
+		p := Pages(n)
+		return PagesOf(p.Bytes()) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPagesOfNeverUnderAllocates(t *testing.T) {
+	f := func(n uint32) bool {
+		b := Bytes(n)
+		return PagesOf(b).Bytes() >= b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPagesOfTight(t *testing.T) {
+	// Never over-allocates by a full page.
+	f := func(n uint32) bool {
+		b := Bytes(n)
+		if b == 0 {
+			return PagesOf(b) == 0
+		}
+		return PagesOf(b).Bytes()-b < PageSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{512, "512B"},
+		{2 * KiB, "2.0KiB"},
+		{3 * MiB, "3MiB"},
+		{GiB, "1GiB"},
+		{GiB + 512*MiB, "1.50GiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRateString(t *testing.T) {
+	cases := []struct {
+		in   BitsPerSecond
+		want string
+	}{
+		{500, "500bps"},
+		{8 * Kbps, "8.0Kbps"},
+		{5 * Mbps, "5.00Mbps"},
+		{2 * Gbps, "2.00Gbps"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBytesPerSecond(t *testing.T) {
+	if got := (8 * Mbps).BytesPerSecond(); got != 1e6 {
+		t.Errorf("8Mbps = %v B/s, want 1e6", got)
+	}
+}
+
+func TestPagesMiB(t *testing.T) {
+	if got := Pages(256).MiB(); got != 1.0 {
+		t.Errorf("256 pages = %v MiB, want 1", got)
+	}
+}
