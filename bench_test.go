@@ -81,3 +81,29 @@ func BenchmarkAblationAdaptOrder(b *testing.B) { benchExperiment(b, "abl-order")
 
 func BenchmarkLadderOptimization(b *testing.B) { benchExperiment(b, "ladder") }
 func BenchmarkAblationKswapdPin(b *testing.B)  { benchExperiment(b, "abl-kswapd-pin") }
+
+// Executor scaling: the same grid experiment pinned to one worker vs
+// fanned across GOMAXPROCS. Output is byte-identical either way (see
+// internal/exp/exec_test.go); only wall clock changes. Recorded numbers
+// live in results/parallel-bench.txt.
+
+func benchExperimentWorkers(b *testing.B, id string, workers int) {
+	b.Helper()
+	e, err := exp.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rep := e.Run(exp.Options{Quick: true, Seed: int64(i), Parallel: workers})
+		if len(rep.Lines) == 0 {
+			b.Fatalf("experiment %s produced no output", id)
+		}
+	}
+}
+
+func BenchmarkFigure9Serial(b *testing.B)    { benchExperimentWorkers(b, "fig9", 1) }
+func BenchmarkFigure9Parallel(b *testing.B)  { benchExperimentWorkers(b, "fig9", 0) }
+func BenchmarkFigure12Serial(b *testing.B)   { benchExperimentWorkers(b, "fig12", 1) }
+func BenchmarkFigure12Parallel(b *testing.B) { benchExperimentWorkers(b, "fig12", 0) }
+func BenchmarkTable2Serial(b *testing.B)     { benchExperimentWorkers(b, "tab2", 1) }
+func BenchmarkTable2Parallel(b *testing.B)   { benchExperimentWorkers(b, "tab2", 0) }

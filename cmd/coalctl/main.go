@@ -1,9 +1,12 @@
 // Command coalctl runs the paper's experiments: every figure and table
-// has a registered regenerator.
+// has a registered regenerator. Independent runs (grid cells × repeats)
+// fan out across a worker pool; output is byte-identical at any
+// parallelism.
 //
 //	coalctl list
-//	coalctl run fig9            # full fidelity (5 runs, 3-minute clips)
-//	coalctl run -quick tab5     # fast pass
+//	coalctl run fig9                 # full fidelity (5 runs, 3-minute clips)
+//	coalctl -quick run tab5          # fast pass
+//	coalctl -parallel 8 run fig9     # explicit worker count (0 = GOMAXPROCS)
 //	coalctl run all
 package main
 
@@ -21,6 +24,8 @@ func main() {
 	quick := flag.Bool("quick", false, "fewer runs and shorter clips")
 	seed := flag.Int64("seed", 0, "base seed")
 	runs := flag.Int("runs", 0, "override repetition count")
+	parallel := flag.Int("parallel", 0, "executor worker count (0 = GOMAXPROCS, 1 = serial)")
+	noProgress := flag.Bool("no-progress", false, "suppress the live progress line on stderr")
 	outDir := flag.String("out", "", "also write each report to <dir>/<id>.txt")
 	flag.Parse()
 	args := flag.Args()
@@ -36,7 +41,7 @@ func main() {
 		if len(args) < 2 {
 			usage()
 		}
-		opts := exp.Options{Quick: *quick, Seed: *seed, Runs: *runs}
+		opts := exp.Options{Quick: *quick, Seed: *seed, Runs: *runs, Parallel: *parallel}
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				fatal(err)
@@ -44,7 +49,7 @@ func main() {
 		}
 		if args[1] == "all" {
 			for _, e := range exp.All() {
-				runOne(e, opts, *outDir)
+				runOne(e, opts, *outDir, !*noProgress)
 			}
 			return
 		}
@@ -53,18 +58,35 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			runOne(e, opts, *outDir)
+			runOne(e, opts, *outDir, !*noProgress)
 		}
 	default:
 		usage()
 	}
 }
 
-func runOne(e exp.Experiment, opts exp.Options, outDir string) {
+func runOne(e exp.Experiment, opts exp.Options, outDir string, progress bool) {
 	start := time.Now()
+	totalRuns := 0
+	if progress {
+		// The executor serializes progress callbacks; track the run
+		// totals and repaint one stderr status line in place.
+		opts.Progress = func(ev exp.ProgressEvent) {
+			totalRuns = ev.Total
+			fmt.Fprintf(os.Stderr, "\r%-10s %d/%d runs (%d in flight, %v elapsed)\x1b[K",
+				e.ID, ev.Done, ev.Total, ev.Started-ev.Done, time.Since(start).Round(time.Second))
+		}
+	}
 	rep := e.Run(opts)
+	if progress {
+		fmt.Fprintf(os.Stderr, "\r\x1b[K")
+	}
 	fmt.Print(rep)
-	fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("(%s completed in %v", e.ID, time.Since(start).Round(time.Millisecond))
+	if totalRuns > 0 {
+		fmt.Printf(", %d runs on %d workers", totalRuns, opts.Workers())
+	}
+	fmt.Print(")\n\n")
 	if outDir != "" {
 		path := filepath.Join(outDir, e.ID+".txt")
 		if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {

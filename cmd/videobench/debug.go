@@ -15,6 +15,7 @@ func debugRun(cfg exp.VideoRun, enabled bool) {
 	if !enabled {
 		return
 	}
+	cfg.KeepDevice = true
 	cfg.OnSession = func(sess *player.Session, dev *device.Device) {
 		dev.Clock.Every(time.Second, func() {
 			fmt.Printf("t=%3ds P=%5.1f free=%7s cached=%2d lvl=%-8s kills=%2d fg=%d zram=%s deficit=%.3f kswapdCPU=%v mmcqdCPU=%v swapins=%d refaults=%d active=%v\n",

@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel run executor. Every registered experiment
+// replays its independent VideoRuns (grid cells × repeats) through it,
+// fanning work across a worker pool while keeping the output
+// byte-identical to a serial execution:
+//
+//   - seeds are assigned up front, before any worker starts, using the
+//     exact serial rule (per-cell base seed + 1..n per repeat);
+//   - results land in a pre-sized slice at their input index, so report
+//     rows are formatted in input order regardless of completion order;
+//   - each VideoRun owns its device, clock and RNG, so runs share no
+//     state (the -race tests in exec_test.go hold the executor to it).
+
+// ProgressEvent describes executor progress within one batch of runs.
+// Events fire when a run is handed to a worker and when it completes.
+type ProgressEvent struct {
+	// Started counts runs handed to workers so far.
+	Started int
+	// Done counts runs completed so far.
+	Done int
+	// Total is the batch size.
+	Total int
+}
+
+// Workers resolves the worker-pool size: Options.Parallel when set,
+// otherwise GOMAXPROCS.
+func (o Options) Workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runJobs executes the fully-seeded runs across the worker pool and
+// returns results in input order. With one worker (or one job) it
+// degenerates to the plain serial loop.
+func runJobs(o Options, jobs []VideoRun) []Result {
+	results := make([]Result, len(jobs))
+	workers := o.Workers()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var mu sync.Mutex
+	started, done := 0, 0
+	emit := func() {
+		if o.Progress != nil {
+			o.Progress(ProgressEvent{Started: started, Done: done, Total: len(jobs)})
+		}
+	}
+
+	if workers <= 1 {
+		for i, cfg := range jobs {
+			started++
+			emit()
+			results[i] = Run(cfg)
+			done++
+			emit()
+		}
+		return results
+	}
+
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(jobs) {
+					return
+				}
+				mu.Lock()
+				started++
+				emit()
+				mu.Unlock()
+				results[i] = Run(jobs[i])
+				mu.Lock()
+				done++
+				emit()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// RepeatParallel is Repeat across the worker pool: n runs seeded
+// baseSeed+1..baseSeed+n, results in seed order. The output is
+// byte-identical to Repeat for the same arguments.
+func RepeatParallel(o Options, cfg VideoRun, n int, baseSeed int64) []Result {
+	jobs := make([]VideoRun, n)
+	for i := range jobs {
+		c := cfg
+		c.Seed = baseSeed + int64(i) + 1
+		jobs[i] = c
+	}
+	return runJobs(o, jobs)
+}
+
+// RunGrid executes o.Runs repeats of every cell across the worker pool
+// and returns results grouped per cell, in cell order. Each cell's
+// repeats are seeded CellSeed(o.Seed, cell)+1..+o.Runs — the serial
+// assignment rule applied to a per-cell base — so cells are mutually
+// independent yet individually reproducible, and parallel output is
+// byte-identical to serial.
+func RunGrid(o Options, cells []VideoRun) [][]Result {
+	o.applyDefaults()
+	jobs := make([]VideoRun, 0, len(cells)*o.Runs)
+	for _, cell := range cells {
+		base := CellSeed(o.Seed, cell)
+		for i := 0; i < o.Runs; i++ {
+			c := cell
+			c.Seed = base + int64(i) + 1
+			jobs = append(jobs, c)
+		}
+	}
+	flat := runJobs(o, jobs)
+	out := make([][]Result, len(cells))
+	for i := range cells {
+		out[i] = flat[i*o.Runs : (i+1)*o.Runs]
+	}
+	return out
+}
+
+// CellSeed derives the base seed for one grid cell: a stable FNV-1a
+// hash of the cell's identifying conditions (device, client, video,
+// resolution, frame rate, pressure state, organic-app count, ladder)
+// folded into the experiment seed. Before this derivation every cell of
+// a grid replayed the identical baseSeed+1..+n sequence, making cells
+// cross-correlated; hashing the conditions gives each cell its own seed
+// lane while cells that share all conditions (e.g. an ablation's
+// on/off variants, which differ only in device options) stay paired for
+// low-variance A/B comparison.
+func CellSeed(base int64, cell VideoRun) int64 {
+	cell.applyDefaults()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%s|%s|%d|%d|%d|%v",
+		cell.Profile.Name, cell.Client.Name, cell.Video.Title, cell.Video.Genre,
+		cell.Resolution, cell.FPS, cell.Pressure, cell.OrganicApps, cell.FPSOptions)
+	return base + int64(h.Sum64()&0x7fffffff)
+}
+
+// Unreached counts runs whose target pressure regime was never
+// established before PressureTimeout. Averaging such runs into drop or
+// crash statistics silently dilutes the measurement, so report rows
+// carry an annotation whenever the count is non-zero (see regimeNote).
+func Unreached(results []Result) int {
+	n := 0
+	for _, r := range results {
+		if !r.PressureReached {
+			n++
+		}
+	}
+	return n
+}
+
+// regimeNote annotates a report row when some of its runs never reached
+// the target pressure regime, so a mis-calibrated regime cannot
+// masquerade as a clean measurement.
+func regimeNote(results []Result) string {
+	if u := Unreached(results); u > 0 {
+		return fmt.Sprintf("  [%d/%d runs never reached target regime]", u, len(results))
+	}
+	return ""
+}

@@ -68,8 +68,20 @@ func TestRunNormalSession(t *testing.T) {
 	if res.Metrics.FramesRendered == 0 {
 		t.Error("nothing rendered")
 	}
-	if res.Device == nil || res.Session == nil {
-		t.Error("missing device/session handles")
+	if res.Device != nil || res.Session != nil {
+		t.Error("device/session retained without KeepDevice")
+	}
+	kept := Run(VideoRun{
+		Seed:       1,
+		Profile:    device.Nexus6P,
+		Video:      quickVideo(),
+		Resolution: dash.R480p,
+		FPS:        30,
+		Pressure:   proc.Normal,
+		KeepDevice: true,
+	})
+	if kept.Device == nil || kept.Session == nil {
+		t.Error("missing device/session handles with KeepDevice")
 	}
 }
 
@@ -153,6 +165,7 @@ func TestOrganicPressureRun(t *testing.T) {
 		Resolution:  dash.R480p,
 		FPS:         60,
 		OrganicApps: 8,
+		KeepDevice:  true,
 	})
 	if !res.PressureReached {
 		t.Error("organic runs count as reached")

@@ -13,11 +13,11 @@ import (
 	"coalqoe/internal/qoe"
 )
 
-// abrRun plays a pressured session with the given adaptation algorithm
-// attached and returns QoE.
-func abrRun(o Options, seed int64, algo func() abr.Algorithm, startRes dash.Resolution, startFPS int) player.Metrics {
-	res := Run(VideoRun{
-		Seed:       seed,
+// abrCell is a pressured session with the given adaptation algorithm
+// attached. The algorithm is constructed inside OnSession, per run, so
+// repeats of the same cell can execute concurrently.
+func abrCell(o Options, algo func() abr.Algorithm, startRes dash.Resolution, startFPS int) VideoRun {
+	return VideoRun{
 		Profile:    device.Nokia1,
 		Video:      o.video(dash.Travel),
 		Resolution: startRes,
@@ -26,8 +26,7 @@ func abrRun(o Options, seed int64, algo func() abr.Algorithm, startRes dash.Reso
 		OnSession: func(s *player.Session, d *device.Device) {
 			abr.Attach(s, d, algo(), 2*time.Second)
 		},
-	})
-	return res.Metrics
+	}
 }
 
 func init() {
@@ -43,12 +42,13 @@ func init() {
 		r.Addf("devices >=2%% of time in high pressure:               %.0f%% (paper: 35%%)", ins.PctHighTimeOver2)
 
 		// Video-side rows of Table 1.
-		nokia := Repeat(VideoRun{Resolution: dash.R1080p, FPS: 60, Pressure: proc.Moderate,
-			Video: o.video(dash.Travel)}, o.Runs, o.Seed)
-		r.Addf("Nokia 1 1080p60 drops at Moderate: %s%% (paper: >75%% avg for 720p/1080p)", DropStats(nokia))
-		nexus := Repeat(VideoRun{Profile: device.Nexus5, Resolution: dash.R1080p, FPS: 60,
-			Pressure: proc.Moderate, Video: o.video(dash.Travel)}, o.Runs, o.Seed)
-		r.Addf("Nexus 5 1080p60 drops at Moderate: %s%% (paper: up to 25%%)", DropStats(nexus))
+		grid := RunGrid(o, []VideoRun{
+			{Resolution: dash.R1080p, FPS: 60, Pressure: proc.Moderate, Video: o.video(dash.Travel)},
+			{Profile: device.Nexus5, Resolution: dash.R1080p, FPS: 60, Pressure: proc.Moderate, Video: o.video(dash.Travel)},
+		})
+		nokia, nexus := grid[0], grid[1]
+		r.Addf("Nokia 1 1080p60 drops at Moderate: %s%% (paper: >75%% avg for 720p/1080p)%s", DropStats(nokia), regimeNote(nokia))
+		r.Addf("Nexus 5 1080p60 drops at Moderate: %s%% (paper: up to 25%%)%s", DropStats(nexus), regimeNote(nexus))
 		return r
 	})
 
@@ -64,12 +64,19 @@ func init() {
 			{"memaware", func() abr.Algorithm { return &abr.MemoryAware{Inner: abr.BOLA{}} }},
 		}
 		r.Addf("%-9s %8s %8s %7s %s", "algorithm", "drops", "MOS", "crashed", "final rung")
-		for _, a := range algos {
+		// All three cells share identical conditions, so CellSeed pairs
+		// them: each algorithm faces the same pressure realizations.
+		cells := make([]VideoRun, len(algos))
+		for i, a := range algos {
+			cells[i] = abrCell(o, a.mk, dash.R1080p, 60)
+		}
+		grid := RunGrid(o, cells)
+		for i, a := range algos {
 			var drops, mos float64
 			crashes := 0
 			var final dash.Rung
-			for i := 0; i < o.Runs; i++ {
-				m := abrRun(o, o.Seed+int64(i)+1, a.mk, dash.R1080p, 60)
+			for _, res := range grid[i] {
+				m := res.Metrics
 				drops += m.EffectiveDropRate / float64(o.Runs)
 				mos += qoe.MOS(m) / float64(o.Runs)
 				if m.Crashed {
@@ -77,7 +84,7 @@ func init() {
 				}
 				final = m.Rung
 			}
-			r.Addf("%-9s %7.1f%% %8.2f %6d/%d %s", a.name, drops, mos, crashes, o.Runs, final)
+			r.Addf("%-9s %7.1f%% %8.2f %6d/%d %s%s", a.name, drops, mos, crashes, o.Runs, final, regimeNote(grid[i]))
 		}
 		r.Addf("(the memory-aware policy should cut drops sharply by stepping the frame rate down)")
 		return r
@@ -86,19 +93,23 @@ func init() {
 	register("abl-zram", "ablation: zRAM on vs off (Nokia 1, Moderate, 720p60)", func(o Options) Report {
 		o.applyDefaults()
 		r := Report{ID: "abl-zram", Title: "zRAM ablation"}
+		var cells []VideoRun
 		for _, disable := range []bool{false, true} {
-			results := Repeat(VideoRun{
+			cells = append(cells, VideoRun{
 				Profile:    device.Nokia1,
 				DeviceOpts: device.Options{DisableZRAM: disable},
 				Video:      o.video(dash.Travel),
 				Resolution: dash.R720p, FPS: 60,
 				Pressure: proc.Moderate,
-			}, o.Runs, o.Seed)
+			})
+		}
+		grid := RunGrid(o, cells)
+		for i, disable := range []bool{false, true} {
 			label := "zRAM on "
 			if disable {
 				label = "zRAM off"
 			}
-			r.Addf("%s: drops=%s%% crashes=%.0f%%", label, DropStats(results), CrashRate(results))
+			r.Addf("%s: drops=%s%% crashes=%.0f%%%s", label, DropStats(grid[i]), CrashRate(grid[i]), regimeNote(grid[i]))
 		}
 		r.Addf("(without zRAM, anonymous memory cannot be reclaimed: pressure must resolve through kills)")
 		return r
@@ -107,19 +118,23 @@ func init() {
 	register("abl-mmcqd", "ablation: mmcqd strict priority vs fair share", func(o Options) Report {
 		o.applyDefaults()
 		r := Report{ID: "abl-mmcqd", Title: "mmcqd scheduling-class ablation (Nokia 1, Moderate, 720p60)"}
+		var cells []VideoRun
 		for _, fair := range []bool{false, true} {
-			results := Repeat(VideoRun{
+			cells = append(cells, VideoRun{
 				Profile:    device.Nokia1,
 				DeviceOpts: device.Options{DiskConfig: &blockio.Config{FairPriority: fair}},
 				Video:      o.video(dash.Travel),
 				Resolution: dash.R720p, FPS: 60,
 				Pressure: proc.Moderate,
-			}, o.Runs, o.Seed)
+			})
+		}
+		grid := RunGrid(o, cells)
+		for i, fair := range []bool{false, true} {
 			label := "RT (stock)"
 			if fair {
 				label = "fair-share"
 			}
-			r.Addf("mmcqd %s: drops=%s%% crashes=%.0f%%", label, DropStats(results), CrashRate(results))
+			r.Addf("mmcqd %s: drops=%s%% crashes=%.0f%%%s", label, DropStats(grid[i]), CrashRate(grid[i]), regimeNote(grid[i]))
 		}
 		r.Addf("(§7: reducing daemon interference through scheduling)")
 		return r
@@ -136,18 +151,22 @@ func init() {
 			{"8 cores", []float64{1.1, 1.1, 1.1, 1.1, 1.1, 1.1, 1.1, 1.1}},
 			{"4x2.0GHz", []float64{2.0, 2.0, 2.0, 2.0}},
 		}
-		for _, v := range variants {
+		cells := make([]VideoRun, len(variants))
+		for i, v := range variants {
 			profile := device.Nokia1
 			if v.speeds != nil {
 				profile.CoreSpeeds = v.speeds
 			}
-			results := Repeat(VideoRun{
+			cells[i] = VideoRun{
 				Profile:    profile,
 				Video:      o.video(dash.Travel),
 				Resolution: dash.R720p, FPS: 60,
 				Pressure: proc.Moderate,
-			}, o.Runs, o.Seed)
-			r.Addf("%-15s: drops=%s%% crashes=%.0f%%", v.name, DropStats(results), CrashRate(results))
+			}
+		}
+		grid := RunGrid(o, cells)
+		for i, v := range variants {
+			r.Addf("%-15s: drops=%s%% crashes=%.0f%%%s", v.name, DropStats(grid[i]), CrashRate(grid[i]), regimeNote(grid[i]))
 		}
 		r.Addf("(paper: video QoE improves under pressure with more CPU resources)")
 		return r
@@ -156,17 +175,22 @@ func init() {
 	register("abl-kswapd-pin", "ablation: kswapd core pinning (§7 OS insight)", func(o Options) Report {
 		o.applyDefaults()
 		r := Report{ID: "abl-kswapd-pin", Title: "kswapd soft core affinity (Nokia 1, Moderate, 720p60)"}
-		for _, pin := range []int{0, 1} {
+		pins := []int{0, 1}
+		cells := make([]VideoRun, len(pins))
+		for i, pin := range pins {
+			cells[i] = VideoRun{
+				Profile:    device.Nokia1,
+				DeviceOpts: device.Options{KswapdConfig: &kswapd.Config{PinCore: pin}},
+				Video:      o.video(dash.Travel),
+				Resolution: dash.R720p, FPS: 60,
+				Pressure:   proc.Moderate,
+				KeepDevice: true,
+			}
+		}
+		grid := RunGrid(o, cells)
+		for i, pin := range pins {
 			var migrations, drops float64
-			for i := 0; i < o.Runs; i++ {
-				res := Run(VideoRun{
-					Seed:       o.Seed + int64(i) + 1,
-					Profile:    device.Nokia1,
-					DeviceOpts: device.Options{KswapdConfig: &kswapd.Config{PinCore: pin}},
-					Video:      o.video(dash.Travel),
-					Resolution: dash.R720p, FPS: 60,
-					Pressure: proc.Moderate,
-				})
+			for _, res := range grid[i] {
 				migrations += float64(res.Device.Tracer.Migrations(res.Device.Kswapd.Thread().Key().TID)) / float64(o.Runs)
 				drops += res.Metrics.EffectiveDropRate / float64(o.Runs)
 			}
@@ -174,7 +198,7 @@ func init() {
 			if pin > 0 {
 				label = "pinned core 0 "
 			}
-			r.Addf("kswapd %s: migrations=%6.0f drops=%5.1f%%", label, migrations, drops)
+			r.Addf("kswapd %s: migrations=%6.0f drops=%5.1f%%%s", label, migrations, drops, regimeNote(grid[i]))
 		}
 		r.Addf("(§7 observes kswapd switching cores constantly; a one-sided soft hint")
 		r.Addf(" barely helps because the preferred core is usually taken — coordination")
@@ -192,25 +216,29 @@ func init() {
 			name string
 			fps  []int
 		}
-		for _, v := range []variant{{"fps-first (24/30/48/60 ladder)", []int{24, 30, 48, 60}}, {"res-first (60-only ladder)", []int{60}}} {
+		variants := []variant{{"fps-first (24/30/48/60 ladder)", []int{24, 30, 48, 60}}, {"res-first (60-only ladder)", []int{60}}}
+		cells := make([]VideoRun, len(variants))
+		for i, v := range variants {
+			cells[i] = VideoRun{
+				Profile:    device.Nokia1,
+				Video:      o.video(dash.Travel),
+				Resolution: dash.R1080p,
+				FPS:        60,
+				Pressure:   proc.Moderate,
+				FPSOptions: v.fps,
+				OnSession: func(s *player.Session, d *device.Device) {
+					abr.Attach(s, d, &abr.MemoryAware{Inner: abr.Fixed{}}, 2*time.Second)
+				},
+			}
+		}
+		grid := RunGrid(o, cells)
+		for i, v := range variants {
 			var drops, mos float64
-			for i := 0; i < o.Runs; i++ {
-				res := Run(VideoRun{
-					Seed:       o.Seed + int64(i) + 1,
-					Profile:    device.Nokia1,
-					Video:      o.video(dash.Travel),
-					Resolution: dash.R1080p,
-					FPS:        60,
-					Pressure:   proc.Moderate,
-					FPSOptions: v.fps,
-					OnSession: func(s *player.Session, d *device.Device) {
-						abr.Attach(s, d, &abr.MemoryAware{Inner: abr.Fixed{}}, 2*time.Second)
-					},
-				})
+			for _, res := range grid[i] {
 				drops += res.Metrics.EffectiveDropRate / float64(o.Runs)
 				mos += qoe.MOS(res.Metrics) / float64(o.Runs)
 			}
-			r.Addf("%-32s drops=%5.1f%% MOS=%.2f", v.name, drops, mos)
+			r.Addf("%-32s drops=%5.1f%% MOS=%.2f%s", v.name, drops, mos, regimeNote(grid[i]))
 		}
 		r.Addf("(§6: lowering frame rate preserves resolution while rescuing playback)")
 		return r

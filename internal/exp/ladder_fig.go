@@ -30,28 +30,30 @@ func init() {
 
 		// Validate the headline with full simulations: an entry device
 		// at Moderate pressure running memory-aware ABR over each
-		// ladder.
-		validate := func(fps []int) float64 {
+		// ladder. Both ladders' repeats execute on the same worker pool.
+		ladderCell := func(fps []int) VideoRun {
+			return VideoRun{
+				Profile:    device.Nokia1,
+				Video:      o.video(dash.Travel),
+				Resolution: dash.R1080p,
+				FPS:        fps[len(fps)-1],
+				Pressure:   proc.Moderate,
+				FPSOptions: fps,
+				OnSession: func(s *player.Session, d *device.Device) {
+					abr.Attach(s, d, &abr.MemoryAware{Inner: abr.BOLA{}}, 2*time.Second)
+				},
+			}
+		}
+		grid := RunGrid(o, []VideoRun{ladderCell([]int{24, 30, 48, 60}), ladderCell([]int{60})})
+		meanMOS := func(results []Result) float64 {
 			var mos float64
-			for i := 0; i < o.Runs; i++ {
-				res := Run(VideoRun{
-					Seed:       o.Seed + int64(i) + 1,
-					Profile:    device.Nokia1,
-					Video:      o.video(dash.Travel),
-					Resolution: dash.R1080p,
-					FPS:        fps[len(fps)-1],
-					Pressure:   proc.Moderate,
-					FPSOptions: fps,
-					OnSession: func(s *player.Session, d *device.Device) {
-						abr.Attach(s, d, &abr.MemoryAware{Inner: abr.BOLA{}}, 2*time.Second)
-					},
-				})
-				mos += qoe.MOS(res.Metrics) / float64(o.Runs)
+			for _, res := range results {
+				mos += qoe.MOS(res.Metrics) / float64(len(results))
 			}
 			return mos
 		}
-		wideMOS := validate([]int{24, 30, 48, 60})
-		narrowMOS := validate([]int{60})
+		wideMOS := meanMOS(grid[0])
+		narrowMOS := meanMOS(grid[1])
 		r.Addf("simulated validation (Nokia 1, Moderate, mem-aware ABR):")
 		r.Addf("  wide ladder MOS %.2f vs 60fps-only MOS %.2f", wideMOS, narrowMOS)
 		r.Addf("(§7: low-end devices select lower frame rates and recover playback)")

@@ -18,6 +18,14 @@ type Options struct {
 	// Quick trades fidelity for speed: fewer runs, shorter videos,
 	// smaller grids. Used by tests and the default bench invocations.
 	Quick bool
+	// Parallel is the executor worker count for independent runs.
+	// 0 means GOMAXPROCS; 1 forces serial execution. Output is
+	// byte-identical at any setting (see exec.go).
+	Parallel int
+	// Progress, when set, receives executor events as runs start and
+	// complete. Callbacks may fire from worker goroutines, serialized by
+	// the executor; keep them fast.
+	Progress func(ProgressEvent)
 }
 
 func (o *Options) applyDefaults() {

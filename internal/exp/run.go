@@ -50,8 +50,14 @@ type VideoRun struct {
 	// (default 240s).
 	PressureTimeout time.Duration
 	// KeepTrace records full scheduler intervals for export
-	// (memory-heavy; off by default).
+	// (memory-heavy; off by default). Implies KeepDevice.
 	KeepTrace bool
+	// KeepDevice retains the simulated device and session in the Result
+	// for trace-level queries after the run. Off by default: a full
+	// device (process table, tracer aggregates, scheduler state) is far
+	// heavier than its Metrics, and large grids would otherwise hold
+	// every simulated device of every repeat alive simultaneously.
+	KeepDevice bool
 }
 
 func (r *VideoRun) applyDefaults() {
@@ -78,7 +84,10 @@ func (r *VideoRun) applyDefaults() {
 	}
 }
 
-// Result is the outcome of one run.
+// Result is the outcome of one run. Metrics is extracted eagerly when
+// the run finishes; Device and Session are nil unless the run was
+// configured with KeepDevice or KeepTrace, so grids of thousands of
+// runs don't retain every simulated device.
 type Result struct {
 	Metrics player.Metrics
 	Device  *device.Device
@@ -89,7 +98,8 @@ type Result struct {
 }
 
 // Run executes the experiment to completion (or crash) and returns the
-// session metrics together with the device for trace-level queries.
+// session metrics — plus, when cfg.KeepDevice/KeepTrace is set, the
+// device for trace-level queries.
 func Run(cfg VideoRun) Result {
 	cfg.applyDefaults()
 	dev := device.New(cfg.Seed, cfg.Profile, cfg.DeviceOpts)
@@ -134,11 +144,18 @@ func Run(cfg VideoRun) Result {
 		dev.Settle(time.Second)
 	}
 	dev.Tracer.Finish(dev.Clock.Now())
-	return Result{Metrics: sess.Metrics(), Device: dev, Session: sess, PressureReached: reached}
+	res := Result{Metrics: sess.Metrics(), PressureReached: reached}
+	if cfg.KeepDevice || cfg.KeepTrace {
+		res.Device = dev
+		res.Session = sess
+	}
+	return res
 }
 
 // Repeat runs the experiment n times with seeds base+1..base+n and
 // returns all results. This mirrors the paper's five-run methodology.
+// It is the serial reference for RepeatParallel, which applies the same
+// seed assignment across a worker pool.
 func Repeat(cfg VideoRun, n int, baseSeed int64) []Result {
 	out := make([]Result, 0, n)
 	for i := 0; i < n; i++ {

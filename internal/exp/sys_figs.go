@@ -19,17 +19,29 @@ func videoThreads() trace.ThreadFilter {
 	return trace.AnyOf(trace.ByProcess(player.Firefox.Name), trace.ByName("SurfaceFlinger"))
 }
 
-// profiledRun runs the §5 profiling workload: 480p at 60 FPS on the
-// Nokia 1, at the given state, and returns the run with its trace.
-func profiledRun(o Options, state proc.Level, seed int64) Result {
-	return Run(VideoRun{
-		Seed:       seed,
+// profiledCell is the §5 profiling workload: 480p at 60 FPS on the
+// Nokia 1, at the given state, retaining the device for trace queries.
+func profiledCell(o Options, state proc.Level) VideoRun {
+	return VideoRun{
 		Profile:    device.Nokia1,
 		Video:      o.video(dash.Travel),
 		Resolution: dash.R480p,
 		FPS:        60,
 		Pressure:   state,
-	})
+		KeepDevice: true,
+	}
+}
+
+// profiledLevels runs runsPer repeats of the profiling workload per
+// pressure level on the executor and returns results per level.
+func profiledLevels(o Options, runsPer int, levels []proc.Level) [][]Result {
+	oc := o
+	oc.Runs = runsPer
+	cells := make([]VideoRun, len(levels))
+	for i, lvl := range levels {
+		cells[i] = profiledCell(o, lvl)
+	}
+	return RunGrid(oc, cells)
 }
 
 func init() {
@@ -42,11 +54,12 @@ func init() {
 		if o.Quick {
 			runsPer = 1
 		}
+		levels := []proc.Level{proc.Normal, proc.Moderate}
+		grid := profiledLevels(o, runsPer, levels)
 		means := map[proc.Level]map[trace.State]float64{}
-		for _, lvl := range []proc.Level{proc.Normal, proc.Moderate} {
+		for li, lvl := range levels {
 			means[lvl] = map[trace.State]float64{}
-			for i := 0; i < runsPer; i++ {
-				res := profiledRun(o, lvl, o.Seed+int64(i)+1)
+			for _, res := range grid[li] {
 				for _, st := range states {
 					means[lvl][st] += res.Device.Tracer.TimeInState(videoThreads(), st).Seconds() / float64(runsPer)
 				}
@@ -77,11 +90,12 @@ func init() {
 		if o.Quick {
 			runsPer = 1
 		}
+		levels := []proc.Level{proc.Normal, proc.Moderate}
+		grid := profiledLevels(o, runsPer, levels)
 		rows := map[proc.Level]*row{}
-		for _, lvl := range []proc.Level{proc.Normal, proc.Moderate} {
+		for li, lvl := range levels {
 			rows[lvl] = &row{}
-			for i := 0; i < runsPer; i++ {
-				res := profiledRun(o, lvl, o.Seed+int64(i)+1)
+			for _, res := range grid[li] {
 				ps := res.Device.Tracer.PreemptionsBy(trace.ByName("mmcqd"), videoThreads())
 				rows[lvl].count += float64(ps.Count) / float64(runsPer)
 				rows[lvl].ranFor += ps.PreemptorRanFor.Seconds() / float64(runsPer)
@@ -105,8 +119,10 @@ func init() {
 			proc.Normal:   {trace.Sleeping: 75, trace.Running: 6},
 			proc.Moderate: {trace.Sleeping: 31, trace.Running: 56},
 		}
-		for _, lvl := range []proc.Level{proc.Normal, proc.Moderate} {
-			res := profiledRun(o, lvl, o.Seed+1)
+		levels := []proc.Level{proc.Normal, proc.Moderate}
+		grid := profiledLevels(o, 1, levels)
+		for li, lvl := range levels {
+			res := grid[li][0]
 			breakdown := res.Device.Tracer.StateBreakdown(trace.ByName("kswapd"))
 			var total time.Duration
 			for _, d := range breakdown {
@@ -166,32 +182,42 @@ func init() {
 	register("fig15", "FPS and process kills under organic pressure", func(o Options) Report {
 		o.applyDefaults()
 		r := Report{ID: "fig15", Title: "Rendered FPS and kills: organic Normal vs Moderate (Nokia 1, 480p60)"}
-		for _, apps := range []int{0, 8} {
-			label := "Normal (no background apps)"
-			if apps > 0 {
-				label = "Moderate (8 background apps)"
-			}
-			var kills []int
-			res := Run(VideoRun{
-				Seed:        o.Seed + 1,
+		type variant struct {
+			apps  int
+			label string
+			kills []float64
+		}
+		variants := []*variant{
+			{apps: 0, label: "Normal (no background apps)"},
+			{apps: 8, label: "Moderate (8 background apps)"},
+		}
+		cells := make([]VideoRun, len(variants))
+		for i, v := range variants {
+			v := v
+			cells[i] = VideoRun{
 				Profile:     device.Nokia1,
 				Video:       o.video(dash.Travel),
 				Resolution:  dash.R480p,
 				FPS:         60,
-				OrganicApps: apps,
+				OrganicApps: v.apps,
+				KeepDevice:  true,
+				// The kills timeline is private to this cell's single
+				// run, so the executor can run variants concurrently.
 				OnSession: func(s *player.Session, d *device.Device) {
 					d.Clock.Every(time.Second, func() {
-						kills = append(kills, len(d.Table.Kills()))
+						v.kills = append(v.kills, float64(len(d.Table.Kills())))
 					})
 				},
-			})
-			r.Addf("%s: drops=%.1f%% crashed=%v", label, res.Metrics.EffectiveDropRate, res.Metrics.Crashed)
-			killsF := make([]float64, len(kills))
-			for i, k := range kills {
-				killsF[i] = float64(k)
 			}
+		}
+		oc := o
+		oc.Runs = 1
+		grid := RunGrid(oc, cells)
+		for i, v := range variants {
+			res := grid[i][0]
+			r.Addf("%s: drops=%.1f%% crashed=%v", v.label, res.Metrics.EffectiveDropRate, res.Metrics.Crashed)
 			r.Addf("  fps   %s", plot.SparkFixed(plot.Downsample(res.Metrics.FPSTimeline, 72), 60))
-			r.Addf("  kills %s (final %d)", plot.Spark(plot.Downsample(killsF, 72)), len(res.Device.Table.Kills()))
+			r.Addf("  kills %s (final %d)", plot.Spark(plot.Downsample(v.kills, 72)), len(res.Device.Table.Kills()))
 		}
 		return r
 	})

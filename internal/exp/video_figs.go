@@ -17,25 +17,38 @@ import (
 var pressureStates = []proc.Level{proc.Normal, proc.Moderate, proc.Critical}
 
 // dropGrid runs the res × fps × pressure grid of Figures 9/11 on one
-// device and reports mean effective drop rates with 95% CIs.
+// device and reports mean effective drop rates with 95% CIs. The whole
+// grid (cells × repeats) executes on the parallel run executor.
 func dropGrid(o Options, profile device.Profile, client player.ClientProfile, resolutions []dash.Resolution, id, title string) Report {
 	r := Report{ID: id, Title: title}
 	r.Addf("%-6s %-4s %-9s %18s %9s", "res", "fps", "state", "drops (mean±ci)", "crashes")
+	type rowKey struct {
+		res   dash.Resolution
+		fps   int
+		state proc.Level
+	}
+	var rows []rowKey
+	var cells []VideoRun
 	for _, res := range resolutions {
 		for _, fps := range []int{30, 60} {
 			for _, state := range pressureStates {
-				results := Repeat(VideoRun{
+				rows = append(rows, rowKey{res, fps, state})
+				cells = append(cells, VideoRun{
 					Profile:    profile,
 					Client:     client,
 					Video:      o.video(dash.Travel),
 					Resolution: res,
 					FPS:        fps,
 					Pressure:   state,
-				}, o.Runs, o.Seed)
-				r.Addf("%-6s %-4d %-9s %14s%% %8.0f%%",
-					res, fps, state, DropStats(results), CrashRate(results))
+				})
 			}
 		}
+	}
+	grid := RunGrid(o, cells)
+	for i, k := range rows {
+		results := grid[i]
+		r.Addf("%-6s %-4d %-9s %14s%% %8.0f%%%s",
+			k.res, k.fps, k.state, DropStats(results), CrashRate(results), regimeNote(results))
 	}
 	return r
 }
@@ -48,17 +61,30 @@ func crashTable(o Options, profile device.Profile, configs [][2]interface{}, id,
 		header += fmt.Sprintf(" %7s", fmt.Sprintf("%d@%v", c[1], c[0]))
 	}
 	r.Lines = append(r.Lines, header)
+	var cells []VideoRun
 	for _, state := range pressureStates {
-		line := fmt.Sprintf("%-10s", state)
 		for _, c := range configs {
-			results := Repeat(VideoRun{
+			cells = append(cells, VideoRun{
 				Profile:    profile,
 				Video:      o.video(dash.Travel),
 				Resolution: c[0].(dash.Resolution),
 				FPS:        c[1].(int),
 				Pressure:   state,
-			}, o.Runs, o.Seed)
+			})
+		}
+	}
+	grid := RunGrid(o, cells)
+	for si, state := range pressureStates {
+		line := fmt.Sprintf("%-10s", state)
+		unreached, total := 0, 0
+		for ci := range configs {
+			results := grid[si*len(configs)+ci]
+			unreached += Unreached(results)
+			total += len(results)
 			line += fmt.Sprintf(" %6.0f%%", CrashRate(results))
+		}
+		if unreached > 0 {
+			line += fmt.Sprintf("  [%d/%d runs never reached target regime]", unreached, total)
 		}
 		r.Lines = append(r.Lines, line)
 	}
@@ -71,22 +97,27 @@ func init() {
 		r := Report{ID: "fig8", Title: "Firefox PSS at no pressure (Nexus 5), MiB"}
 		resolutions := []dash.Resolution{dash.R240p, dash.R360p, dash.R480p, dash.R720p, dash.R1080p}
 		r.Addf("%-6s %12s %12s", "res", "30 FPS", "60 FPS")
-		var pss30 []float64
+		var cells []VideoRun
 		for _, res := range resolutions {
-			var row [2]float64
-			for i, fps := range []int{30, 60} {
-				res1 := Run(VideoRun{
-					Seed:       o.Seed + 1,
+			for _, fps := range []int{30, 60} {
+				cells = append(cells, VideoRun{
 					Profile:    device.Nexus5,
 					Video:      o.video(dash.Travel),
 					Resolution: res,
 					FPS:        fps,
 					Pressure:   proc.Normal,
 				})
-				row[i] = res1.Metrics.PeakPSS.MiBf()
 			}
-			pss30 = append(pss30, row[0])
-			r.Addf("%-6s %10.0fMiB %10.0fMiB", res, row[0], row[1])
+		}
+		oc := o
+		oc.Runs = 1
+		grid := RunGrid(oc, cells)
+		var pss30 []float64
+		for i, res := range resolutions {
+			p30 := grid[2*i][0].Metrics.PeakPSS.MiBf()
+			p60 := grid[2*i+1][0].Metrics.PeakPSS.MiBf()
+			pss30 = append(pss30, p30)
+			r.Addf("%-6s %10.0fMiB %10.0fMiB", res, p30, p60)
 		}
 		r.Addf("PSS growth 240p->1080p at 30FPS: +%.0f MiB (paper: ~+125 MiB)", pss30[len(pss30)-1]-pss30[0])
 		return r
@@ -105,10 +136,13 @@ func init() {
 	register("fig10", "differential MOS survey (99 participants)", func(o Options) Report {
 		o.applyDefaults()
 		r := Report{ID: "fig10", Title: "DMOS: Normal vs Moderate at 240p60 (Nokia 1)"}
-		normal := Run(VideoRun{Seed: o.Seed + 1, Resolution: dash.R240p, FPS: 60,
-			Pressure: proc.Normal, Video: o.video(dash.Travel)})
-		moderate := Run(VideoRun{Seed: o.Seed + 1, Resolution: dash.R240p, FPS: 60,
-			Pressure: proc.Moderate, Video: o.video(dash.Travel)})
+		oc := o
+		oc.Runs = 1
+		grid := RunGrid(oc, []VideoRun{
+			{Resolution: dash.R240p, FPS: 60, Pressure: proc.Normal, Video: o.video(dash.Travel)},
+			{Resolution: dash.R240p, FPS: 60, Pressure: proc.Moderate, Video: o.video(dash.Travel)},
+		})
+		normal, moderate := grid[0][0], grid[1][0]
 		refDrop := normal.Metrics.EffectiveDropRate
 		testDrop := moderate.Metrics.EffectiveDropRate
 		r.Addf("measured clip drops: reference %.1f%% (paper: 3%%), test %.1f%% (paper: 35%%)", refDrop, testDrop)
@@ -148,21 +182,33 @@ func init() {
 			res = []dash.Resolution{dash.R1080p}
 		}
 		r.Addf("%-8s %-6s %-4s %-9s %18s", "genre", "res", "fps", "state", "drops (mean±ci)")
+		type rowKey struct {
+			genre dash.Genre
+			res   dash.Resolution
+			fps   int
+			state proc.Level
+		}
+		var rows []rowKey
+		var cells []VideoRun
 		for _, g := range dash.Genres {
 			for _, rs := range res {
 				for _, fps := range []int{30, 60} {
 					for _, state := range []proc.Level{proc.Normal, proc.Moderate} {
-						results := Repeat(VideoRun{
+						rows = append(rows, rowKey{g, rs, fps, state})
+						cells = append(cells, VideoRun{
 							Profile:    device.Nexus5,
 							Video:      o.video(g),
 							Resolution: rs,
 							FPS:        fps,
 							Pressure:   state,
-						}, o.Runs, o.Seed)
-						r.Addf("%-8s %-6s %-4d %-9s %14s%%", g, rs, fps, state, DropStats(results))
+						})
 					}
 				}
 			}
+		}
+		grid := RunGrid(o, cells)
+		for i, k := range rows {
+			r.Addf("%-8s %-6s %-4d %-9s %14s%%%s", k.genre, k.res, k.fps, k.state, DropStats(grid[i]), regimeNote(grid[i]))
 		}
 		return r
 	})
@@ -171,19 +217,29 @@ func init() {
 		o.applyDefaults()
 		r := Report{ID: "fig16", Title: "Rendered FPS when varying encoded frame rate (Nokia 1, Moderate)"}
 		r.Addf("%-6s %-4s %16s %16s", "res", "fps", "drops", "rendered FPS")
+		type rowKey struct {
+			res dash.Resolution
+			fps int
+		}
+		var rows []rowKey
+		var cells []VideoRun
 		for _, res := range []dash.Resolution{dash.R480p, dash.R720p, dash.R1080p} {
 			for _, fps := range []int{24, 48, 60} {
-				results := Repeat(VideoRun{
+				rows = append(rows, rowKey{res, fps})
+				cells = append(cells, VideoRun{
 					Profile:    device.Nokia1,
 					Video:      o.video(dash.Travel),
 					Resolution: res,
 					FPS:        fps,
 					Pressure:   proc.Moderate,
-				}, o.Runs, o.Seed)
-				drops := DropStats(results)
-				rendered := float64(fps) * (1 - drops.Mean/100)
-				r.Addf("%-6s %-4d %14s%% %13.1f fps", res, fps, drops, rendered)
+				})
 			}
+		}
+		grid := RunGrid(o, cells)
+		for i, k := range rows {
+			drops := DropStats(grid[i])
+			rendered := float64(k.fps) * (1 - drops.Mean/100)
+			r.Addf("%-6s %-4d %14s%% %13.1f fps%s", k.res, k.fps, drops, rendered, regimeNote(grid[i]))
 		}
 		r.Addf("(paper: at 1080p, 60 FPS renders ~0 while 24 FPS recovers to ~full rate)")
 		return r
