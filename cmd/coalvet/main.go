@@ -1,0 +1,171 @@
+// Coalvet is the repo's determinism linter: a multichecker over the
+// invariants that keep simulator output byte-identical at any
+// parallelism (see LINTING.md). It speaks the `go vet -vettool`
+// protocol, so the canonical invocation is:
+//
+//	go build -o coalvet ./cmd/coalvet
+//	go vet -vettool=$(pwd)/coalvet ./...
+//
+// As a convenience it also accepts package patterns directly and
+// re-executes itself through `go vet`, which handles package loading,
+// export data, and caching:
+//
+//	./coalvet ./...
+//
+// Individual analyzers can be selected vet-style with boolean flags
+// (-wallclock, -maporder, ...); with no selection the whole suite
+// runs.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"strings"
+
+	"coalqoe/internal/coalvet/analysis"
+	"coalqoe/internal/coalvet/analyzers"
+	"coalqoe/internal/coalvet/unitchecker"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coalvet: ")
+
+	suite := analyzers.All()
+	if err := analysis.Validate(suite); err != nil {
+		log.Fatal(err)
+	}
+
+	// The two single-argument protocol queries from cmd/go come
+	// before ordinary flag parsing.
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			printVersion()
+			return
+		case "-flags", "--flags":
+			printFlagsJSON(suite)
+			return
+		}
+	}
+
+	fs := flag.NewFlagSet("coalvet", flag.ExitOnError)
+	fs.Usage = usage(suite)
+	selected := make(map[string]*bool, len(suite))
+	for _, a := range suite {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, ';'); i > 0 {
+			doc = doc[:i]
+		}
+		selected[a.Name] = fs.Bool(a.Name, false, doc)
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+
+	// Vet flag semantics: naming any analyzer runs only those named.
+	anySelected := false
+	fs.Visit(func(f *flag.Flag) {
+		if b, ok := selected[f.Name]; ok && *b {
+			anySelected = true
+		}
+	})
+	if anySelected {
+		var subset []*analysis.Analyzer
+		for _, a := range suite {
+			if *selected[a.Name] {
+				subset = append(subset, a)
+			}
+		}
+		suite = subset
+	}
+
+	args := fs.Args()
+	switch {
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		unitchecker.Run(args[0], suite)
+	case len(args) > 0:
+		runStandalone(fs, args)
+	default:
+		fs.Usage()
+		os.Exit(2)
+	}
+}
+
+// printVersion emits the build-caching version line cmd/go parses:
+// "<name> version devel ... buildID=<contenthash>".
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("coalvet version devel buildID=%x\n", h.Sum(nil))
+}
+
+// printFlagsJSON describes the tool's flags so cmd/go can accept them
+// on the `go vet` command line.
+func printFlagsJSON(suite []*analysis.Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	for _, a := range suite {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: "enable only the named analyzers"})
+	}
+	out, err := json.Marshal(flags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(out))
+}
+
+// runStandalone re-invokes the suite through `go vet -vettool=self`
+// so cmd/go does the package loading and caching; analyzer selection
+// flags are forwarded.
+func runStandalone(fs *flag.FlagSet, patterns []string) {
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatalf("cannot locate own executable: %v", err)
+	}
+	vetArgs := []string{"vet", "-vettool=" + self}
+	fs.Visit(func(f *flag.Flag) {
+		vetArgs = append(vetArgs, fmt.Sprintf("-%s=%s", f.Name, f.Value.String()))
+	})
+	vetArgs = append(vetArgs, patterns...)
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		log.Fatal(err)
+	}
+}
+
+func usage(suite []*analysis.Analyzer) func() {
+	return func() {
+		fmt.Fprintf(os.Stderr, `coalvet enforces the simulator's determinism invariants (see LINTING.md).
+
+Usage:
+	go vet -vettool=/path/to/coalvet [-<analyzer>...] ./...
+	coalvet [-<analyzer>...] ./...   (re-executes through go vet)
+
+Analyzers:
+`)
+		for _, a := range suite {
+			fmt.Fprintf(os.Stderr, "	%-14s %s\n", a.Name, a.Doc)
+		}
+	}
+}

@@ -36,7 +36,7 @@ func main() {
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("dash server on %s\n", base)
 
-	client := dash.NewClient(base)
+	client := dash.NewClient(base, time.Now)
 	dto, err := client.FetchManifest()
 	if err != nil {
 		fatal(err)
@@ -73,7 +73,7 @@ func main() {
 // never-a-bottleneck LAN, but far below raw loopback speed.
 func drain(resp *http.Response) (units.Bytes, error) {
 	defer resp.Body.Close()
-	shaped := netem.NewShaper(resp.Body, 20*units.Mbps)
+	shaped := netem.NewShaper(resp.Body, 20*units.Mbps, time.Now, time.Sleep)
 	n, err := io.Copy(io.Discard, shaped)
 	if err != nil && !errors.Is(err, io.EOF) {
 		return units.Bytes(n), err

@@ -259,6 +259,7 @@ func degradationPath(ladder []dash.Rung, want dash.Rung) []dash.Rung {
 	path := append([]dash.Rung{}, sameRes...)
 	// Then lower resolutions at the lowest fps available.
 	minFPS := want.FPS
+	//coalvet:allow maporder min over int keys, order-insensitive
 	for f := range fpsSet {
 		if f < minFPS {
 			minFPS = f

@@ -1,0 +1,112 @@
+// Package analysis defines the analyzer API for coalvet, the repo's
+// determinism linter. It deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) so the
+// suite can be ported to the upstream framework mechanically once the
+// build environment can vendor x/tools; until then it is implemented
+// entirely on the standard library's go/ast and go/types.
+//
+// Compared to upstream, the API is intentionally minimal: coalvet's
+// analyzers are independent (no Requires DAG) and intra-package (no
+// cross-package facts), which is all the determinism invariants need.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //coalvet:allow directives. It must be a valid identifier.
+	Name string
+
+	// Doc is the one-paragraph help text: what the invariant is and
+	// why it exists.
+	Doc string
+
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver — not the analyzer —
+	// applies //coalvet:allow suppression and output ordering.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Validate checks the analyzer set for obvious configuration mistakes
+// (missing names or run functions, duplicate names).
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		if a.Name == "" || a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %+v lacks a name or run function", a)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}
+
+// SortDiagnostics orders diagnostics by file position so driver output
+// is deterministic regardless of analyzer execution order — the same
+// discipline coalvet enforces on the simulator's own reports.
+func SortDiagnostics(fset *token.FileSet, diags []NamedDiagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}
+
+// A NamedDiagnostic pairs a diagnostic with the analyzer that produced
+// it, for driver-level suppression and printing.
+type NamedDiagnostic struct {
+	Analyzer string
+	Diagnostic
+}

@@ -1,0 +1,86 @@
+// Package analyzers implements coalvet's determinism invariants.
+//
+// The simulator's headline guarantee — byte-identical reports at any
+// parallelism, for a given seed — holds only if no sim-path code
+// observes wall-clock time, draws from ambient randomness, or lets Go
+// map iteration order reach an emitted artifact. These analyzers turn
+// that contract from convention into machine-checked rules:
+//
+//	wallclock      no time.Now/Sleep/... in internal/ sim packages
+//	globalrand     no package-level math/rand draws anywhere
+//	maporder       no unsorted map iteration in emission paths
+//	unitmix        no magic byte/page literals mixed with units types
+//	resultretain   exp.Result must not (re)grow device/session refs
+//	directivecheck //coalvet: directives must be well-formed
+//
+// Suppression: a justified `//coalvet:allow <analyzer> <reason>` on or
+// directly above the offending line (see the directive package).
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"coalqoe/internal/coalvet/analysis"
+)
+
+// ModulePath is the import-path root of this repository. Analyzer
+// scoping keys off it so the suite stays silent on dependencies when
+// driven by `go vet -vettool`, which visits every package in the
+// build graph.
+const ModulePath = "coalqoe"
+
+// internalPrefix covers the simulator packages.
+const internalPrefix = ModulePath + "/internal/"
+
+// toolingPrefix covers coalvet itself, which is build tooling rather
+// than a simulation path: its transient maps and diagnostics never
+// feed an experiment report.
+const toolingPrefix = ModulePath + "/internal/coalvet"
+
+// All returns the full suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Directivecheck,
+		Globalrand,
+		Maporder,
+		Resultretain,
+		Unitmix,
+		Wallclock,
+	}
+}
+
+// inModule reports whether the analyzed package belongs to this repo.
+func inModule(pkg *types.Package) bool {
+	p := pkg.Path()
+	return p == ModulePath || strings.HasPrefix(p, ModulePath+"/")
+}
+
+// inSimInternal reports whether the package is a simulator-internal
+// package (under coalqoe/internal/, excluding coalvet's own tooling).
+func inSimInternal(pkg *types.Package) bool {
+	p := pkg.Path()
+	return strings.HasPrefix(p, internalPrefix) && !strings.HasPrefix(p, toolingPrefix)
+}
+
+// calleeFunc resolves the *types.Func a selector or identifier
+// expression uses, or nil.
+func usedFunc(info *types.Info, id *ast.Ident) *types.Func {
+	obj := info.Uses[id]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fn
+}
+
+// isPkgLevelFunc reports whether fn is a package-level function (not a
+// method) of the given package path.
+func isPkgLevelFunc(fn *types.Func, pkgPath string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

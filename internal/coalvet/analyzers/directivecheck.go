@@ -1,0 +1,38 @@
+package analyzers
+
+import (
+	"errors"
+
+	"coalqoe/internal/coalvet/analysis"
+	"coalqoe/internal/coalvet/directive"
+)
+
+// Directivecheck enforces: every //coalvet: comment in the module is
+// a well-formed, justified allow directive. Malformed directives are
+// doubly dangerous — they silently fail to suppress (so they look
+// like annotations but do nothing) or, worse, would rot into
+// unexplained exemptions. Its own diagnostics cannot be suppressed.
+var Directivecheck = &analysis.Analyzer{
+	Name: "directivecheck",
+	Doc: "require every //coalvet: comment to be `//coalvet:allow <analyzer> <reason>` with a known analyzer " +
+		"and a non-trivial justification",
+	Run: runDirectivecheck,
+}
+
+func runDirectivecheck(pass *analysis.Pass) error {
+	if !inModule(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				_, err := directive.Parse(c.Text)
+				if err == nil || errors.Is(err, directive.ErrNotDirective) {
+					continue
+				}
+				pass.Reportf(c.Pos(), "%v [directivecheck]", err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"coalqoe/internal/coalvet/analyzers"
+	"coalqoe/internal/coalvet/vettest"
+)
+
+func TestDirectivecheck(t *testing.T) {
+	vettest.Run(t, "testdata/src", analyzers.Directivecheck,
+		"coalqoe/internal/dcbad", // failing fixture (offset-form wants)
+		"coalqoe/internal/dcok",  // passing fixture
+	)
+}

@@ -1,0 +1,58 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"coalqoe/internal/coalvet/analysis"
+)
+
+// globalrandConstructors are the math/rand package-level functions
+// that build an explicitly seeded generator rather than drawing from
+// the shared global source. Everything else at package level is a
+// draw from (or a mutation of) process-global state.
+var globalrandConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Globalrand enforces: all randomness comes from an injected
+// *rand.Rand. The experiment runner derives one seed lane per grid
+// cell (stable FNV hash of the cell's conditions, PR 1); a single
+// global draw anywhere re-couples the cells and breaks run-to-run
+// reproducibility. Unlike wallclock this applies to the whole module
+// including cmd/ and test files — a global draw is never needed when
+// constructors are allowed.
+var Globalrand = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid package-level math/rand and math/rand/v2 draws (rand.Intn, rand.Float64, rand.Shuffle, rand.Seed, ...); " +
+		"randomness must come from an injected, explicitly seeded *rand.Rand",
+	Run: runGlobalrand,
+}
+
+func runGlobalrand(pass *analysis.Pass) error {
+	if !inModule(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := usedFunc(pass.TypesInfo, sel.Sel)
+			if fn == nil || globalrandConstructors[fn.Name()] {
+				return true
+			}
+			if isPkgLevelFunc(fn, "math/rand") || isPkgLevelFunc(fn, "math/rand/v2") {
+				pass.Reportf(sel.Pos(),
+					"%s.%s draws from the process-global random source; use an injected *rand.Rand from the experiment's seed lane [globalrand]",
+					fn.Pkg().Name(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

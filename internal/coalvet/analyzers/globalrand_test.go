@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"coalqoe/internal/coalvet/analyzers"
+	"coalqoe/internal/coalvet/vettest"
+)
+
+func TestGlobalrand(t *testing.T) {
+	vettest.Run(t, "testdata/src", analyzers.Globalrand,
+		"coalqoe/internal/grbad", // failing fixture (incl. v2 and a test file)
+		"coalqoe/internal/grok",  // passing fixture
+	)
+}

@@ -1,0 +1,195 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"coalqoe/internal/coalvet/analysis"
+)
+
+// Maporder enforces: no unordered map iteration in simulator
+// packages. Go randomizes map range order per run, so any map range
+// whose effects can reach a report row, a plotted series, a trace
+// export, or float accumulation silently breaks the byte-identical
+// guarantee.
+//
+// One idiom is recognized as safe and allowed without a directive:
+// collecting the keys into a slice whose only use of the loop is
+// `keys = append(keys, k)`, followed later in the same function by a
+// sort of that slice (sort.Strings/Ints/Slice/..., slices.Sort...).
+// Everything else needs either a rewrite to sorted iteration or a
+// justified //coalvet:allow maporder directive (e.g. an integer sum,
+// which is genuinely order-insensitive — unlike a float sum).
+var Maporder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "forbid ranging over a map in coalqoe/internal/... unless the loop only collects keys that are subsequently sorted; " +
+		"map order is randomized per run and breaks byte-identical reports",
+	Run: runMaporder,
+}
+
+func runMaporder(pass *analysis.Pass) error {
+	if !inSimInternal(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		// Visit every function body; nested function literals are
+		// handled by the recursive Inspect from their enclosing
+		// declaration, using the innermost body for the sort search.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapRanges(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRanges reports unsorted map ranges directly inside body
+// (nested function literals are visited by their own call).
+func checkMapRanges(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // handled when the literal itself is visited
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		// `for range m` binds nothing: the body cannot observe order.
+		if bindsNothing(rng) {
+			return true
+		}
+		if keysCollectedThenSorted(pass, rng, body) {
+			return true
+		}
+		pass.Reportf(rng.Pos(),
+			"map iteration order is randomized and can reach emitted output; sort the keys first or justify with //coalvet:allow maporder <reason> [maporder]")
+		return true
+	})
+}
+
+// bindsNothing reports whether the range statement binds neither key
+// nor value (for range m {...} or for _ = range m, _, _ = ...).
+func bindsNothing(rng *ast.RangeStmt) bool {
+	isBlank := func(e ast.Expr) bool {
+		if e == nil {
+			return true
+		}
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	return isBlank(rng.Key) && isBlank(rng.Value)
+}
+
+// keysCollectedThenSorted recognizes the canonical deterministic
+// idiom:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys) // or sort.Slice, slices.Sort, ...
+//
+// The loop body must be exactly the append of the key into a slice,
+// and that slice must be passed to a recognized sort call later in
+// the same enclosing function body.
+func keysCollectedThenSorted(pass *analysis.Pass, rng *ast.RangeStmt, body *ast.BlockStmt) bool {
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" || rng.Value != nil {
+		return false
+	}
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	sliceID, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fid, ok := call.Fun.(*ast.Ident); !ok || fid.Name != "append" {
+		return false
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	if !ok || pass.TypesInfo.ObjectOf(arg0) != pass.TypesInfo.ObjectOf(sliceID) {
+		return false
+	}
+	arg1, ok := call.Args[1].(*ast.Ident)
+	if !ok || pass.TypesInfo.ObjectOf(arg1) != pass.TypesInfo.ObjectOf(keyID) {
+		return false
+	}
+	return sortedAfter(pass, body, pass.TypesInfo.ObjectOf(sliceID), rng.End())
+}
+
+// sortFuncs maps package path to the sorting functions whose first
+// argument orders a slice in place.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortedAfter reports whether slice (a types.Object) is passed as the
+// first argument to a recognized sort call positioned after `after`
+// within body.
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt, slice types.Object, after token.Pos) bool {
+	if slice == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := usedFunc(pass.TypesInfo, sel.Sel)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		names := sortFuncs[fn.Pkg().Path()]
+		if names == nil || !names[fn.Name()] {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == slice {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"coalqoe/internal/coalvet/analyzers"
+	"coalqoe/internal/coalvet/vettest"
+)
+
+func TestMaporder(t *testing.T) {
+	vettest.Run(t, "testdata/src", analyzers.Maporder,
+		"coalqoe/internal/mobad", // failing fixture
+		"coalqoe/internal/mook",  // passing fixture (sorted idiom, directive)
+	)
+}

@@ -1,0 +1,129 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"coalqoe/internal/coalvet/analysis"
+)
+
+// resultretainRoot is the struct whose memory footprint this analyzer
+// guards, and retainBanned the heavyweight types it must not reach.
+//
+// PR 1 fixed a leak where every grid cell's Result retained the whole
+// simulated device and player session (~MBs each, thousands of cells
+// per grid); Result now carries them only behind explicit
+// KeepDevice/KeepTrace opt-ins. This analyzer stops the leak from
+// regrowing: any field of exp.Result — at any nesting depth through
+// structs, pointers, slices, arrays and maps — whose type can reach
+// device.Device or player.Session is reported unless annotated.
+const resultretainPkg = ModulePath + "/internal/exp"
+
+var retainBanned = map[string]bool{
+	ModulePath + "/internal/device.Device":  true,
+	ModulePath + "/internal/player.Session": true,
+}
+
+// Resultretain enforces: no new exp.Result field may retain the
+// simulated device or session. The two existing opt-in fields carry
+// //coalvet:allow resultretain directives documenting the runtime
+// gate.
+var Resultretain = &analysis.Analyzer{
+	Name: "resultretain",
+	Doc: "forbid exp.Result fields that can reach *device.Device or *player.Session; " +
+		"grids hold thousands of Results and retaining the simulation graph reintroduces the PR 1 memory leak",
+	Run: runResultretain,
+}
+
+func runResultretain(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != resultretainPkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != "Result" {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				ft := pass.TypesInfo.TypeOf(field.Type)
+				if ft == nil {
+					continue
+				}
+				if path, found := reachesBanned(ft, nil, make(map[types.Type]bool)); found {
+					pass.Reportf(field.Pos(),
+						"Result field retains the simulation graph via %s; results outlive their runs by the thousands — keep them scalar, or gate and justify with //coalvet:allow resultretain <reason> [resultretain]",
+						path)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reachesBanned walks t's structure looking for a banned named type,
+// returning a human-readable path on success. Interfaces and function
+// types terminate the walk: they are opaque to static reachability.
+func reachesBanned(t types.Type, trail []string, seen map[types.Type]bool) (string, bool) {
+	if t == nil || seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		name := obj.Name()
+		if obj.Pkg() != nil {
+			full := obj.Pkg().Path() + "." + name
+			name = obj.Pkg().Name() + "." + name
+			if retainBanned[full] {
+				return trailString(append(trail, name)), true
+			}
+		}
+		return reachesBanned(t.Underlying(), append(trail, name), seen)
+	case *types.Pointer:
+		return reachesBanned(t.Elem(), trail, seen)
+	case *types.Slice:
+		return reachesBanned(t.Elem(), trail, seen)
+	case *types.Array:
+		return reachesBanned(t.Elem(), trail, seen)
+	case *types.Chan:
+		return reachesBanned(t.Elem(), trail, seen)
+	case *types.Map:
+		if path, found := reachesBanned(t.Key(), trail, seen); found {
+			return path, true
+		}
+		return reachesBanned(t.Elem(), trail, seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			if path, found := reachesBanned(f.Type(), append(trail, "."+f.Name()), seen); found {
+				return path, true
+			}
+		}
+	}
+	return "", false
+}
+
+func trailString(trail []string) string {
+	s := ""
+	for i, step := range trail {
+		if i > 0 && step[0] != '.' {
+			s += " -> "
+		}
+		s += step
+	}
+	if s == "" {
+		s = fmt.Sprintf("%v", trail)
+	}
+	return s
+}

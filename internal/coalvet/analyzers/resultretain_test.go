@@ -1,0 +1,16 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"coalqoe/internal/coalvet/analyzers"
+	"coalqoe/internal/coalvet/vettest"
+)
+
+func TestResultretain(t *testing.T) {
+	// The failing fixture must live at exactly coalqoe/internal/exp (the
+	// guarded package path), so the scalar-only passing fixture needs a
+	// second root to coexist.
+	vettest.Run(t, "testdata/src", analyzers.Resultretain, "coalqoe/internal/exp")
+	vettest.Run(t, "testdata/src2", analyzers.Resultretain, "coalqoe/internal/exp")
+}

@@ -1,0 +1,12 @@
+// Passing fixture: cmd/ binaries own the wall clock; the wallclock
+// analyzer only polices internal/ simulator packages.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now())
+}

@@ -1,0 +1,20 @@
+// Failing fixture for the directivecheck analyzer. Its findings anchor
+// on comment lines, so the expectations use vettest's offset form.
+package dcbad
+
+// want+1 "unknown coalvet directive \"//coalvet:ignore\""
+//coalvet:ignore wallclock
+
+// want+1 "//coalvet:allow needs an analyzer name and a reason"
+//coalvet:allow
+
+// want+1 "names unknown analyzer \"sloppiness\""
+//coalvet:allow sloppiness because reasons
+
+// want+1 "//coalvet:allow maporder needs a justification"
+//coalvet:allow maporder
+
+// want+1 "//coalvet:allow wallclock needs a justification"
+//coalvet:allow wallclock ok
+
+func placeholder() {}

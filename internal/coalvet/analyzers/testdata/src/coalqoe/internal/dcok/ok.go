@@ -1,0 +1,17 @@
+// Passing fixture for the directivecheck analyzer: well-formed
+// directives and ordinary comments produce no diagnostics.
+package dcok
+
+import "fmt"
+
+// A justified directive parses clean.
+func emit(m map[string]int) {
+	//coalvet:allow maporder fixture: demo of a justified suppression
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Ordinary prose mentioning coalvet directives is not itself a
+// directive, because it lacks the machine prefix.
+func doc() {}

@@ -1,0 +1,8 @@
+// Package device is a fixture twin of the real simulated device, used
+// by the resultretain fixtures.
+package device
+
+// Device stands in for the multi-megabyte simulated device graph.
+type Device struct {
+	RAM int64
+}

@@ -1,0 +1,25 @@
+// Failing fixture for the resultretain analyzer: this package path is
+// exactly coalqoe/internal/exp, so its Result struct is the guarded
+// root.
+package exp
+
+import (
+	"coalqoe/internal/device"
+	"coalqoe/internal/player"
+)
+
+// Result is the fixture twin of the real exp.Result.
+type Result struct {
+	Seed    int64
+	Metrics player.Metrics // scalar-only: fine to retain
+	Dev     *device.Device // want "Result field retains the simulation graph via device.Device"
+	Runs    []perRun       // want "Result field retains the simulation graph via exp.perRun.Sess -> player.Session"
+	//coalvet:allow resultretain fixture: nil unless an explicit keep flag is set on the run config
+	Kept *device.Device
+}
+
+// perRun shows that reachability is transitive through nested structs,
+// slices and pointers.
+type perRun struct {
+	Sess *player.Session
+}

@@ -1,0 +1,14 @@
+// Failing fixture for the globalrand analyzer: package-level
+// math/rand draws from the shared global source.
+package grbad
+
+import "math/rand"
+
+func draw() int {
+	rand.Seed(42)        // want "rand.Seed draws from the process-global random source"
+	return rand.Intn(10) // want "rand.Intn draws from the process-global random source"
+}
+
+func jitter() float64 {
+	return rand.Float64() // want "rand.Float64 draws from the process-global random source"
+}

@@ -1,0 +1,9 @@
+package grbad
+
+import "math/rand"
+
+// Unlike wallclock, globalrand applies to test files as well: a global
+// draw in a test still couples it to every other test in the process.
+func shuffleForTest(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle draws from the process-global random source"
+}

@@ -1,0 +1,8 @@
+package grbad
+
+import randv2 "math/rand/v2"
+
+// math/rand/v2 has a global source too.
+func drawV2() int {
+	return randv2.IntN(10) // want "rand.IntN draws from the process-global random source"
+}

@@ -1,0 +1,9 @@
+// Passing fixture for the globalrand analyzer: injected generators and
+// the explicit constructors are fine.
+package grok
+
+import "math/rand"
+
+func draw(rng *rand.Rand) int { return rng.Intn(10) }
+
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,7 @@
+package grok
+
+import randv2 "math/rand/v2"
+
+func newV2(a, b uint64) *randv2.Rand { return randv2.New(randv2.NewPCG(a, b)) }
+
+func drawV2(rng *randv2.Rand) int { return rng.IntN(10) }

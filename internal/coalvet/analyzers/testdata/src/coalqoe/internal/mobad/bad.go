@@ -1,0 +1,31 @@
+// Failing fixture for the maporder analyzer: map ranges whose order
+// can reach emitted output.
+package mobad
+
+import "fmt"
+
+func emit(m map[string]int) {
+	for k, v := range m { // want "map iteration order is randomized"
+		fmt.Println(k, v)
+	}
+}
+
+// Collecting keys is not enough — they must also be sorted.
+func keysNeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order is randomized"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Ranges inside function literals are checked too.
+func insideClosure(m map[string]int) func() []string {
+	return func() []string {
+		var out []string
+		for k := range m { // want "map iteration order is randomized"
+			out = append(out, k)
+		}
+		return out
+	}
+}

@@ -1,0 +1,50 @@
+// Passing fixture for the maporder analyzer: the sorted-keys idiom,
+// order-blind ranges, and justified directives.
+package mook
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// The canonical deterministic idiom: collect, sort, then iterate.
+func emitSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// slices.Sort counts as a recognized sort too.
+func sortedInts(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// A bindings-free range cannot observe iteration order.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// An integer sum is order-insensitive; the directive records why.
+func sum(m map[string]int) int {
+	total := 0
+	//coalvet:allow maporder integer sum over values, order-insensitive
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

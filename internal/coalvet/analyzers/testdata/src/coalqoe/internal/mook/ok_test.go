@@ -1,0 +1,11 @@
+package mook
+
+// Test files are exempt from maporder: assertions decide determinism
+// there, not emission order.
+func keysForTest(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,14 @@
+// Package player is a fixture twin of the real player, used by the
+// resultretain fixtures.
+package player
+
+// Session stands in for the heavyweight per-run playback session.
+type Session struct {
+	Buffered float64
+}
+
+// Metrics is scalar-only and safe for a Result to retain.
+type Metrics struct {
+	MOS    float64
+	Stalls int
+}

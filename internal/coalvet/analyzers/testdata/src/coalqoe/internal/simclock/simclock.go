@@ -1,0 +1,8 @@
+// Package simclock is the fixture twin of the virtual-time authority:
+// the one internal package allowed to touch the real clock.
+package simclock
+
+import "time"
+
+// Wall reads real time; simclock owns this exemption.
+func Wall() time.Time { return time.Now() }

@@ -1,0 +1,21 @@
+// Failing fixture for the unitmix analyzer: magic byte/page literals
+// mixed with unit-carrying types.
+package umbad
+
+import "coalqoe/internal/units"
+
+func grow(b units.Bytes) units.Bytes {
+	return b + 4096 // want "raw literal 4096 mixed with units.Bytes"
+}
+
+func toPages() units.Pages {
+	return units.Pages(2048) // want "raw literal 2048 mixed with units.Pages"
+}
+
+func isBig(b units.Bytes) bool {
+	return b > 1<<20 // want "raw literal 1048576 mixed with units.Bytes"
+}
+
+func scale(p units.Pages) units.Pages {
+	return 1024 * p // want "raw literal 1024 mixed with units.Pages"
+}

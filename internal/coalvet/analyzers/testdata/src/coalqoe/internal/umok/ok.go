@@ -1,0 +1,24 @@
+// Passing fixture for the unitmix analyzer: named quantities, small
+// scalars, and justified directives.
+package umok
+
+import "coalqoe/internal/units"
+
+const segment units.Bytes = 6 * units.MiB
+
+func ok(b units.Bytes) units.Bytes {
+	b += 4 * units.KiB
+	b += segment
+	b += 512 // below the 1024 threshold: everyday arithmetic
+	const chunk = 64 * 1024
+	return b + chunk // a declared const carries its unit at the declaration
+}
+
+func okCmp(b units.Bytes) bool { return b > 2*units.PageSize }
+
+func pages(b units.Bytes) units.Pages { return units.Pages(b / units.PageSize) }
+
+func annotated(b units.Bytes) units.Bytes {
+	//coalvet:allow unitmix fixture: wire-format framing constant documented at the protocol spec
+	return b + 65536
+}

@@ -1,0 +1,17 @@
+// Package units is a fixture twin of the real coalqoe/internal/units:
+// just enough surface for the unitmix fixtures to typecheck.
+package units
+
+// Bytes counts bytes.
+type Bytes int64
+
+// Pages counts 4 KiB pages.
+type Pages int64
+
+// Named quantities that satisfy the unitmix analyzer.
+const (
+	KiB      Bytes = 1 << 10
+	MiB      Bytes = 1 << 20
+	GiB      Bytes = 1 << 30
+	PageSize Bytes = 4 * KiB
+)

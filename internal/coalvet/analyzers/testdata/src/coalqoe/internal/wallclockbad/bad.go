@@ -1,0 +1,22 @@
+// Failing fixture for the wallclock analyzer: a simulator-internal
+// package that reads the machine clock.
+package wallclockbad
+
+import "time"
+
+func elapsed() time.Duration {
+	start := time.Now()          // want "time.Now reads the wall clock in simulator package"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	return time.Since(start)     // want "time.Since reads the wall clock"
+}
+
+func ticks() {
+	ch := time.Tick(time.Second) // want "time.Tick reads the wall clock"
+	<-ch
+}
+
+// Passing the function as a value is just as non-deterministic as
+// calling it.
+func clockSource() func() time.Time {
+	return time.Now // want "time.Now reads the wall clock"
+}

@@ -1,0 +1,7 @@
+package wallclockbad
+
+import "time"
+
+// Test files are exempt: timeouts and benchmark timing legitimately
+// read the wall clock. No diagnostics expected here.
+func testHelperStamp() time.Time { return time.Now() }

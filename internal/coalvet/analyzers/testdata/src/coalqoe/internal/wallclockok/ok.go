@@ -1,0 +1,16 @@
+// Passing fixture for the wallclock analyzer: durations, explicit
+// construction, and a justified directive are all fine.
+package wallclockok
+
+import "time"
+
+func span() time.Duration { return 3 * time.Second }
+
+func epoch() time.Time { return time.Unix(0, 0) }
+
+func injected(now func() time.Time) time.Time { return now() }
+
+func annotated() time.Time {
+	//coalvet:allow wallclock fixture: wall-clock stamp is display-only, never enters the sim
+	return time.Now()
+}

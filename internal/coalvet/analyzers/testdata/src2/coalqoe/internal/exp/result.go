@@ -1,0 +1,11 @@
+// Passing fixture for the resultretain analyzer: a scalar-only Result
+// at the guarded package path produces no diagnostics.
+package exp
+
+// Result holds only scalar outcomes.
+type Result struct {
+	Seed     int64
+	MOS      float64
+	Stalls   int
+	RebufSec float64
+}

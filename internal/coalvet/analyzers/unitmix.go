@@ -1,0 +1,148 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"coalqoe/internal/coalvet/analysis"
+)
+
+// unitmixThreshold is the smallest magic literal worth flagging.
+// Small scalars (2*x, x+1, comparisons against counts) are everyday
+// arithmetic; 1024 and up is where byte/KiB/page confusion lives
+// (1024, 4096, 1<<20, ...). Named constants — units.KiB, PageSize, a
+// local const — always pass, which is the point: give the number a
+// name that carries its unit.
+const unitmixThreshold = 1024
+
+// unitmixOps are the arithmetic and comparison operators checked.
+var unitmixOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true,
+	token.QUO: true, token.REM: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true,
+	token.GEQ: true, token.EQL: true, token.NEQ: true,
+}
+
+// Unitmix enforces: raw integer literals >= 1024 never mix with
+// units.Bytes or units.Pages values — arithmetically, in comparisons,
+// or via direct conversion. Byte/page confusion ("is that 4096 bytes
+// or 4096 pages = 16 MiB?") is the classic source of silently wrong
+// memory accounting; a named constant (units.KiB, units.PageSize, or
+// a declared const) documents the unit and satisfies the analyzer.
+var Unitmix = &analysis.Analyzer{
+	Name: "unitmix",
+	Doc: "forbid raw integer literals >= 1024 in arithmetic/comparisons with units.Bytes or units.Pages values " +
+		"(and in conversions like units.Bytes(4096)); use units.KiB/MiB/GiB/PageSize or a named constant",
+	Run: runUnitmix,
+}
+
+func runUnitmix(pass *analysis.Pass) error {
+	if !inModule(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if !unitmixOps[e.Op] {
+					return true
+				}
+				xUnit := unitTypeName(pass.TypesInfo.TypeOf(e.X))
+				yUnit := unitTypeName(pass.TypesInfo.TypeOf(e.Y))
+				if xUnit != "" && magicLiteral(pass, e.Y) {
+					reportUnitmix(pass, e.Y, xUnit)
+				} else if yUnit != "" && magicLiteral(pass, e.X) {
+					reportUnitmix(pass, e.X, yUnit)
+				}
+			case *ast.CallExpr:
+				// Conversion: units.Bytes(4096), units.Pages(1<<20).
+				if len(e.Args) != 1 {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[e.Fun]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				if name := unitTypeName(tv.Type); name != "" && magicLiteral(pass, e.Args[0]) {
+					reportUnitmix(pass, e.Args[0], name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func reportUnitmix(pass *analysis.Pass, lit ast.Expr, unit string) {
+	pass.Reportf(lit.Pos(),
+		"raw literal %v mixed with %s; name the quantity (units.KiB/MiB/GiB/PageSize or a declared const) so the unit is explicit [unitmix]",
+		pass.TypesInfo.Types[lit].Value, unit)
+}
+
+// unitsPkgPath is where the byte/page types live.
+const unitsPkgPath = ModulePath + "/internal/units"
+
+// unitTypeName returns "units.Bytes" or "units.Pages" if t is (or
+// points to) one of the unit types, else "".
+func unitTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != unitsPkgPath {
+		return ""
+	}
+	switch obj.Name() {
+	case "Bytes", "Pages":
+		return "units." + obj.Name()
+	}
+	return ""
+}
+
+// magicLiteral reports whether e is a compile-time integer constant
+// of magnitude >= unitmixThreshold built purely from literals — i.e.
+// no named constant anywhere in the expression.
+func magicLiteral(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	abs := tv.Value
+	if constant.Sign(abs) < 0 {
+		abs = constant.UnaryOp(token.SUB, abs, 0)
+	}
+	if constant.Compare(abs, token.LSS, constant.MakeInt64(unitmixThreshold)) {
+		return false
+	}
+	return literalOnly(e)
+}
+
+// literalOnly reports whether the expression tree consists solely of
+// literals and operators (no identifiers or selectors, which would
+// mean a named constant is involved).
+func literalOnly(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.ParenExpr:
+		return literalOnly(e.X)
+	case *ast.UnaryExpr:
+		return literalOnly(e.X)
+	case *ast.BinaryExpr:
+		return literalOnly(e.X) && literalOnly(e.Y)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"coalqoe/internal/coalvet/analyzers"
+	"coalqoe/internal/coalvet/vettest"
+)
+
+func TestUnitmix(t *testing.T) {
+	vettest.Run(t, "testdata/src", analyzers.Unitmix,
+		"coalqoe/internal/umbad", // failing fixture
+		"coalqoe/internal/umok",  // passing fixture
+	)
+}

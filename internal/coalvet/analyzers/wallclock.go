@@ -1,0 +1,67 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"coalqoe/internal/coalvet/analysis"
+)
+
+// wallclockBanned lists the package-level time functions that observe
+// or depend on the machine's real clock. Referencing one of these —
+// called or passed as a value — from a simulator package makes run
+// output depend on host timing.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// wallclockExempt lists internal packages that legitimately own real
+// time: simclock is the virtual-time authority and is what everything
+// else must use instead.
+var wallclockExempt = map[string]bool{
+	ModulePath + "/internal/simclock": true,
+}
+
+// Wallclock enforces: simulator packages never read the wall clock.
+// All time must flow through an injected *simclock.Clock (sim paths)
+// or an injected now/sleep func wired up in cmd/ (real-IO paths such
+// as the HTTP examples). Test files are exempt — timeouts and
+// benchmark timing are legitimate there.
+var Wallclock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Since/Until/Sleep/Tick/After/AfterFunc/NewTimer/NewTicker in coalqoe/internal/... " +
+		"(except internal/simclock); inject a clock instead so runs are reproducible at any parallelism",
+	Run: runWallclock,
+}
+
+func runWallclock(pass *analysis.Pass) error {
+	if !inSimInternal(pass.Pkg) || wallclockExempt[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := usedFunc(pass.TypesInfo, sel.Sel)
+			if isPkgLevelFunc(fn, "time") && wallclockBanned[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock in simulator package %s; use an injected clock (simclock.Clock or a now/sleep func wired in cmd/) [wallclock]",
+					fn.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"coalqoe/internal/coalvet/analyzers"
+	"coalqoe/internal/coalvet/vettest"
+)
+
+func TestWallclock(t *testing.T) {
+	vettest.Run(t, "testdata/src", analyzers.Wallclock,
+		"coalqoe/internal/wallclockbad", // failing fixture
+		"coalqoe/internal/wallclockok",  // passing fixture
+		"coalqoe/internal/simclock",     // exempt package
+		"coalqoe/cmd/clocktool",         // cmd/ is out of scope
+	)
+}

@@ -1,0 +1,148 @@
+// Package directive parses //coalvet:allow suppression directives and
+// builds the per-file suppression index the coalvet driver consults
+// before emitting a diagnostic.
+//
+// Grammar (one directive per comment line):
+//
+//	//coalvet:allow <analyzer> <reason...>
+//
+// The analyzer must be one of the registered invariant names and the
+// reason must be a non-empty justification — reason-less suppressions
+// are rejected so every exemption in the tree documents why it is
+// safe. A directive suppresses matching diagnostics on its own line
+// (trailing form) and on the line directly below it (preceding form).
+package directive
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Prefix introduces every coalvet directive comment.
+const Prefix = "//coalvet:"
+
+// Targets lists the analyzer names a directive may suppress.
+// directivecheck itself is deliberately absent: directive syntax
+// errors cannot be suppressed.
+var Targets = []string{"globalrand", "maporder", "resultretain", "unitmix", "wallclock"}
+
+// IsTarget reports whether name is a suppressible analyzer.
+func IsTarget(name string) bool {
+	for _, t := range Targets {
+		if t == name {
+			return true
+		}
+	}
+	return false
+}
+
+// A Directive is one parsed //coalvet:allow comment.
+type Directive struct {
+	Analyzer string // which invariant is being waived
+	Reason   string // the justification, verbatim
+}
+
+// ErrNotDirective is returned by Parse for comments that are not
+// coalvet directives at all (callers should skip these silently).
+var ErrNotDirective = fmt.Errorf("not a coalvet directive")
+
+// minReasonLen guards against placeholder justifications like "x".
+const minReasonLen = 3
+
+// Parse interprets one comment's text. Comments without the
+// //coalvet: prefix yield ErrNotDirective; malformed directives yield
+// a descriptive error suitable for a diagnostic.
+func Parse(text string) (Directive, error) {
+	if !strings.HasPrefix(text, Prefix) {
+		return Directive{}, ErrNotDirective
+	}
+	rest := text[len(Prefix):]
+	verb := rest
+	var args string
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		verb, args = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	if verb != "allow" {
+		return Directive{}, fmt.Errorf("unknown coalvet directive %q (only %sallow is recognized)", Prefix+verb, Prefix)
+	}
+	name := args
+	var reason string
+	if i := strings.IndexAny(args, " \t"); i >= 0 {
+		name, reason = args[:i], strings.TrimSpace(args[i+1:])
+	}
+	if name == "" {
+		return Directive{}, fmt.Errorf("%sallow needs an analyzer name and a reason", Prefix)
+	}
+	if !IsTarget(name) {
+		return Directive{}, fmt.Errorf("%sallow names unknown analyzer %q (known: %s)", Prefix, name, strings.Join(Targets, ", "))
+	}
+	if len(reason) < minReasonLen {
+		return Directive{}, fmt.Errorf("%sallow %s needs a justification (why is this use deterministic/safe?)", Prefix, name)
+	}
+	return Directive{Analyzer: name, Reason: reason}, nil
+}
+
+// An Index records, per file and line, which analyzers are suppressed.
+type Index struct {
+	fset *token.FileSet
+	// byFile maps filename -> line -> set of analyzer names.
+	byFile map[string]map[int]map[string]bool
+}
+
+// NewIndex scans the comments of files and builds the suppression
+// index from every well-formed directive. Malformed directives are
+// ignored here (they never suppress); the directivecheck analyzer
+// reports them.
+func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
+	idx := &Index{fset: fset, byFile: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, err := Parse(c.Text)
+				if err != nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx.byFile[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx.byFile[pos.Filename] = lines
+				}
+				end := fset.Position(c.End()).Line
+				// Trailing form covers the directive's own line;
+				// preceding form covers the line below the comment.
+				for _, line := range []int{pos.Line, end + 1} {
+					set := lines[line]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[line] = set
+					}
+					set[d.Analyzer] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// Allows reports whether a diagnostic from the named analyzer at pos
+// is suppressed by a directive.
+func (idx *Index) Allows(analyzer string, pos token.Pos) bool {
+	p := idx.fset.Position(pos)
+	lines, ok := idx.byFile[p.Filename]
+	if !ok {
+		return false
+	}
+	return lines[p.Line][analyzer]
+}
+
+// TargetsString returns the known analyzer names joined for help text,
+// in sorted order.
+func TargetsString() string {
+	ts := append([]string(nil), Targets...)
+	sort.Strings(ts)
+	return strings.Join(ts, ", ")
+}

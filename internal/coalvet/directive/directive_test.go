@@ -1,0 +1,114 @@
+package directive
+
+import (
+	"errors"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseWellFormed(t *testing.T) {
+	cases := []struct {
+		text     string
+		analyzer string
+		reason   string
+	}{
+		{"//coalvet:allow wallclock HTTP handler measures real transfer time", "wallclock", "HTTP handler measures real transfer time"},
+		{"//coalvet:allow maporder integer sum over map values, order-insensitive", "maporder", "integer sum over map values, order-insensitive"},
+		{"//coalvet:allow globalrand   seeded upstream   ", "globalrand", "seeded upstream"},
+		{"//coalvet:allow resultretain gated by KeepDevice at runtime", "resultretain", "gated by KeepDevice at runtime"},
+		{"//coalvet:allow unitmix protocol-mandated magic number", "unitmix", "protocol-mandated magic number"},
+	}
+	for _, c := range cases {
+		d, err := Parse(c.text)
+		if err != nil {
+			t.Errorf("Parse(%q): unexpected error %v", c.text, err)
+			continue
+		}
+		if d.Analyzer != c.analyzer || d.Reason != c.reason {
+			t.Errorf("Parse(%q) = %+v, want analyzer %q reason %q", c.text, d, c.analyzer, c.reason)
+		}
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	cases := []struct {
+		text    string
+		wantErr string // substring of the error; "" means ErrNotDirective
+	}{
+		// Not directives at all: skipped silently.
+		{"// plain comment", ""},
+		{"// coalvet:allow wallclock spaced-out prefix is not a directive", ""},
+		{"//nolint:gocritic", ""},
+
+		// Wrong verb.
+		{"//coalvet:ignore wallclock because", "unknown coalvet directive"},
+		{"//coalvet:allowwallclock smashed together", "unknown coalvet directive"},
+		{"//coalvet:", "unknown coalvet directive"},
+
+		// Missing pieces.
+		{"//coalvet:allow", "needs an analyzer name"},
+		{"//coalvet:allow   ", "needs an analyzer name"},
+
+		// Unknown analyzer.
+		{"//coalvet:allow clockwall transposed name", "unknown analyzer"},
+		{"//coalvet:allow directivecheck trying to silence the checker", "unknown analyzer"},
+
+		// Reason-less or placeholder-reason directives are rejected.
+		{"//coalvet:allow wallclock", "needs a justification"},
+		{"//coalvet:allow wallclock ", "needs a justification"},
+		{"//coalvet:allow wallclock x", "needs a justification"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.text)
+		if c.wantErr == "" {
+			if !errors.Is(err, ErrNotDirective) {
+				t.Errorf("Parse(%q): got %v, want ErrNotDirective", c.text, err)
+			}
+			continue
+		}
+		if err == nil || errors.Is(err, ErrNotDirective) {
+			t.Errorf("Parse(%q): got %v, want error containing %q", c.text, err, c.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Parse(%q): error %q does not contain %q", c.text, err, c.wantErr)
+		}
+	}
+}
+
+func TestIndexCoversDirectiveAndNextLine(t *testing.T) {
+	src := `package p
+
+//coalvet:allow wallclock preceding-form justification
+var a = 1
+
+var b = 2 //coalvet:allow maporder trailing-form justification
+
+//coalvet:allow wallclock
+var c = 3
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "idx.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewIndex(fset, []*ast.File{f})
+	posOnLine := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	if !idx.Allows("wallclock", posOnLine(4)) {
+		t.Error("preceding directive should suppress wallclock on the next line")
+	}
+	if !idx.Allows("maporder", posOnLine(6)) {
+		t.Error("trailing directive should suppress maporder on its own line")
+	}
+	if idx.Allows("globalrand", posOnLine(4)) {
+		t.Error("directive must only suppress the named analyzer")
+	}
+	if idx.Allows("wallclock", posOnLine(9)) {
+		t.Error("reason-less directive must not suppress anything")
+	}
+}

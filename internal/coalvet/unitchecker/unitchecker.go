@@ -1,0 +1,205 @@
+// Package unitchecker implements the `go vet -vettool` command-line
+// protocol for coalvet on the standard library alone: cmd/go invokes
+// the tool once per compilation unit with a JSON .cfg file describing
+// the unit's sources and the export-data files of everything it
+// imports. The Config layout and behaviour deliberately match
+// golang.org/x/tools/go/analysis/unitchecker, which cannot be
+// imported here (the build environment has no module proxy), so that
+// swapping to the upstream driver later is a one-line change in
+// cmd/coalvet.
+//
+// The protocol, as consumed by cmd/go:
+//
+//	coalvet -V=full        print a version line for build caching
+//	coalvet -flags         print supported flags as JSON
+//	coalvet [flags] x.cfg  analyze one unit; diagnostics to stderr,
+//	                       non-zero exit if any; always write the
+//	                       facts file named by cfg.VetxOutput
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+
+	"coalqoe/internal/coalvet/analysis"
+	"coalqoe/internal/coalvet/directive"
+)
+
+// Config mirrors the JSON compilation-unit description that cmd/go
+// writes to <objdir>/vet.cfg. Field names must not change.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string // import path -> canonical package path
+	PackageFile               map[string]string // package path -> export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string // package path -> facts file (unused: no facts)
+	VetxOnly                  bool              // facts-only run for a dependency
+	VetxOutput                string            // where to write this unit's facts
+	SucceedOnTypecheckFailure bool
+}
+
+// vetxPlaceholder is what we write as a facts file: coalvet's
+// analyzers are fact-free, but cmd/go caches the output file, so its
+// content must exist and be deterministic.
+var vetxPlaceholder = []byte("coalvet: no facts\n")
+
+// Run executes the suite over the unit described by configFile and
+// exits the process: 0 for clean, 1 for diagnostics or errors.
+func Run(configFile string, analyzers []*analysis.Analyzer) {
+	cfg, err := readConfig(configFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, vetxPlaceholder, 0o666); err != nil {
+			log.Fatalf("coalvet: writing facts placeholder: %v", err)
+		}
+	}
+	// Dependencies are analyzed only for facts, of which we have
+	// none; skip the typecheck entirely so `go vet -vettool` stays
+	// fast over the standard library's build graph.
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	diags, err := analyze(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func readConfig(filename string) (*Config, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("coalvet: cannot decode JSON config file %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("coalvet: package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// analyze parses and typechecks the unit, runs every analyzer, and
+// returns the rendered, position-sorted, directive-filtered
+// diagnostics.
+func analyze(cfg *Config, analyzers []*analysis.Analyzer) ([]string, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a canonical package path, not an import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tcfg := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath] // resolve vendoring
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	named := Check(fset, files, pkg, info, analyzers)
+	out := make([]string, 0, len(named))
+	for _, d := range named {
+		out = append(out, fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message))
+	}
+	return out, nil
+}
+
+// Check runs the analyzers over one typechecked package, applies
+// //coalvet:allow suppression, and returns position-sorted findings.
+// It is shared by this driver and the vettest fixture runner.
+func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) []analysis.NamedDiagnostic {
+	idx := directive.NewIndex(fset, files)
+	var diags []analysis.NamedDiagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, analysis.NamedDiagnostic{Analyzer: a.Name, Diagnostic: d})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			pass.Reportf(token.NoPos, "analyzer %s failed: %v", a.Name, err)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		// Directive syntax findings are not suppressible.
+		if directive.IsTarget(d.Analyzer) && idx.Allows(d.Analyzer, d.Pos) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	analysis.SortDiagnostics(fset, kept)
+	return kept
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,360 @@
+// Package vettest is coalvet's analogue of
+// golang.org/x/tools/go/analysis/analysistest: it loads fixture
+// packages from a testdata tree, runs one analyzer over them through
+// the same Check path as the real driver (so //coalvet:allow
+// suppression behaves identically), and compares the diagnostics
+// against `// want` expectations embedded in the fixtures.
+//
+// Expectation syntax, on the offending line:
+//
+//	foo() // want "regexp" "another regexp"
+//
+// Because a line can hold only one comment, findings whose subject is
+// itself a comment (directivecheck's) use an offset form on an
+// adjacent line:
+//
+//	// want+1 "unknown coalvet directive"
+//	//coalvet:ignore wallclock
+//
+// Fixture packages live under <root>/<import path>/. Imports are
+// resolved first against the fixture tree (so fixtures can fake
+// coalqoe/internal/units and friends), then against the real build's
+// export data via `go list -export`, which works offline from the
+// local build cache.
+package vettest
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"coalqoe/internal/coalvet/analysis"
+	"coalqoe/internal/coalvet/unitchecker"
+)
+
+// Run loads each fixture package below root and checks the analyzer's
+// diagnostics against the fixtures' want expectations. root is
+// relative to the test's working directory (conventionally
+// "testdata/src").
+func Run(t *testing.T, root string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatalf("vettest: %v", err)
+	}
+	ld := newLoader(absRoot)
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("vettest: loading %s: %v", path, err)
+		}
+		diags := unitchecker.Check(ld.fset, pkg.files, pkg.pkg, pkg.info, []*analysis.Analyzer{a})
+		checkWants(t, ld.fset, path, pkg.files, diags)
+	}
+}
+
+// checkWants matches diagnostics against want expectations.
+func checkWants(t *testing.T, fset *token.FileSet, pkgPath string, files []*ast.File, diags []analysis.NamedDiagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := make(map[key][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, w := range parseWants(t, c.Text) {
+					p := fset.Position(c.Pos())
+					k := key{p.Filename, p.Line + w.offset}
+					wants[k] = append(wants[k], &want{re: w.re, raw: w.raw})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		k := key{p.Filename, p.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", p, d.Analyzer, d.Message)
+		}
+	}
+	var keys []key
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none (package %s)", k.file, k.line, w.raw, pkgPath)
+			}
+		}
+	}
+}
+
+type parsedWant struct {
+	offset int
+	re     *regexp.Regexp
+	raw    string
+}
+
+var wantRe = regexp.MustCompile(`// want([+-][0-9]+)?((?:\s+"(?:[^"\\]|\\.)*")+)\s*$`)
+var wantStrRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// parseWants extracts expectations from one comment's text.
+func parseWants(t *testing.T, text string) []parsedWant {
+	t.Helper()
+	m := wantRe.FindStringSubmatch(text)
+	if m == nil {
+		if strings.Contains(text, "// want ") {
+			t.Fatalf("vettest: malformed want comment: %s", text)
+		}
+		return nil
+	}
+	offset := 0
+	if m[1] != "" {
+		offset, _ = strconv.Atoi(m[1])
+	}
+	var out []parsedWant
+	for _, q := range wantStrRe.FindAllString(m[2], -1) {
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("vettest: bad want string %s: %v", q, err)
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			t.Fatalf("vettest: bad want regexp %q: %v", s, err)
+		}
+		out = append(out, parsedWant{offset: offset, re: re, raw: s})
+	}
+	return out
+}
+
+// ---- fixture loading ----
+
+type loadedPkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	root    string
+	fset    *token.FileSet
+	local   map[string]*loadedPkg
+	exports map[string]string // external package path -> export data file
+	gcImp   types.ImporterFrom
+}
+
+func newLoader(root string) *loader {
+	ld := &loader{
+		root:    root,
+		fset:    token.NewFileSet(),
+		local:   make(map[string]*loadedPkg),
+		exports: make(map[string]string),
+	}
+	ld.gcImp = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := ld.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}).(types.ImporterFrom)
+	return ld
+}
+
+func (ld *loader) isLocal(path string) bool {
+	st, err := os.Stat(filepath.Join(ld.root, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+// load parses and typechecks the fixture package at the given import
+// path, resolving its external imports via `go list -export` first.
+func (ld *loader) load(path string) (*loadedPkg, error) {
+	if err := ld.ensureExports(path, make(map[string]bool)); err != nil {
+		return nil, err
+	}
+	return ld.loadLocal(path)
+}
+
+// ensureExports pre-scans the local import graph from path and fetches
+// export data for every external package it needs, in one go list run.
+func (ld *loader) ensureExports(path string, seen map[string]bool) error {
+	externals := make(map[string]bool)
+	if err := ld.scanImports(path, seen, externals); err != nil {
+		return err
+	}
+	var missing []string
+	for p := range externals {
+		if _, ok := ld.exports[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	return ld.goListExport(missing)
+}
+
+func (ld *loader) scanImports(path string, seen, externals map[string]bool) error {
+	if seen[path] {
+		return nil
+	}
+	seen[path] = true
+	files, err := ld.pkgFiles(path)
+	if err != nil {
+		return err
+	}
+	for _, name := range files {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return err
+			}
+			if ld.isLocal(ip) {
+				if err := ld.scanImports(ip, seen, externals); err != nil {
+					return err
+				}
+			} else {
+				externals[ip] = true
+			}
+		}
+	}
+	return nil
+}
+
+func (ld *loader) pkgFiles(path string) ([]string, error) {
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return files, nil
+}
+
+// goListExport resolves the named packages (and their dependencies) to
+// export-data files using the go command's build cache.
+func (ld *loader) goListExport(pkgs []string) error {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export,Standard"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go %s: %v", strings.Join(args, " "), err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p struct {
+			ImportPath string
+			Export     string
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			ld.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+func (ld *loader) loadLocal(path string) (*loadedPkg, error) {
+	if pkg, ok := ld.local[path]; ok {
+		return pkg, nil
+	}
+	names, err := ld.pkgFiles(path)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := &types.Config{
+		Importer: importerFunc(func(ip string) (*types.Package, error) {
+			if ld.isLocal(ip) {
+				sub, err := ld.loadLocal(ip)
+				if err != nil {
+					return nil, err
+				}
+				return sub.pkg, nil
+			}
+			return ld.gcImp.Import(ip)
+		}),
+		Sizes: types.SizesFor("gc", build.Default.GOARCH),
+	}
+	pkg, err := cfg.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{files: files, pkg: pkg, info: info}
+	ld.local[path] = lp
+	return lp, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

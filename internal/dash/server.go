@@ -144,14 +144,25 @@ func writeSynthetic(w http.ResponseWriter, size units.Bytes) {
 }
 
 // Client fetches manifests and segments from a dash Server over HTTP.
+// Its clock is injected (wall-clock wiring lives in cmd/ and
+// examples/) so that internal/ stays free of time.Now and segment
+// timing stays fakeable in tests.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// Now timestamps segment transfers for FetchSegment's duration
+	// measurement; typically time.Now, supplied by the caller.
+	Now func() time.Time
 }
 
-// NewClient builds a client for the given base URL.
-func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{Timeout: 30 * time.Second}}
+// NewClient builds a client for the given base URL. The now func
+// (typically time.Now, supplied by the binary's main package) times
+// segment fetches; it must be non-nil.
+func NewClient(baseURL string, now func() time.Time) *Client {
+	if now == nil {
+		panic("dash: NewClient needs a clock; pass time.Now from the binary's main package")
+	}
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{Timeout: 30 * time.Second}, Now: now}
 }
 
 // FetchManifest downloads and decodes the manifest.
@@ -174,7 +185,7 @@ func (c *Client) FetchManifest() (ManifestDTO, error) {
 // FetchSegment downloads one segment, discarding the body, and returns
 // its size and transfer duration.
 func (c *Client) FetchSegment(repID string, seg int) (units.Bytes, time.Duration, error) {
-	start := time.Now()
+	start := c.Now()
 	resp, err := c.HTTP.Get(fmt.Sprintf("%s/video/%s/%d", c.BaseURL, repID, seg))
 	if err != nil {
 		return 0, 0, fmt.Errorf("dash: fetch segment: %w", err)
@@ -192,5 +203,5 @@ func (c *Client) FetchSegment(repID string, seg int) (units.Bytes, time.Duration
 			break
 		}
 	}
-	return units.Bytes(total), time.Since(start), nil
+	return units.Bytes(total), c.Now().Sub(start), nil
 }

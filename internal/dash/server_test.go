@@ -5,6 +5,7 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"testing"
+	"time"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *Manifest) {
@@ -17,7 +18,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *Manifest) {
 
 func TestManifestRoundTrip(t *testing.T) {
 	ts, m := newTestServer(t)
-	c := NewClient(ts.URL)
+	c := NewClient(ts.URL, time.Now)
 	dto, err := c.FetchManifest()
 	if err != nil {
 		t.Fatal(err)
@@ -35,7 +36,7 @@ func TestManifestRoundTrip(t *testing.T) {
 
 func TestSegmentSizeMatchesModel(t *testing.T) {
 	ts, m := newTestServer(t)
-	c := NewClient(ts.URL)
+	c := NewClient(ts.URL, time.Now)
 	rung, _ := m.Rung(R480p, 30)
 	want := m.Video.SegmentBytes(rung, 5)
 	got, dur, err := c.FetchSegment("480p30", 5)
@@ -89,7 +90,7 @@ func TestParseRepID(t *testing.T) {
 
 func TestClientSegmentNotFound(t *testing.T) {
 	ts, _ := newTestServer(t)
-	c := NewClient(ts.URL)
+	c := NewClient(ts.URL, time.Now)
 	if _, _, err := c.FetchSegment("480p30", 10000); err == nil {
 		t.Error("expected error for out-of-range segment")
 	}

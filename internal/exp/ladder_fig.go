@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"sort"
 	"time"
 
 	"coalqoe/internal/abr"
@@ -24,8 +25,13 @@ func init() {
 		r.Addf("wide ladder (24/30/48/60 fps): %s", wide)
 		r.Addf("classic ladder (30/60 fps):    %s", classic)
 		r.Addf("60fps-only ladder:             %s", narrow)
-		for name, mos := range wide.PerClass {
-			r.Addf("  wide ladder, %-12s expected MOS %.2f", name, mos)
+		classes := make([]string, 0, len(wide.PerClass))
+		for name := range wide.PerClass {
+			classes = append(classes, name)
+		}
+		sort.Strings(classes)
+		for _, name := range classes {
+			r.Addf("  wide ladder, %-12s expected MOS %.2f", name, wide.PerClass[name])
 		}
 
 		// Validate the headline with full simulations: an entry device

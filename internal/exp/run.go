@@ -90,7 +90,9 @@ func (r *VideoRun) applyDefaults() {
 // runs don't retain every simulated device.
 type Result struct {
 	Metrics player.Metrics
-	Device  *device.Device
+	//coalvet:allow resultretain opt-in escape hatch: nil unless KeepDevice/KeepTrace is set on the run config
+	Device *device.Device
+	//coalvet:allow resultretain opt-in escape hatch: nil unless KeepDevice/KeepTrace is set on the run config
 	Session *player.Session
 	// PressureReached reports whether the target regime was achieved
 	// before the timeout.

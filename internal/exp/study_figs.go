@@ -90,6 +90,7 @@ func init() {
 				crit[p.User] += p.PerHour
 			}
 		}
+		//coalvet:allow maporder order-insensitive counting of users over thresholds
 		for u := range byUser {
 			if byUser[u] >= 1 {
 				any++

@@ -125,6 +125,7 @@ func init() {
 			res := grid[li][0]
 			breakdown := res.Device.Tracer.StateBreakdown(trace.ByName("kswapd"))
 			var total time.Duration
+			//coalvet:allow maporder integer Duration sum, order-insensitive
 			for _, d := range breakdown {
 				total += d
 			}

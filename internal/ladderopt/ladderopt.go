@@ -134,7 +134,16 @@ func expectedMOS(pop []Class, ladder []dash.Rung, qoe QoEFunc) (float64, map[str
 	total, weight := 0.0, 0.0
 	for _, c := range pop {
 		classScore, classWeight := 0.0, 0.0
-		for state, mix := range c.StateMix {
+		// Float accumulation is order-sensitive in the low bits, so
+		// walk the pressure states in a fixed order rather than map
+		// order to keep scores byte-identical across runs.
+		states := make([]proc.Level, 0, len(c.StateMix))
+		for state := range c.StateMix {
+			states = append(states, state)
+		}
+		sort.Slice(states, func(i, j int) bool { return states[i] < states[j] })
+		for _, state := range states {
+			mix := c.StateMix[state]
 			best := 0.0
 			for _, r := range ladder {
 				if s := qoe(c, r, state); s > best {

@@ -267,6 +267,7 @@ func (m *Memory) SetWorkingSet(id string, ws WorkingSet) { m.workingSets[id] = w
 func (m *Memory) RemoveWorkingSet(id string) { delete(m.workingSets, id) }
 
 func (m *Memory) totalWorkingSet() (anon, file units.Pages) {
+	//coalvet:allow maporder integer page sums, order-insensitive (hot path: called per reclaim scan)
 	for _, ws := range m.workingSets {
 		anon += ws.Anon
 		file += ws.File

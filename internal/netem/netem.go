@@ -74,8 +74,11 @@ func (l *Link) TransferTime(b units.Bytes) time.Duration {
 	return time.Duration(float64(b)/l.rate.BytesPerSecond()*float64(time.Second)) + l.delay
 }
 
-// Shaper rate-limits an io.Reader in wall-clock time, for the real
-// net/http examples (the loopback is far faster than any WiFi LAN).
+// Shaper rate-limits an io.Reader against an injected clock, for the
+// real net/http examples (the loopback is far faster than any WiFi
+// LAN). The clock is injected rather than defaulted so that no code
+// under internal/ depends on wall time: callers in cmd/ and examples/
+// pass time.Now and time.Sleep, tests pass a virtual pair.
 type Shaper struct {
 	r       io.Reader
 	rate    units.BitsPerSecond
@@ -85,9 +88,14 @@ type Shaper struct {
 	now     func() time.Time
 }
 
-// NewShaper wraps r so reads average the given rate.
-func NewShaper(r io.Reader, rate units.BitsPerSecond) *Shaper {
-	return &Shaper{r: r, rate: rate, sleep: time.Sleep, now: time.Now}
+// NewShaper wraps r so reads average the given rate, timed by now and
+// paced by sleep (typically time.Now and time.Sleep, supplied by the
+// cmd/ or examples/ caller). Panics if either is nil.
+func NewShaper(r io.Reader, rate units.BitsPerSecond, now func() time.Time, sleep func(time.Duration)) *Shaper {
+	if now == nil || sleep == nil {
+		panic("netem: NewShaper needs a clock; pass time.Now and time.Sleep from the binary's main package")
+	}
+	return &Shaper{r: r, rate: rate, sleep: sleep, now: now}
 }
 
 // Read implements io.Reader with pacing.

@@ -79,9 +79,9 @@ func TestShaperPacesReads(t *testing.T) {
 	data := make([]byte, 100_000)
 	var slept time.Duration
 	base := time.Unix(0, 0)
-	s := NewShaper(bytes.NewReader(data), 8*units.Mbps) // 1 MB/s
-	s.sleep = func(d time.Duration) { slept += d }
-	s.now = func() time.Time { return base.Add(slept) }
+	s := NewShaper(bytes.NewReader(data), 8*units.Mbps, // 1 MB/s
+		func() time.Time { return base.Add(slept) },
+		func(d time.Duration) { slept += d })
 	n, err := io.Copy(io.Discard, s)
 	if err != nil || n != 100_000 {
 		t.Fatalf("copied %d, err %v", n, err)
@@ -93,8 +93,9 @@ func TestShaperPacesReads(t *testing.T) {
 }
 
 func TestShaperEOF(t *testing.T) {
-	s := NewShaper(bytes.NewReader(nil), units.Mbps)
-	s.sleep = func(time.Duration) {}
+	s := NewShaper(bytes.NewReader(nil), units.Mbps,
+		func() time.Time { return time.Unix(0, 0) },
+		func(time.Duration) {})
 	buf := make([]byte, 10)
 	if _, err := s.Read(buf); err != io.EOF {
 		t.Errorf("err = %v, want EOF", err)

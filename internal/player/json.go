@@ -57,6 +57,7 @@ func (m Metrics) MarshalJSON() ([]byte, error) {
 	if m.Crashed {
 		dto.CrashedAtSec = m.CrashedAt.Seconds()
 	}
+	//coalvet:allow maporder key-to-key map copy; encoding/json sorts map keys on marshal
 	for l, n := range m.Signals {
 		dto.Signals[l.String()] = n
 	}

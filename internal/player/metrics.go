@@ -87,6 +87,7 @@ func (s *Session) Metrics() Metrics {
 		}
 	}
 	maxSec := -1
+	//coalvet:allow maporder max over int keys, order-insensitive
 	for sec := range s.fpsBins {
 		if sec > maxSec {
 			maxSec = sec
@@ -102,6 +103,7 @@ func (s *Session) Metrics() Metrics {
 	for sec := 0; sec <= maxSec; sec++ {
 		m.FPSTimeline = append(m.FPSTimeline, float64(s.fpsBins[sec]))
 	}
+	//coalvet:allow maporder key-to-key map copy, order-insensitive
 	for l, n := range s.signals {
 		m.Signals[l] = n
 	}

@@ -500,6 +500,13 @@ func (t *Table) KillCandidates(minAdj int) []*Process {
 	return out
 }
 
+// oomAdjBadnessDivisor scales the oom_adj bonus in the badness score:
+// each adj point is worth Total/5000 pages, i.e. the full adj range
+// (±1000) can swing badness by ±20% of RAM, mirroring the kernel's
+// oom_score_adj normalization. It is a dimensionless scale factor,
+// not a page count.
+const oomAdjBadnessDivisor = 5000
+
 // oomKill emulates the kernel OOM killer: among killable processes it
 // picks the highest "badness" — dominated by memory size, shifted by
 // oom_adj — and kills it. The foreground video client, being the
@@ -511,7 +518,7 @@ func (t *Table) oomKill() {
 		if p.dead || p.Adj < AdjForeground {
 			continue
 		}
-		badness := p.anon + units.Pages(p.Adj)*t.mem.Total()/5000
+		badness := p.anon + units.Pages(p.Adj)*t.mem.Total()/oomAdjBadnessDivisor
 		if badness > worst {
 			worst = badness
 			victim = p

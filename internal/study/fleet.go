@@ -164,6 +164,7 @@ func (f *Fleet) Fig5TopDevices(k int) []Fig5Device {
 			ByLevel:   make(map[proc.Level]stats.BoxPlot),
 			HighShare: highPressureShare(l),
 		}
+		//coalvet:allow maporder key-to-key map transform, order-insensitive
 		for lvl, xs := range l.AvailableByLevel {
 			d.ByLevel[lvl] = stats.NewBoxPlot(xs)
 		}
@@ -206,16 +207,20 @@ func (f *Fleet) Fig6Transitions(minHighShare float64) Fig6Stats {
 		NextShare: make(map[proc.Level]map[proc.Level]float64),
 		Dwell:     make(map[proc.Level]stats.BoxPlot),
 	}
+	//coalvet:allow maporder key-to-key map transform, order-insensitive
 	for from, tos := range counts {
 		total := 0
+		//coalvet:allow maporder integer count sum, order-insensitive
 		for _, c := range tos {
 			total += c
 		}
 		out.NextShare[from] = make(map[proc.Level]float64)
+		//coalvet:allow maporder key-to-key map transform, order-insensitive
 		for to, c := range tos {
 			out.NextShare[from][to] = 100 * float64(c) / float64(total)
 		}
 	}
+	//coalvet:allow maporder key-to-key map transform, order-insensitive
 	for from, xs := range dwell {
 		out.Dwell[from] = stats.NewBoxPlot(xs)
 	}

@@ -302,6 +302,7 @@ func analyze(log *DeviceLog, dev *device.Device, start, span time.Duration) {
 		}
 		prev = s
 	}
+	//coalvet:allow maporder key-to-key map transform, order-insensitive
 	for l, d := range levelTime {
 		log.TimeShare[l] = d.Seconds() / span.Seconds()
 	}

@@ -212,22 +212,36 @@ func (t *Tracer) resolveVictimWait(tid int, now time.Duration) {
 }
 
 // Finish closes all open intervals at time now. Call once at the end of
-// a run before querying.
+// a run before querying. Iteration is in sorted TID order so the
+// closing intervals land in t.intervals deterministically — they are
+// exported verbatim (KeepTrace), where map order would leak into the
+// artifact.
 func (t *Tracer) Finish(now time.Duration) {
 	t.advance(now)
-	for _, r := range t.threads {
+	for _, tid := range sortedTIDs(t.threads) {
+		r := t.threads[tid]
 		r.inState[r.state] += now - r.since
 		if t.keepIntervals && now > r.since {
 			t.intervals = append(t.intervals, Interval{Key: r.key, State: r.state, Start: r.since, End: now})
 		}
 		r.since = now
 	}
-	for tid := range t.openRun {
+	for _, tid := range sortedTIDs(t.openRun) {
 		t.PreemptorStopped(tid, now)
 	}
-	for tid := range t.openWait {
+	for _, tid := range sortedTIDs(t.openWait) {
 		t.resolveVictimWait(tid, now)
 	}
+}
+
+// sortedTIDs returns the map's keys in ascending order.
+func sortedTIDs[V any](m map[int]V) []int {
+	tids := make([]int, 0, len(m))
+	for tid := range m {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	return tids
 }
 
 // ThreadFilter selects threads for aggregate queries.
@@ -258,6 +272,7 @@ func AnyOf(filters ...ThreadFilter) ThreadFilter {
 // TimeInState sums the time matching threads spent in state s.
 func (t *Tracer) TimeInState(f ThreadFilter, s State) time.Duration {
 	var total time.Duration
+	//coalvet:allow maporder integer Duration sum over threads, order-insensitive
 	for _, r := range t.threads {
 		if f(r.key) {
 			total += r.inState[s]
@@ -286,6 +301,7 @@ type ThreadRank struct {
 // n ≤ 0 returns all threads.
 func (t *Tracer) TopRunning(n int) []ThreadRank {
 	ranks := make([]ThreadRank, 0, len(t.threads))
+	//coalvet:allow maporder rows are fully ordered below by (Running, TID) before any truncation
 	for _, r := range t.threads {
 		ranks = append(ranks, ThreadRank{Key: r.key, Running: r.inState[Running], Migrations: r.migrations})
 	}
