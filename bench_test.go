@@ -12,8 +12,13 @@ package main
 
 import (
 	"testing"
+	"time"
 
+	"coalqoe/internal/dash"
+	"coalqoe/internal/device"
 	"coalqoe/internal/exp"
+	"coalqoe/internal/proc"
+	"coalqoe/internal/telemetry"
 )
 
 // benchExperiment runs one registered experiment per benchmark
@@ -107,3 +112,40 @@ func BenchmarkFigure12Serial(b *testing.B)   { benchExperimentWorkers(b, "fig12"
 func BenchmarkFigure12Parallel(b *testing.B) { benchExperimentWorkers(b, "fig12", 0) }
 func BenchmarkTable2Serial(b *testing.B)     { benchExperimentWorkers(b, "tab2", 1) }
 func BenchmarkTable2Parallel(b *testing.B)   { benchExperimentWorkers(b, "tab2", 0) }
+
+// Telemetry overhead: one fig9-style VideoRun with instruments absent
+// (the default), wired but never sampled, and sampled at the 3s
+// SignalCapturer cadence. The disabled case is the one that must stay
+// free: every instrument call is a nil-receiver no-op, so the first
+// two rows should be within noise of each other. Recorded numbers live
+// in results/telemetry-bench.txt.
+
+func benchVideoRun(b *testing.B, tcfg *telemetry.Config) {
+	b.Helper()
+	cfg := exp.VideoRun{
+		Profile:    device.Nokia1,
+		Video:      dash.TestVideos[0],
+		Resolution: dash.R720p,
+		FPS:        30,
+		Pressure:   proc.Moderate,
+		Telemetry:  tcfg,
+	}
+	cfg.Video.Duration = 60 * time.Second
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := cfg
+		c.Seed = int64(i) + 1
+		res := exp.Run(c)
+		if res.Metrics.FramesRendered == 0 {
+			b.Fatal("nothing rendered")
+		}
+	}
+}
+
+func BenchmarkRunTelemetryOff(b *testing.B) { benchVideoRun(b, nil) }
+func BenchmarkRunTelemetryOn3s(b *testing.B) {
+	benchVideoRun(b, &telemetry.Config{})
+}
+func BenchmarkRunTelemetryOn500ms(b *testing.B) {
+	benchVideoRun(b, &telemetry.Config{Period: 500 * time.Millisecond})
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"coalqoe/internal/exp"
+	"coalqoe/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "executor worker count (0 = GOMAXPROCS, 1 = serial)")
 	noProgress := flag.Bool("no-progress", false, "suppress the live progress line on stderr")
 	outDir := flag.String("out", "", "also write each report to <dir>/<id>.txt")
+	telemetryDir := flag.String("telemetry", "", "sample device metrics every 3s and write one CSV per run to <dir>/<id>-runNNN.csv")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -47,9 +49,15 @@ func main() {
 				fatal(err)
 			}
 		}
+		if *telemetryDir != "" {
+			if err := os.MkdirAll(*telemetryDir, 0o755); err != nil {
+				fatal(err)
+			}
+			opts.Telemetry = &telemetry.Config{}
+		}
 		if args[1] == "all" {
 			for _, e := range exp.All() {
-				runOne(e, opts, *outDir, !*noProgress)
+				runOne(e, opts, *outDir, *telemetryDir, !*noProgress)
 			}
 			return
 		}
@@ -58,23 +66,54 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			runOne(e, opts, *outDir, !*noProgress)
+			runOne(e, opts, *outDir, *telemetryDir, !*noProgress)
 		}
 	default:
 		usage()
 	}
 }
 
-func runOne(e exp.Experiment, opts exp.Options, outDir string, progress bool) {
+func runOne(e exp.Experiment, opts exp.Options, outDir, telemetryDir string, progress bool) {
 	start := time.Now()
 	totalRuns := 0
-	if progress {
-		// The executor serializes progress callbacks; track the run
-		// totals and repaint one stderr status line in place.
+	batchTotal := 0
+	if progress || telemetryDir != "" {
 		opts.Progress = func(ev exp.ProgressEvent) {
-			totalRuns = ev.Total
-			fmt.Fprintf(os.Stderr, "\r%-10s %d/%d runs (%d in flight, %v elapsed)\x1b[K",
-				e.ID, ev.Done, ev.Total, ev.Started-ev.Done, time.Since(start).Round(time.Second))
+			// The executor serializes progress callbacks. Track the
+			// batch size — the telemetry writer below needs it — and
+			// repaint one stderr status line in place.
+			batchTotal = ev.Total
+			if progress {
+				totalRuns = ev.Total
+				fmt.Fprintf(os.Stderr, "\r%-10s %d/%d runs (%d in flight, %v elapsed)\x1b[K",
+					e.ID, ev.Done, ev.Total, ev.Started-ev.Done, time.Since(start).Round(time.Second))
+			}
+		}
+	}
+	if telemetryDir != "" {
+		// One CSV per run, numbered by batch index: file k holds the
+		// same run at any parallelism. An experiment may execute
+		// several batches; they never interleave (the executor drains
+		// one before the next starts), so once a batch has delivered
+		// its full total the numbering shifts past it.
+		offset, delivered := 0, 0
+		opts.OnTelemetry = func(run int, dump *telemetry.Dump) {
+			path := filepath.Join(telemetryDir, fmt.Sprintf("%s-run%03d.csv", e.ID, offset+run+1))
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := dump.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			delivered++
+			if delivered == batchTotal {
+				offset += batchTotal
+				delivered = 0
+			}
 		}
 	}
 	rep := e.Run(opts)

@@ -11,7 +11,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"coalqoe/internal/dash"
@@ -19,6 +21,7 @@ import (
 	"coalqoe/internal/exp"
 	"coalqoe/internal/player"
 	"coalqoe/internal/proc"
+	telemetrypkg "coalqoe/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +39,7 @@ func main() {
 		debug      = flag.Bool("debug", false, "print a per-second device state trace")
 		traceOut   = flag.String("trace", "", "write a Perfetto-style text trace of run 1 to this file")
 		jsonOut    = flag.String("json", "", "write per-run metrics as JSON lines to this file")
+		telemetry  = flag.String("telemetry", "", "sample device metrics every 3s and write per-run series (CSV+JSON) plus a chrome://tracing file for run 1 to this directory")
 	)
 	flag.Parse()
 
@@ -72,8 +76,18 @@ func main() {
 		debugRun(cfg, true)
 		return
 	}
-	cfg.KeepTrace = *traceOut != ""
+	// Telemetry implies KeepTrace for run 1 so the chrome trace can
+	// merge thread intervals with the counter tracks.
+	cfg.KeepTrace = *traceOut != "" || *telemetry != ""
+	if *telemetry != "" {
+		cfg.Telemetry = &telemetrypkg.Config{}
+	}
 	results := exp.Repeat(cfg, *runs, *seed)
+	if *telemetry != "" {
+		if err := writeTelemetry(*telemetry, results); err != nil {
+			fatal(err)
+		}
+	}
 	if *traceOut != "" && len(results) > 0 {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -117,6 +131,49 @@ func main() {
 		fmt.Printf("mean drop rate: %v%%   crash rate: %.0f%%\n",
 			exp.DropStats(results), exp.CrashRate(results))
 	}
+}
+
+// writeTelemetry dumps each run's sampled series as CSV and JSON, plus
+// a chrome://tracing-loadable trace for run 1 that merges the thread
+// intervals with the counter tracks.
+func writeTelemetry(dir string, results []exp.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(path string, emit func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	for i, r := range results {
+		if r.Telemetry == nil {
+			continue
+		}
+		base := filepath.Join(dir, fmt.Sprintf("run%03d", i+1))
+		if err := write(base+".csv", r.Telemetry.WriteCSV); err != nil {
+			return err
+		}
+		if err := write(base+".json", r.Telemetry.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if len(results) > 0 && results[0].Device != nil && results[0].Telemetry != nil {
+		path := filepath.Join(dir, "run001.trace.json")
+		err := write(path, func(f io.Writer) error {
+			return results[0].Device.Tracer.WriteChromeTrace(f, results[0].Telemetry)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote telemetry for %d runs to %s\n", len(results), dir)
+	return nil
 }
 
 // DeviceByName resolves a device profile by CLI name.

@@ -18,6 +18,7 @@ import (
 
 	"coalqoe/internal/sched"
 	"coalqoe/internal/simclock"
+	"coalqoe/internal/telemetry"
 	"coalqoe/internal/units"
 )
 
@@ -69,6 +70,12 @@ type Stats struct {
 	PagesRead     units.Pages
 	PagesWritten  units.Pages
 	DeviceBusy    time.Duration
+	// PeakBacklog is the largest outstanding device time observed at
+	// any request submission. QueueDepth is instantaneous — by the time
+	// a caller polls it, a reclaim writeback burst has usually drained —
+	// so without this high-water mark the worst-case queue was
+	// unobservable from a Stats snapshot.
+	PeakBacklog time.Duration
 }
 
 // Disk is the storage device plus its mmcqd daemon thread.
@@ -78,6 +85,10 @@ type Disk struct {
 	mmcqd     *sched.Thread
 	busyUntil time.Duration
 	stats     Stats
+
+	// telemetry instruments; nil (free no-ops) until Instrument.
+	tmLatency *telemetry.Histogram
+	tmPeak    *telemetry.Gauge
 }
 
 // New creates a Disk and spawns its mmcqd thread (RT class unless the
@@ -97,6 +108,27 @@ func New(clock *simclock.Clock, s *sched.Scheduler, cfg Config) *Disk {
 
 // Thread returns the mmcqd thread (for trace queries).
 func (d *Disk) Thread() *sched.Thread { return d.mmcqd }
+
+// Instrument registers the disk's telemetry: request/page counters and
+// queue depth as sampled series, the peak-backlog high-water gauge
+// (updated at submit time, so bursts between samples are not lost),
+// and a per-request latency histogram from submission to data
+// availability — mmcqd queueing plus serial device service, the
+// quantity that balloons under reclaim writeback (§2).
+func (d *Disk) Instrument(reg *telemetry.Registry) {
+	d.tmLatency = reg.Histogram("blockio.request_latency")
+	d.tmPeak = reg.Gauge("blockio.peak_backlog_us")
+	reg.SampleFunc("blockio.read_requests", func() float64 { return float64(d.stats.ReadRequests) })
+	reg.SampleFunc("blockio.write_requests", func() float64 { return float64(d.stats.WriteRequests) })
+	reg.SampleFunc("blockio.pages_read", func() float64 { return float64(d.stats.PagesRead) })
+	reg.SampleFunc("blockio.pages_written", func() float64 { return float64(d.stats.PagesWritten) })
+	reg.SampleFunc("blockio.queue_depth_us", func() float64 {
+		return float64(d.QueueDepth() / time.Microsecond)
+	})
+	reg.SampleFunc("blockio.device_busy_us", func() float64 {
+		return float64(d.stats.DeviceBusy / time.Microsecond)
+	})
+}
 
 // Stats returns cumulative disk statistics.
 func (d *Disk) Stats() Stats { return d.stats }
@@ -130,6 +162,7 @@ func (d *Disk) submit(pages units.Pages, perPage time.Duration, onDone func()) {
 	if pages < 0 {
 		pages = 0
 	}
+	submitted := d.clock.Now()
 	cpu := d.cfg.CPUPerRequest + time.Duration(pages)*d.cfg.CPUPerPage
 	d.mmcqd.Enqueue(cpu, func() {
 		// Device service starts when the device frees up.
@@ -141,6 +174,11 @@ func (d *Disk) submit(pages units.Pages, perPage time.Duration, onDone func()) {
 		service := d.cfg.RequestOverhead + time.Duration(pages)*perPage
 		d.busyUntil = start + service
 		d.stats.DeviceBusy += service
+		if backlog := d.busyUntil - now; backlog > d.stats.PeakBacklog {
+			d.stats.PeakBacklog = backlog
+			d.tmPeak.Max(float64(backlog / time.Microsecond))
+		}
+		d.tmLatency.Observe(d.busyUntil - submitted)
 		if onDone != nil {
 			d.clock.At(d.busyUntil, onDone)
 		}

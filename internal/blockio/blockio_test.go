@@ -6,6 +6,7 @@ import (
 
 	"coalqoe/internal/sched"
 	"coalqoe/internal/simclock"
+	"coalqoe/internal/telemetry"
 	"coalqoe/internal/trace"
 )
 
@@ -126,5 +127,53 @@ func TestDeviceBusyAccounting(t *testing.T) {
 	want := 400*time.Microsecond + 1000*60*time.Microsecond
 	if got := d.Stats().DeviceBusy; got != want {
 		t.Errorf("DeviceBusy = %v, want %v", got, want)
+	}
+}
+
+// Regression test for the PeakBacklog stat. Stats().QueueDepth-style
+// polling cannot see a burst that queues and drains between polls; the
+// disk must record the high-water backlog itself.
+func TestPeakBacklogSurvivesDrain(t *testing.T) {
+	clock, _, _, d := setup(t, 2)
+	// A burst of back-to-back writes: the backlog behind the last
+	// request is several full service times.
+	for i := 0; i < 10; i++ {
+		d.Write(2000, nil)
+	}
+	clock.RunUntil(time.Minute)
+	if d.QueueDepth() != 0 {
+		t.Fatalf("queue depth = %v after drain, want 0", d.QueueDepth())
+	}
+	st := d.Stats()
+	// One 2000-page write services in ~400µs + 2000*180µs ≈ 360ms; the
+	// tenth request saw ~9 of those queued ahead of it.
+	single := 360 * time.Millisecond
+	if st.PeakBacklog < 4*single {
+		t.Errorf("PeakBacklog = %v, want >= %v (burst of 10 writes)", st.PeakBacklog, 4*single)
+	}
+	// The instantaneous depth is long gone; the peak must persist.
+	if st.PeakBacklog <= single {
+		t.Errorf("PeakBacklog = %v did not exceed a single request's service time", st.PeakBacklog)
+	}
+}
+
+func TestPeakBacklogGauge(t *testing.T) {
+	clock, _, _, d := setup(t, 2)
+	reg := telemetry.NewRegistry()
+	d.Instrument(reg)
+	for i := 0; i < 10; i++ {
+		d.Write(2000, nil)
+	}
+	clock.RunUntil(time.Minute)
+	v, ok := reg.Value("blockio.peak_backlog_us")
+	if !ok {
+		t.Fatal("blockio.peak_backlog_us not registered")
+	}
+	want := float64(d.Stats().PeakBacklog / time.Microsecond)
+	if v != want {
+		t.Errorf("gauge = %v, stats peak = %v", v, want)
+	}
+	if v == 0 {
+		t.Error("peak backlog gauge never rose under a write burst")
 	}
 }

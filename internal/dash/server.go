@@ -6,8 +6,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"coalqoe/internal/telemetry"
 	"coalqoe/internal/units"
 )
 
@@ -56,23 +58,78 @@ func (m *Manifest) DTO() ManifestDTO {
 //
 //	GET /manifest.json
 //	GET /video/<repID>/<segment>       e.g. /video/720p30/17
+//	GET /metrics                       request counters as JSON
+//
+// Serving metrics lets a load test see what the paper's Apache logs
+// showed: which rungs clients actually fetch under pressure.
 type Server struct {
 	manifest *Manifest
 	mux      *http.ServeMux
+
+	// The telemetry registry is not thread-safe (the simulator is
+	// single-threaded by design), but this server handles real
+	// concurrent HTTP requests, so every instrument access takes mu.
+	mu       sync.Mutex
+	reg      *telemetry.Registry
+	inflight *telemetry.Gauge
 }
 
 // NewServer builds the handler for one video.
 func NewServer(m *Manifest) *Server {
-	s := &Server{manifest: m, mux: http.NewServeMux()}
+	s := &Server{manifest: m, mux: http.NewServeMux(), reg: telemetry.NewRegistry()}
+	// Pre-register every rung's counters so /metrics reports explicit
+	// zeros for rungs nobody requested.
+	s.reg.Counter("dash.manifest_requests")
+	for _, r := range m.Rungs {
+		id := fmt.Sprintf("%s%d", r.Resolution, r.FPS)
+		s.reg.Counter("dash.segment_requests." + id)
+		s.reg.Counter("dash.segment_bytes." + id)
+	}
+	s.inflight = s.reg.Gauge("dash.inflight_requests")
 	s.mux.HandleFunc("GET /manifest.json", s.handleManifest)
 	s.mux.HandleFunc("GET /video/", s.handleSegment)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.inflight.Add(-1)
+		s.mu.Unlock()
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) count(name string, delta int64) {
+	s.mu.Lock()
+	s.reg.Counter(name).Add(delta)
+	s.mu.Unlock()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	samples := s.reg.Values()
+	s.mu.Unlock()
+	out := make(map[string]float64, len(samples))
+	for _, smp := range samples {
+		out[smp.Name] = smp.Value
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// encoding/json emits map keys sorted, so the body is deterministic.
+	if err := enc.Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
 
 func (s *Server) handleManifest(w http.ResponseWriter, _ *http.Request) {
+	s.count("dash.manifest_requests", 1)
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(s.manifest.DTO()); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -118,6 +175,9 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	size := s.manifest.Video.SegmentBytes(rung, seg)
+	id := fmt.Sprintf("%s%d", rung.Resolution, rung.FPS)
+	s.count("dash.segment_requests."+id, 1)
+	s.count("dash.segment_bytes."+id, int64(size))
 	w.Header().Set("Content-Type", "video/mp4")
 	w.Header().Set("Content-Length", strconv.FormatInt(int64(size), 10))
 	writeSynthetic(w, size)

@@ -1,6 +1,7 @@
 package dash
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -93,5 +94,63 @@ func TestClientSegmentNotFound(t *testing.T) {
 	c := NewClient(ts.URL, time.Now)
 	if _, _, err := c.FetchSegment("480p30", 10000); err == nil {
 		t.Error("expected error for out-of-range segment")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, m := newTestServer(t)
+	c := NewClient(ts.URL, time.Now)
+	if _, err := c.FetchManifest(); err != nil {
+		t.Fatal(err)
+	}
+	rung, _ := m.Rung(R480p, 30)
+	wantBytes := int64(m.Video.SegmentBytes(rung, 0) + m.Video.SegmentBytes(rung, 1))
+	for seg := 0; seg < 2; seg++ {
+		if _, _, err := c.FetchSegment("480p30", seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fetch := func() map[string]float64 {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /metrics = %d", resp.StatusCode)
+		}
+		var out map[string]float64
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	got := fetch()
+	if got["dash.manifest_requests"] != 1 {
+		t.Errorf("manifest_requests = %v, want 1", got["dash.manifest_requests"])
+	}
+	if got["dash.segment_requests.480p30"] != 2 {
+		t.Errorf("segment_requests.480p30 = %v, want 2", got["dash.segment_requests.480p30"])
+	}
+	if got["dash.segment_bytes.480p30"] != float64(wantBytes) {
+		t.Errorf("segment_bytes.480p30 = %v, want %d", got["dash.segment_bytes.480p30"], wantBytes)
+	}
+	// Unrequested rungs report explicit zeros.
+	if v, ok := got["dash.segment_requests.1080p60"]; !ok || v != 0 {
+		t.Errorf("segment_requests.1080p60 = %v (present=%v), want explicit 0", v, ok)
+	}
+	// The /metrics request itself is the only one in flight.
+	if got["dash.inflight_requests"] != 1 {
+		t.Errorf("inflight_requests = %v, want 1", got["dash.inflight_requests"])
+	}
+	// 404s must not count as segment requests.
+	resp, err := http.Get(ts.URL + "/video/480p30/99999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if again := fetch(); again["dash.segment_requests.480p30"] != 2 {
+		t.Errorf("404 counted as a segment request: %v", again["dash.segment_requests.480p30"])
 	}
 }

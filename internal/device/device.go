@@ -24,6 +24,7 @@ import (
 	"coalqoe/internal/proc"
 	"coalqoe/internal/sched"
 	"coalqoe/internal/simclock"
+	"coalqoe/internal/telemetry"
 	"coalqoe/internal/trace"
 	"coalqoe/internal/units"
 )
@@ -159,6 +160,12 @@ type Device struct {
 	// pipeline submits per-frame composition work to it.
 	SurfaceFlinger *sched.Thread
 
+	// Telem and Sampler are non-nil when Options.Telemetry enabled the
+	// metrics subsystem; one registry per device keeps parallel runs
+	// share-nothing.
+	Telem   *telemetry.Registry
+	Sampler *telemetry.Sampler
+
 	system *proc.Process
 }
 
@@ -180,6 +187,12 @@ type Options struct {
 	// NoRecache disables the Android behavior of restarting killed
 	// cached apps (ablation).
 	NoRecache bool
+	// Telemetry enables the metrics subsystem: every layer registers
+	// its instruments in a per-device registry and a sim-clock sampler
+	// snapshots them on the configured period (default 3 s, the
+	// SignalCapturer cadence). Nil keeps telemetry off — the free
+	// default.
+	Telemetry *telemetry.Config
 }
 
 // New assembles a device from a profile. seed determines all stochastic
@@ -226,6 +239,16 @@ func New(seed int64, p Profile, opts Options) *Device {
 		Kswapd:  k,
 		Lmkd:    lk,
 		Table:   table,
+	}
+
+	if opts.Telemetry != nil {
+		d.Telem = telemetry.NewRegistry()
+		m.Instrument(d.Telem)
+		k.Instrument(d.Telem)
+		lk.Instrument(d.Telem)
+		disk.Instrument(d.Telem)
+		s.Instrument(d.Telem)
+		d.Sampler = telemetry.NewSampler(clock, d.Telem, *opts.Telemetry)
 	}
 
 	// Boot the baseline system processes.

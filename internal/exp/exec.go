@@ -44,6 +44,13 @@ func (o Options) Workers() int {
 // returns results in input order. With one worker (or one job) it
 // degenerates to the plain serial loop.
 func runJobs(o Options, jobs []VideoRun) []Result {
+	if o.Telemetry != nil {
+		for i := range jobs {
+			if jobs[i].Telemetry == nil {
+				jobs[i].Telemetry = o.Telemetry
+			}
+		}
+	}
 	results := make([]Result, len(jobs))
 	workers := o.Workers()
 	if workers > len(jobs) {
@@ -57,6 +64,11 @@ func runJobs(o Options, jobs []VideoRun) []Result {
 			o.Progress(ProgressEvent{Started: started, Done: done, Total: len(jobs)})
 		}
 	}
+	deliver := func(i int, r Result) {
+		if o.OnTelemetry != nil && r.Telemetry != nil {
+			o.OnTelemetry(i, r.Telemetry)
+		}
+	}
 
 	if workers <= 1 {
 		for i, cfg := range jobs {
@@ -65,6 +77,7 @@ func runJobs(o Options, jobs []VideoRun) []Result {
 			results[i] = Run(cfg)
 			done++
 			emit()
+			deliver(i, results[i])
 		}
 		return results
 	}
@@ -88,6 +101,7 @@ func runJobs(o Options, jobs []VideoRun) []Result {
 				mu.Lock()
 				done++
 				emit()
+				deliver(i, results[i])
 				mu.Unlock()
 			}
 		}()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"coalqoe/internal/dash"
+	"coalqoe/internal/telemetry"
 )
 
 // Options control experiment execution.
@@ -26,6 +27,16 @@ type Options struct {
 	// complete. Callbacks may fire from worker goroutines, serialized by
 	// the executor; keep them fast.
 	Progress func(ProgressEvent)
+	// Telemetry, when non-nil, enables the metrics sampler on every run
+	// the executor launches (see VideoRun.Telemetry). The dumps are
+	// delivered through OnTelemetry.
+	Telemetry *telemetry.Config
+	// OnTelemetry receives each run's telemetry dump together with its
+	// batch index (input order, so index k is always the same run
+	// regardless of worker count). Like Progress, callbacks may fire
+	// from worker goroutines but are serialized by the executor. The
+	// callback owns where the data goes — file I/O stays in cmd/.
+	OnTelemetry func(run int, dump *telemetry.Dump)
 }
 
 func (o *Options) applyDefaults() {

@@ -14,6 +14,7 @@ import (
 	"coalqoe/internal/player"
 	"coalqoe/internal/proc"
 	"coalqoe/internal/stats"
+	"coalqoe/internal/telemetry"
 )
 
 // VideoRun configures one streaming experiment.
@@ -58,6 +59,12 @@ type VideoRun struct {
 	// heavier than its Metrics, and large grids would otherwise hold
 	// every simulated device of every repeat alive simultaneously.
 	KeepDevice bool
+	// Telemetry, when non-nil, attaches a metrics registry and sim-clock
+	// sampler to the device (see internal/telemetry) and returns the
+	// sampled series in Result.Telemetry. nil keeps the instruments
+	// disabled — the zero-cost default. Sampling only reads simulator
+	// state, so enabling it never changes the run's outcome.
+	Telemetry *telemetry.Config
 }
 
 func (r *VideoRun) applyDefaults() {
@@ -97,6 +104,11 @@ type Result struct {
 	// PressureReached reports whether the target regime was achieved
 	// before the timeout.
 	PressureReached bool
+	// Telemetry holds the sampled series when the run was configured
+	// with a Telemetry config; nil otherwise. It is plain data (no
+	// device or session references), so retaining it across a grid is
+	// cheap.
+	Telemetry *telemetry.Dump
 }
 
 // Run executes the experiment to completion (or crash) and returns the
@@ -104,6 +116,9 @@ type Result struct {
 // device for trace-level queries.
 func Run(cfg VideoRun) Result {
 	cfg.applyDefaults()
+	if cfg.Telemetry != nil {
+		cfg.DeviceOpts.Telemetry = cfg.Telemetry
+	}
 	dev := device.New(cfg.Seed, cfg.Profile, cfg.DeviceOpts)
 	dev.Tracer.KeepIntervals(cfg.KeepTrace)
 	dev.Settle(cfg.SettleTime)
@@ -147,6 +162,13 @@ func Run(cfg VideoRun) Result {
 	}
 	dev.Tracer.Finish(dev.Clock.Now())
 	res := Result{Metrics: sess.Metrics(), PressureReached: reached}
+	if dev.Sampler != nil {
+		// One edge sample at the final instant, so the last partial
+		// period is represented, then freeze the series.
+		dev.Sampler.Sample()
+		dev.Sampler.Stop()
+		res.Telemetry = dev.Sampler.Dump()
+	}
 	if cfg.KeepDevice || cfg.KeepTrace {
 		res.Device = dev
 		res.Session = sess

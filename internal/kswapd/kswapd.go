@@ -22,6 +22,7 @@ import (
 	"coalqoe/internal/mem"
 	"coalqoe/internal/sched"
 	"coalqoe/internal/simclock"
+	"coalqoe/internal/telemetry"
 	"coalqoe/internal/units"
 )
 
@@ -71,6 +72,11 @@ type Daemon struct {
 	Wakeups int
 	// BatchesRun counts scan batches executed.
 	BatchesRun int
+
+	// tmReclaimed counts pages the daemon's own batches took off the
+	// LRU (direct reclaim is accounted under mem.direct_reclaims); nil
+	// until Instrument.
+	tmReclaimed *telemetry.Counter
 }
 
 // New creates the daemon, spawns its thread (fair class, like the real
@@ -94,6 +100,21 @@ func New(clock *simclock.Clock, s *sched.Scheduler, m *mem.Memory, d *blockio.Di
 
 // Thread returns the kswapd thread (for trace queries).
 func (k *Daemon) Thread() *sched.Thread { return k.thread }
+
+// Instrument registers the daemon's telemetry: wakeups and batches as
+// sampled cumulative series, pages reclaimed by kswapd itself as a
+// counter, and whether a reclaim loop is in flight.
+func (k *Daemon) Instrument(reg *telemetry.Registry) {
+	k.tmReclaimed = reg.Counter("kswapd.pages_reclaimed")
+	reg.SampleFunc("kswapd.wakeups", func() float64 { return float64(k.Wakeups) })
+	reg.SampleFunc("kswapd.batches", func() float64 { return float64(k.BatchesRun) })
+	reg.SampleFunc("kswapd.active", func() float64 {
+		if k.active {
+			return 1
+		}
+		return 0
+	})
+}
 
 // Active reports whether a reclaim loop is in flight.
 func (k *Daemon) Active() bool { return k.active }
@@ -119,6 +140,7 @@ func (k *Daemon) loop() {
 	k.thread.Enqueue(scanCost, func() {
 		res := k.mem.ScanBatch(k.cfg.BatchPages)
 		k.BatchesRun++
+		k.tmReclaimed.Add(int64(res.Reclaimed()))
 		if res.DirtyQueued > 0 {
 			dirty := res.DirtyQueued
 			k.disk.Write(dirty, func() { k.mem.CompleteWriteback(dirty) })

@@ -22,6 +22,7 @@ import (
 	"coalqoe/internal/proc"
 	"coalqoe/internal/sched"
 	"coalqoe/internal/simclock"
+	"coalqoe/internal/telemetry"
 )
 
 // Config tunes the daemon.
@@ -107,6 +108,34 @@ type Daemon struct {
 	KillCount int
 	// ForegroundKills counts kills with adj <= visible (app crashes).
 	ForegroundKills int
+
+	// telemetry instruments; nil (free no-ops) until Instrument.
+	tmPolls *telemetry.Counter
+	tmKills [adjBuckets]*telemetry.Counter
+}
+
+// adj buckets for the kills-by-oom_adj telemetry, mirroring §2's
+// process groups: foreground (adj ≤ 0, includes native), visible,
+// service, cached.
+const (
+	bucketForeground = iota
+	bucketVisible
+	bucketService
+	bucketCached
+	adjBuckets
+)
+
+func adjBucket(adj int) int {
+	switch {
+	case adj <= proc.AdjForeground:
+		return bucketForeground
+	case adj <= proc.AdjVisible:
+		return bucketVisible
+	case adj <= proc.AdjService:
+		return bucketService
+	default:
+		return bucketCached
+	}
 }
 
 // New creates the daemon and starts its poll loop. The lmkd thread is
@@ -128,6 +157,19 @@ func New(clock *simclock.Clock, s *sched.Scheduler, m *mem.Memory, table *proc.T
 // (Figure 14 tracks it with top).
 func (d *Daemon) Thread() *sched.Thread { return d.thread }
 
+// Instrument registers the daemon's telemetry: the poll counter, the
+// pressure estimate P the polls act on (§2's P = (1 − R/S) · 100),
+// and kills split by oom_adj bucket — the foreground bucket is the
+// crash series of Tables 2–3.
+func (d *Daemon) Instrument(reg *telemetry.Registry) {
+	d.tmPolls = reg.Counter("lmkd.polls")
+	d.tmKills[bucketForeground] = reg.Counter("lmkd.kills_foreground")
+	d.tmKills[bucketVisible] = reg.Counter("lmkd.kills_visible")
+	d.tmKills[bucketService] = reg.Counter("lmkd.kills_service")
+	d.tmKills[bucketCached] = reg.Counter("lmkd.kills_cached")
+	reg.SampleFunc("lmkd.pressure", d.mem.Pressure)
+}
+
 // minAdj returns the kill-eligibility floor for the current pressure,
 // or false if nothing is eligible. Cached apps are eligible either
 // through the P estimate (§2) or through the legacy minfree criterion
@@ -147,6 +189,7 @@ func (d *Daemon) minAdj() (int, bool) {
 }
 
 func (d *Daemon) poll() {
+	d.tmPolls.Inc()
 	if d.mem.Pressure() >= d.cfg.CriticalThreshold {
 		d.criticalPolls++
 	} else {
@@ -194,6 +237,7 @@ func (d *Daemon) poll() {
 		}
 		d.KillCount++
 		d.lastKill = d.clock.Now()
+		d.tmKills[adjBucket(victim.Adj)].Inc()
 		if victim.Adj <= proc.AdjVisible {
 			d.ForegroundKills++
 		}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"coalqoe/internal/simclock"
+	"coalqoe/internal/telemetry"
 	"coalqoe/internal/units"
 )
 
@@ -169,6 +170,10 @@ type Memory struct {
 	TotalReclaimed units.Pages
 	TotalRefaults  units.Pages
 	DirectReclaims int
+
+	// telemetry instruments; nil (free no-ops) until Instrument is
+	// called.
+	tmPgscan, tmPgsteal, tmRefaults, tmAllocStalls *telemetry.Counter
 }
 
 // New builds a Memory. All of the configured total except the kernel
@@ -260,6 +265,37 @@ func (m *Memory) check() {
 	}
 }
 
+// Instrument registers the memory model's telemetry: the occupancy
+// series the paper's SignalCapturer reads from /proc/meminfo (§3), the
+// vmstat-style event counters its §5 Perfetto traces plot (pgscan,
+// pgsteal, refaults, allocation stalls at the min watermark), and the
+// derived pressure signals. The event counters stay nil — and free —
+// until this is called.
+func (m *Memory) Instrument(reg *telemetry.Registry) {
+	m.tmPgscan = reg.Counter("mem.pgscan_pages")
+	m.tmPgsteal = reg.Counter("mem.pgsteal_pages")
+	m.tmRefaults = reg.Counter("mem.refault_pages")
+	m.tmAllocStalls = reg.Counter("mem.alloc_stalls")
+	reg.SampleFunc("mem.free_pages", func() float64 { return float64(m.free) })
+	reg.SampleFunc("mem.available_pages", func() float64 { return float64(m.Available()) })
+	reg.SampleFunc("mem.file_clean_pages", func() float64 { return float64(m.fileClean) })
+	reg.SampleFunc("mem.file_dirty_pages", func() float64 { return float64(m.fileDirty) })
+	reg.SampleFunc("mem.writeback_pages", func() float64 { return float64(m.writeback) })
+	reg.SampleFunc("mem.anon_pages", func() float64 { return float64(m.anon) })
+	reg.SampleFunc("mem.zram_stored_pages", func() float64 { return float64(m.zramStored) })
+	reg.SampleFunc("mem.zram_phys_pages", func() float64 { return float64(m.ZRAMPhysical()) })
+	reg.SampleFunc("mem.swapin_pages", func() float64 { return float64(m.swapIns) })
+	reg.SampleFunc("mem.direct_reclaims", func() float64 { return float64(m.DirectReclaims) })
+	reg.SampleFunc("mem.pressure", m.Pressure)
+	reg.SampleFunc("mem.refault_deficit", m.RefaultDeficit)
+	reg.SampleFunc("mem.below_low", func() float64 {
+		if m.BelowLow() {
+			return 1
+		}
+		return 0
+	})
+}
+
 // SetWorkingSet registers (or updates) the named process's hot set.
 func (m *Memory) SetWorkingSet(id string, ws WorkingSet) { m.workingSets[id] = ws }
 
@@ -296,6 +332,7 @@ func (m *Memory) AllocAnon(p units.Pages) AllocOutcome {
 	m.free -= grant
 	m.anon += grant
 	m.DirectReclaims++
+	m.tmAllocStalls.Inc()
 	m.check()
 	return AllocOutcome{Granted: grant, NeedDirectReclaim: p - grant}
 }
@@ -557,6 +594,7 @@ func (m *Memory) ScanBatch(n units.Pages) ScanResult {
 
 	// Evicting hot file pages creates future refaults.
 	m.TotalRefaults += hotDropped
+	m.tmRefaults.Add(int64(hotDropped))
 
 	// Pressure accounting: hot pages that the scan skipped count as
 	// scanned-but-rotated (no reclaim credit); everything actually
@@ -615,6 +653,8 @@ func frac(a, b units.Pages) float64 {
 func (m *Memory) noteScan(scanned, reclaimed units.Pages) {
 	m.TotalScanned += scanned
 	m.TotalReclaimed += reclaimed
+	m.tmPgscan.Add(int64(scanned))
+	m.tmPgsteal.Add(int64(reclaimed))
 	now := m.clock.Now()
 	m.window = append(m.window, scanSample{at: now, scanned: scanned, reclaimed: reclaimed})
 	m.trimWindow(now)

@@ -9,6 +9,7 @@ import (
 	"coalqoe/internal/netem"
 	"coalqoe/internal/proc"
 	"coalqoe/internal/sched"
+	"coalqoe/internal/telemetry"
 	"coalqoe/internal/units"
 )
 
@@ -164,6 +165,9 @@ func Start(cfg Config) *Session {
 	s.sf = d.SurfaceFlinger
 	s.decodeWallEWMA = s.estimateDecodeWall()
 	s.startWorkers()
+	if d.Telem != nil {
+		s.instrument(d.Telem)
+	}
 
 	s.download()
 	if !cfg.DisableGC {
@@ -173,6 +177,43 @@ func Start(cfg Config) *Session {
 	d.Clock.Every(500*time.Millisecond, s.memoryChurn)
 	d.Clock.Every(100*time.Millisecond, s.pageFaultPump)
 	return s
+}
+
+// instrument registers the client-side QoE series: buffer level, the
+// current rung (bitrate and FPS), stall state, frame counters, and
+// the client's PSS — the per-session signals Figures 16–17 plot over
+// time. Everything is a read-only sample func: the playback hot paths
+// (vsync, decode chain) carry no instrumentation cost. A respawned
+// session on the same device re-binds the series.
+func (s *Session) instrument(reg *telemetry.Registry) {
+	reg.SampleFunc("player.buffer_ms", func() float64 {
+		return float64(s.BufferLevel() / time.Millisecond)
+	})
+	reg.SampleFunc("player.rung_bps", func() float64 { return float64(s.rung.Bitrate) })
+	reg.SampleFunc("player.rung_fps", func() float64 { return float64(s.rung.FPS) })
+	reg.SampleFunc("player.stalled", func() float64 {
+		if s.started && s.Active() && s.BufferLevel() <= 0 {
+			return 1
+		}
+		return 0
+	})
+	reg.SampleFunc("player.frames_rendered", func() float64 { return float64(s.rendered) })
+	reg.SampleFunc("player.frames_dropped", func() float64 { return float64(s.dropped) })
+	reg.SampleFunc("player.stall_ms", func() float64 {
+		return float64(s.stallTime / time.Millisecond)
+	})
+	reg.SampleFunc("player.crashed", func() float64 {
+		if s.crashed {
+			return 1
+		}
+		return 0
+	})
+	reg.SampleFunc("player.pss_bytes", func() float64 {
+		if s.process.Dead() {
+			return 0
+		}
+		return float64(s.process.PSS())
+	})
 }
 
 // OnSignal registers a callback for onTrimMemory deliveries to the

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"coalqoe/internal/simclock"
+	"coalqoe/internal/telemetry"
 	"coalqoe/internal/trace"
 )
 
@@ -206,6 +207,7 @@ type Scheduler struct {
 	idleTime   time.Duration
 	busyTime   time.Duration
 	totalTicks int64
+	preempts   int64
 }
 
 // Config configures a Scheduler.
@@ -252,6 +254,37 @@ func (s *Scheduler) Cores() int { return len(s.coreSpeed) }
 
 // Tick returns the scheduling quantum.
 func (s *Scheduler) Tick() time.Duration { return s.tick }
+
+// Preemptions returns the cumulative count of displaced-by-arrival
+// events (the same events the tracer records as preemption triples).
+func (s *Scheduler) Preemptions() int64 { return s.preempts }
+
+// Instrument registers the scheduler's telemetry: runnable-queue
+// length (threads waiting for a core — the contention Figure 13's
+// kswapd state shift shows), running count, cumulative preemptions,
+// and core utilization.
+func (s *Scheduler) Instrument(reg *telemetry.Registry) {
+	reg.SampleFunc("sched.runnable", func() float64 {
+		n := 0
+		for _, t := range s.threads {
+			if !t.dead && (t.state == trace.Runnable || t.state == trace.RunnablePreempted) {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.SampleFunc("sched.running", func() float64 {
+		n := 0
+		for _, t := range s.running {
+			if t != nil {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	reg.SampleFunc("sched.preemptions", func() float64 { return float64(s.preempts) })
+	reg.SampleFunc("sched.utilization", s.Utilization)
+}
 
 // Utilization returns the fraction of core-time spent busy so far.
 func (s *Scheduler) Utilization() float64 {
@@ -478,6 +511,7 @@ func (s *Scheduler) step() {
 		}
 		if len(arrivals) > 0 {
 			v.setState(trace.RunnablePreempted)
+			s.preempts++
 			s.tracer.RecordPreemption(v.key, arrivals[0].key, now)
 		} else {
 			v.setState(trace.Runnable)

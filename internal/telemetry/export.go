@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Series is one dumped time series: parallel Times/Values slices in
+// chronological order. Pure data — no simulation pointers — so a Dump
+// may ride in exp.Result without violating the resultretain rule.
+type Series struct {
+	Name   string
+	Times  []time.Duration
+	Values []float64
+}
+
+// Dump is the exportable result of a sampled run: all series sorted by
+// name, plus whole-run histogram snapshots.
+type Dump struct {
+	Period     time.Duration
+	Series     []Series
+	Histograms []HistogramSnapshot
+}
+
+// Find returns the named series, or nil.
+func (d *Dump) Find(name string) *Series {
+	for i := range d.Series {
+		if d.Series[i].Name == name {
+			return &d.Series[i]
+		}
+	}
+	return nil
+}
+
+// sampleTimes returns the sorted union of sample instants across all
+// series. Series registered mid-run start late; their earlier cells
+// are emitted empty.
+func (d *Dump) sampleTimes() []time.Duration {
+	var all []time.Duration
+	for _, s := range d.Series {
+		all = append(all, s.Times...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	out := all[:0]
+	for i, t := range all {
+		if i == 0 || t != all[i-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// formatValue renders a sample with the shortest exact representation,
+// so emitted files are byte-stable and diff-friendly.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatSeconds renders a sample instant as seconds with microsecond
+// precision (sim time is event-aligned; fixed width diffs cleanly).
+func formatSeconds(t time.Duration) string {
+	return strconv.FormatFloat(t.Seconds(), 'f', 6, 64)
+}
+
+// WriteCSV emits the dump in wide CSV form: one `t_s` column plus one
+// column per series in sorted name order, one row per sample instant.
+// Cells where a series has no sample (registered later, or evicted
+// from its ring) are empty. The byte stream is a pure function of the
+// dump, which is what lets CI diff serial vs. parallel runs.
+func (d *Dump) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("t_s")
+	for _, s := range d.Series {
+		bw.WriteByte(',')
+		bw.WriteString(s.Name)
+	}
+	bw.WriteByte('\n')
+
+	times := d.sampleTimes()
+	// Per-series cursor: series times are chronological, so one linear
+	// walk aligns every series against the union of instants.
+	cursor := make([]int, len(d.Series))
+	for _, t := range times {
+		bw.WriteString(formatSeconds(t))
+		for i := range d.Series {
+			s := &d.Series[i]
+			bw.WriteByte(',')
+			for cursor[i] < len(s.Times) && s.Times[cursor[i]] < t {
+				cursor[i]++
+			}
+			if cursor[i] < len(s.Times) && s.Times[cursor[i]] == t {
+				bw.WriteString(formatValue(s.Values[cursor[i]]))
+				cursor[i]++
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// JSON wire shapes. encoding/json emits struct fields in declaration
+// order and sorts map keys, so marshaling is deterministic.
+
+type seriesJSON struct {
+	Name    string       `json:"name"`
+	Samples [][2]float64 `json:"samples"` // [t_sec, value]
+}
+
+type bucketJSON struct {
+	LeMicros int64 `json:"le_us"`
+	Count    int64 `json:"count"`
+}
+
+type histogramJSON struct {
+	Name      string       `json:"name"`
+	Count     int64        `json:"count"`
+	SumMicros int64        `json:"sum_us"`
+	Buckets   []bucketJSON `json:"buckets"`
+}
+
+type dumpJSON struct {
+	PeriodSec  float64         `json:"period_sec"`
+	Series     []seriesJSON    `json:"series"`
+	Histograms []histogramJSON `json:"histograms,omitempty"`
+}
+
+// WriteJSON emits the dump as an indented JSON document with series in
+// sorted name order, times in seconds, and histogram buckets labeled
+// by their upper edge in microseconds.
+func (d *Dump) WriteJSON(w io.Writer) error {
+	doc := dumpJSON{PeriodSec: d.Period.Seconds()}
+	doc.Series = make([]seriesJSON, 0, len(d.Series))
+	for _, s := range d.Series {
+		sj := seriesJSON{Name: s.Name, Samples: make([][2]float64, 0, len(s.Times))}
+		for i, t := range s.Times {
+			sj.Samples = append(sj.Samples, [2]float64{t.Seconds(), s.Values[i]})
+		}
+		doc.Series = append(doc.Series, sj)
+	}
+	for _, h := range d.Histograms {
+		hj := histogramJSON{Name: h.Name, Count: h.Count, SumMicros: int64(h.Sum / time.Microsecond)}
+		for b, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			hj.Buckets = append(hj.Buckets, bucketJSON{LeMicros: BucketUpperMicros(b), Count: c})
+		}
+		doc.Histograms = append(doc.Histograms, hj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+
+	"coalqoe/internal/simclock"
+)
+
+// DefaultPeriod is the sampling cadence when Config.Period is zero:
+// the paper's SignalCapturer samples /proc/meminfo and /proc/vmstat
+// every 3 s in the MP-Simulator experiments (§4.1).
+const DefaultPeriod = 3 * time.Second
+
+// DefaultRingCapacity bounds retained samples per series when
+// Config.RingCapacity is zero. At the 3 s default cadence this holds
+// ~3.4 hours of simulation — effectively unbounded for video-session
+// runs while keeping a hard memory ceiling for fleet-length ones.
+const DefaultRingCapacity = 4096
+
+// Config enables telemetry and sets the sampling parameters. A nil
+// *Config anywhere in the option plumbing means "telemetry off".
+type Config struct {
+	// Period is the sampling cadence on the sim clock. Defaults to
+	// DefaultPeriod (3 s, the SignalCapturer cadence).
+	Period time.Duration
+	// RingCapacity is the maximum retained samples per series; when a
+	// ring fills, the oldest samples are dropped. Defaults to
+	// DefaultRingCapacity.
+	RingCapacity int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Period <= 0 {
+		c.Period = DefaultPeriod
+	}
+	if c.RingCapacity <= 0 {
+		c.RingCapacity = DefaultRingCapacity
+	}
+	return c
+}
+
+// ring is a fixed-capacity circular buffer of (time, value) samples.
+type ring struct {
+	times []time.Duration
+	vals  []float64
+	head  int // next write position
+	n     int // occupied
+}
+
+func newRing(capacity int) *ring {
+	return &ring{times: make([]time.Duration, capacity), vals: make([]float64, capacity)}
+}
+
+func (r *ring) push(t time.Duration, v float64) {
+	r.times[r.head] = t
+	r.vals[r.head] = v
+	r.head = (r.head + 1) % len(r.times)
+	if r.n < len(r.times) {
+		r.n++
+	}
+}
+
+// unroll appends the ring's samples in chronological order.
+func (r *ring) unroll() (times []time.Duration, vals []float64) {
+	times = make([]time.Duration, 0, r.n)
+	vals = make([]float64, 0, r.n)
+	start := (r.head - r.n + len(r.times)) % len(r.times)
+	for i := 0; i < r.n; i++ {
+		j := (start + i) % len(r.times)
+		times = append(times, r.times[j])
+		vals = append(vals, r.vals[j])
+	}
+	return times, vals
+}
+
+// Sampler snapshots a registry's scalar series on the sim clock. Each
+// named series gets its own ring, created the first time the series
+// appears in the registry, so instruments registered mid-run (a
+// late-started player session) simply begin at the next tick.
+//
+// Sampling is read-only with respect to the simulation: a run's
+// trajectory is identical with the sampler on or off (asserted by
+// TestTelemetryDoesNotPerturbRun in internal/exp).
+type Sampler struct {
+	clock  *simclock.Clock
+	reg    *Registry
+	cfg    Config
+	series map[string]*ring
+	event  *simclock.Event
+}
+
+// NewSampler registers a repeating sampling event on the clock (first
+// tick after one period) and returns the sampler. Stop cancels it.
+func NewSampler(clock *simclock.Clock, reg *Registry, cfg Config) *Sampler {
+	s := &Sampler{
+		clock:  clock,
+		reg:    reg,
+		cfg:    cfg.withDefaults(),
+		series: make(map[string]*ring),
+	}
+	s.event = clock.Every(s.cfg.Period, s.Sample)
+	return s
+}
+
+// Period returns the effective sampling period.
+func (s *Sampler) Period() time.Duration { return s.cfg.Period }
+
+// Registry returns the registry the sampler reads.
+func (s *Sampler) Registry() *Registry { return s.reg }
+
+// Sample takes one snapshot now. The periodic event calls it; callers
+// may also invoke it directly for an edge sample at run end, so the
+// final state is always in the series even when the run length is not
+// a period multiple.
+func (s *Sampler) Sample() {
+	now := s.clock.Now()
+	for _, name := range s.reg.Names() {
+		v, ok := s.reg.Value(name)
+		if !ok {
+			continue
+		}
+		rg := s.series[name]
+		if rg == nil {
+			rg = newRing(s.cfg.RingCapacity)
+			s.series[name] = rg
+		}
+		rg.push(now, v)
+	}
+}
+
+// Stop cancels future periodic samples. Collected series remain
+// dumpable.
+func (s *Sampler) Stop() { s.event.Cancel() }
+
+// Dump extracts everything collected so far — ring-buffered series in
+// sorted name order plus whole-run histogram snapshots — as plain
+// data, safe to retain in exp.Result without dragging the device
+// graph along.
+func (s *Sampler) Dump() *Dump {
+	var names []string
+	for name := range s.series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	d := &Dump{Period: s.cfg.Period}
+	for _, name := range names {
+		times, vals := s.series[name].unroll()
+		d.Series = append(d.Series, Series{Name: name, Times: times, Values: vals})
+	}
+	d.Histograms = s.reg.Histograms()
+	return d
+}

@@ -1,10 +1,13 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"time"
+
+	"coalqoe/internal/telemetry"
 )
 
 // Interval is one contiguous span a thread spent in a state — the
@@ -70,4 +73,106 @@ func (t *Tracer) WriteText(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// The Chrome trace-event JSON format (chrome://tracing, Perfetto UI).
+// "X" complete events carry thread state intervals, "C" counter events
+// carry telemetry series, "M" metadata events name processes and
+// threads. Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// telemetryPID is the synthetic pid carrying counter tracks; real
+// processes get pids from 1 in sorted name order.
+const telemetryPID = 0
+
+func micros(d time.Duration) int64 { return int64(d / time.Microsecond) }
+
+// WriteChromeTrace exports the recorded thread intervals — merged with
+// the counter tracks of dump, if non-nil — as one chrome://tracing-
+// loadable JSON document: the simulator's version of the §5 Perfetto
+// view, free memory and pgscan on the same timeline as the thread
+// states they explain. Requires KeepIntervals(true) for the thread
+// tracks. The output is deterministic: pids are assigned by sorted
+// process name, intervals are chronological, series are sorted by
+// name.
+func (t *Tracer) WriteChromeTrace(w io.Writer, dump *telemetry.Dump) error {
+	// Assign pids by sorted process name. Thread records are visited in
+	// TID order only to collect the name set.
+	procSet := make(map[string]bool)
+	for _, tid := range sortedTIDs(t.threads) {
+		procSet[t.threads[tid].key.Process] = true
+	}
+	var procs []string
+	for name := range procSet {
+		procs = append(procs, name)
+	}
+	sort.Strings(procs)
+	pid := make(map[string]int, len(procs))
+	for i, name := range procs {
+		pid[name] = i + 1
+	}
+
+	var events []chromeEvent
+	if dump != nil && len(dump.Series) > 0 {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: telemetryPID,
+			Args: map[string]any{"name": "telemetry"},
+		})
+	}
+	for _, name := range procs {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid[name],
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, tid := range sortedTIDs(t.threads) {
+		r := t.threads[tid]
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid[r.key.Process], TID: tid,
+			Args: map[string]any{"name": r.key.Name},
+		})
+	}
+
+	// Thread state intervals. Sleeping spans are omitted: they carry no
+	// information and dominate the interval count.
+	for _, iv := range t.Intervals() {
+		if iv.State == Sleeping {
+			continue
+		}
+		events = append(events, chromeEvent{
+			Name: iv.State.String(), Ph: "X", Cat: "sched",
+			TS: micros(iv.Start), Dur: micros(iv.End - iv.Start),
+			PID: pid[iv.Key.Process], TID: iv.Key.TID,
+		})
+	}
+
+	// Counter tracks: dump.Series is already sorted by name.
+	if dump != nil {
+		for _, s := range dump.Series {
+			for i, ts := range s.Times {
+				events = append(events, chromeEvent{
+					Name: s.Name, Ph: "C", Cat: "telemetry",
+					TS: micros(ts), PID: telemetryPID,
+					Args: map[string]any{"value": s.Values[i]},
+				})
+			}
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
 }

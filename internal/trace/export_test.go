@@ -1,0 +1,181 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"coalqoe/internal/telemetry"
+	"coalqoe/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// buildTrace constructs a small deterministic tracer + telemetry dump
+// by hand (no simulation), so the golden file is insensitive to model
+// changes and only guards the export format.
+func buildTrace() (*trace.Tracer, *telemetry.Dump) {
+	tr := trace.New(0)
+	tr.KeepIntervals(true)
+	codec := trace.ThreadKey{TID: 1, Name: "MediaCodec", Process: "org.mozilla.firefox"}
+	kswapd := trace.ThreadKey{TID: 2, Name: "kswapd0", Process: "kernel"}
+	mmcqd := trace.ThreadKey{TID: 3, Name: "mmcqd/0", Process: "kernel"}
+	tr.Register(codec, trace.Sleeping, 0)
+	tr.Register(kswapd, trace.Sleeping, 0)
+	tr.Register(mmcqd, trace.Sleeping, 0)
+
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	tr.Transition(1, trace.Running, 0, ms(1))
+	tr.Transition(2, trace.Runnable, -1, ms(2))
+	tr.Transition(3, trace.Running, 1, ms(3))
+	tr.Transition(1, trace.RunnablePreempted, -1, ms(4))
+	tr.RecordPreemption(codec, mmcqd, ms(4))
+	tr.Transition(3, trace.Sleeping, -1, ms(6))
+	tr.PreemptorStopped(3, ms(6))
+	tr.Transition(1, trace.Running, 1, ms(6))
+	tr.Transition(2, trace.Running, 0, ms(6))
+	tr.Transition(1, trace.UninterruptibleSleep, -1, ms(8))
+	tr.Finish(ms(10))
+
+	dump := &telemetry.Dump{
+		Period: 3 * time.Millisecond,
+		Series: []telemetry.Series{
+			{
+				Name:   "mem.free_pages",
+				Times:  []time.Duration{ms(3), ms(6), ms(9)},
+				Values: []float64{51200, 38000, 12000.5},
+			},
+			{
+				Name:   "player.buffer_ms",
+				Times:  []time.Duration{ms(3), ms(6), ms(9)},
+				Values: []float64{4000, 3200, 0},
+			},
+		},
+	}
+	return tr, dump
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	tr, dump := buildTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, dump); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/trace -update` to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("export differs from golden file\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteChromeTraceStableAcrossRuns(t *testing.T) {
+	render := func() string {
+		tr, dump := buildTrace()
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf, dump); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("identical traces must export identical bytes")
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	tr, dump := buildTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, dump); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	counts := map[string]int{}
+	pids := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		counts[ev.Ph]++
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				pids[ev.PID] = ev.Args["name"].(string)
+			}
+		case "X":
+			if ev.Name == "Sleeping" {
+				t.Fatal("Sleeping intervals must not be exported")
+			}
+			if ev.Dur < 0 || ev.TS < 0 {
+				t.Fatalf("bad interval %+v", ev)
+			}
+		case "C":
+			if ev.PID != 0 {
+				t.Fatalf("counter event on pid %d, want telemetry pid 0", ev.PID)
+			}
+			if _, ok := ev.Args["value"].(float64); !ok {
+				t.Fatalf("counter event without numeric value: %+v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	// 3 samples × 2 series.
+	if counts["C"] != 6 {
+		t.Fatalf("counter events = %d, want 6", counts["C"])
+	}
+	if counts["X"] == 0 {
+		t.Fatal("no thread intervals exported")
+	}
+	// Processes: telemetry(0) + kernel + org.mozilla.firefox, sorted.
+	if pids[0] != "telemetry" || pids[1] != "kernel" || pids[2] != "org.mozilla.firefox" {
+		t.Fatalf("pid map = %v", pids)
+	}
+	// 3 process_name + 3 thread_name metadata events.
+	if counts["M"] != 6 {
+		t.Fatalf("metadata events = %d, want 6", counts["M"])
+	}
+}
+
+func TestWriteChromeTraceNoDump(t *testing.T) {
+	tr, _ := buildTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"telemetry"`)) {
+		t.Fatal("nil dump must not emit the telemetry process")
+	}
+}
