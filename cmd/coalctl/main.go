@@ -7,6 +7,7 @@
 //	coalctl run fig9                 # full fidelity (5 runs, 3-minute clips)
 //	coalctl -quick run tab5          # fast pass
 //	coalctl -parallel 8 run fig9     # explicit worker count (0 = GOMAXPROCS)
+//	coalctl -faults memstorm run tab2  # inject a fault plan into every run
 //	coalctl run all
 package main
 
@@ -15,9 +16,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"coalqoe/internal/exp"
+	"coalqoe/internal/faults"
 	"coalqoe/internal/telemetry"
 )
 
@@ -29,6 +32,7 @@ func main() {
 	noProgress := flag.Bool("no-progress", false, "suppress the live progress line on stderr")
 	outDir := flag.String("out", "", "also write each report to <dir>/<id>.txt")
 	telemetryDir := flag.String("telemetry", "", "sample device metrics every 3s and write one CSV per run to <dir>/<id>-runNNN.csv")
+	faultPlan := flag.String("faults", "", "inject a fault plan into every run ("+planNames()+")")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -44,6 +48,13 @@ func main() {
 			usage()
 		}
 		opts := exp.Options{Quick: *quick, Seed: *seed, Runs: *runs, Parallel: *parallel}
+		if *faultPlan != "" {
+			plan, err := faults.Lookup(*faultPlan)
+			if err != nil {
+				fatal(err)
+			}
+			opts.Faults = &plan
+		}
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				fatal(err)
@@ -132,6 +143,14 @@ func runOne(e exp.Experiment, opts exp.Options, outDir, telemetryDir string, pro
 			fatal(err)
 		}
 	}
+}
+
+func planNames() string {
+	names := make([]string, 0, len(faults.Plans()))
+	for _, sp := range faults.Plans() {
+		names = append(names, sp.Name)
+	}
+	return strings.Join(names, ", ")
 }
 
 func usage() {

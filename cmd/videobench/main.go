@@ -15,13 +15,16 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"coalqoe/internal/dash"
 	"coalqoe/internal/device"
 	"coalqoe/internal/exp"
+	"coalqoe/internal/faults"
 	"coalqoe/internal/player"
 	"coalqoe/internal/proc"
 	telemetrypkg "coalqoe/internal/telemetry"
+	"coalqoe/internal/trace"
 )
 
 func main() {
@@ -40,6 +43,8 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Perfetto-style text trace of run 1 to this file")
 		jsonOut    = flag.String("json", "", "write per-run metrics as JSON lines to this file")
 		telemetry  = flag.String("telemetry", "", "sample device metrics every 3s and write per-run series (CSV+JSON) plus a chrome://tracing file for run 1 to this directory")
+		faultPlan  = flag.String("faults", "", "inject a fault plan: netflaky, iostorm, memstorm, mixed")
+		recover    = flag.Bool("recover", false, "enable crash recovery (restart + resume after an lmkd kill) and an 8s segment timeout with retries")
 	)
 	flag.Parse()
 
@@ -71,6 +76,19 @@ func main() {
 		FPS:         *fps,
 		Pressure:    level,
 		OrganicApps: *organic,
+	}
+	if *faultPlan != "" {
+		plan, err := faults.Lookup(*faultPlan)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = &plan
+	}
+	if *recover {
+		cfg.PlayerTweaks = func(pc *player.Config) {
+			pc.SegmentTimeout = 8 * time.Second
+			pc.Recovery = &player.RecoveryPolicy{}
+		}
 	}
 	if *debug {
 		debugRun(cfg, true)
@@ -164,9 +182,20 @@ func writeTelemetry(dir string, results []exp.Result) error {
 		}
 	}
 	if len(results) > 0 && results[0].Device != nil && results[0].Telemetry != nil {
+		// Injected fault windows render as marks on the trace timeline:
+		// intervals for the impairment windows, so the Perfetto view
+		// shows the outage/spike that explains a stall right above it.
+		var marks []trace.Mark
+		for _, w := range results[0].FaultWindows {
+			marks = append(marks, trace.Mark{
+				Name:  "fault:" + w.Kind.String(),
+				Start: w.Start,
+				End:   w.End(),
+			})
+		}
 		path := filepath.Join(dir, "run001.trace.json")
 		err := write(path, func(f io.Writer) error {
-			return results[0].Device.Tracer.WriteChromeTrace(f, results[0].Telemetry)
+			return results[0].Device.Tracer.WriteChromeTrace(f, results[0].Telemetry, marks...)
 		})
 		if err != nil {
 			return err

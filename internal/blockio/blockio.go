@@ -84,6 +84,7 @@ type Disk struct {
 	cfg       Config
 	mmcqd     *sched.Thread
 	busyUntil time.Duration
+	slow      float64 // device service-time multiplier; 1 = nominal
 	stats     Stats
 
 	// telemetry instruments; nil (free no-ops) until Instrument.
@@ -108,6 +109,27 @@ func New(clock *simclock.Clock, s *sched.Scheduler, cfg Config) *Disk {
 
 // Thread returns the mmcqd thread (for trace queries).
 func (d *Disk) Thread() *sched.Thread { return d.mmcqd }
+
+// SetSlowFactor scales device service time (request overhead and
+// per-page cost) by f — an injected storage-degradation window:
+// thermal throttling or the internal garbage collection of cheap eMMC.
+// Values below 1 are clamped to 1 (nominal). Requests already being
+// serviced keep their original timing; the factor applies at service
+// start.
+func (d *Disk) SetSlowFactor(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	d.slow = f
+}
+
+// SlowFactor returns the current service-time multiplier.
+func (d *Disk) SlowFactor() float64 {
+	if d.slow < 1 {
+		return 1
+	}
+	return d.slow
+}
 
 // Instrument registers the disk's telemetry: request/page counters and
 // queue depth as sampled series, the peak-backlog high-water gauge
@@ -172,6 +194,9 @@ func (d *Disk) submit(pages units.Pages, perPage time.Duration, onDone func()) {
 			start = now
 		}
 		service := d.cfg.RequestOverhead + time.Duration(pages)*perPage
+		if d.slow > 1 {
+			service = time.Duration(float64(service) * d.slow)
+		}
 		d.busyUntil = start + service
 		d.stats.DeviceBusy += service
 		if backlog := d.busyUntil - now; backlog > d.stats.PeakBacklog {

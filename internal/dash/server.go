@@ -213,6 +213,38 @@ type Client struct {
 	// Now timestamps segment transfers for FetchSegment's duration
 	// measurement; typically time.Now, supplied by the caller.
 	Now func() time.Time
+
+	retry RetryPolicy
+	sleep func(time.Duration)
+}
+
+// RetryPolicy bounds a fetch: Timeout caps one attempt, Attempts caps
+// how many attempts a fetch gets, and Backoff doubles between attempts
+// up to BackoffCap — the same capped-exponential shape the simulated
+// player uses (player.Config.RetryBackoff), applied to the real HTTP
+// path.
+type RetryPolicy struct {
+	// Timeout bounds one attempt; zero keeps the client's existing
+	// http.Client timeout.
+	Timeout time.Duration
+	// Attempts is the total tries per fetch (default 3).
+	Attempts int
+	// Backoff is the delay before the first retry (default 500ms); it
+	// doubles per retry, capped at BackoffCap (default 8s).
+	Backoff    time.Duration
+	BackoffCap time.Duration
+}
+
+func (p *RetryPolicy) applyDefaults() {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 500 * time.Millisecond
+	}
+	if p.BackoffCap <= 0 {
+		p.BackoffCap = 8 * time.Second
+	}
 }
 
 // NewClient builds a client for the given base URL. The now func
@@ -225,43 +257,110 @@ func NewClient(baseURL string, now func() time.Time) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{Timeout: 30 * time.Second}, Now: now}
 }
 
-// FetchManifest downloads and decodes the manifest.
+// SetRetry arms retries for manifest and segment fetches. The sleep
+// func paces the backoff and is injected like Now (typically
+// time.Sleep from the binary's main package; tests pass a recorder) —
+// internal/ never touches the wall clock directly (see LINTING.md).
+// A nil sleep with Attempts > 1 panics.
+func (c *Client) SetRetry(p RetryPolicy, sleep func(time.Duration)) {
+	p.applyDefaults()
+	if sleep == nil && p.Attempts > 1 {
+		panic("dash: Client.SetRetry needs a sleep func; pass time.Sleep from the binary's main package")
+	}
+	c.retry = p
+	c.sleep = sleep
+	if p.Timeout > 0 {
+		c.HTTP.Timeout = p.Timeout
+	}
+}
+
+// retryable reports whether a failed attempt is worth retrying:
+// transport errors (status 0) and server-side (5xx) statuses are;
+// client errors (4xx) are not — re-sending a request the server
+// rejected outright only burns the backoff budget.
+func retryable(status int) bool {
+	return status < 400 || status >= 500
+}
+
+// withRetry runs attempt up to the policy's budget, backing off
+// between tries. attempt returns the HTTP status it saw (0 on
+// transport error) so withRetry can distinguish 4xx from 5xx.
+func (c *Client) withRetry(attempt func() (int, error)) error {
+	attempts := c.retry.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	backoff := c.retry.Backoff
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			c.sleep(backoff)
+			if backoff *= 2; backoff > c.retry.BackoffCap {
+				backoff = c.retry.BackoffCap
+			}
+		}
+		var status int
+		status, err = attempt()
+		if err == nil || !retryable(status) {
+			return err
+		}
+	}
+	return err
+}
+
+// FetchManifest downloads and decodes the manifest, retrying per the
+// client's RetryPolicy (a single attempt unless SetRetry armed one).
 func (c *Client) FetchManifest() (ManifestDTO, error) {
 	var dto ManifestDTO
-	resp, err := c.HTTP.Get(c.BaseURL + "/manifest.json")
-	if err != nil {
-		return dto, fmt.Errorf("dash: fetch manifest: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return dto, fmt.Errorf("dash: fetch manifest: %s", resp.Status)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&dto); err != nil {
-		return dto, fmt.Errorf("dash: decode manifest: %w", err)
-	}
-	return dto, nil
+	err := c.withRetry(func() (int, error) {
+		resp, err := c.HTTP.Get(c.BaseURL + "/manifest.json")
+		if err != nil {
+			return 0, fmt.Errorf("dash: fetch manifest: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode, fmt.Errorf("dash: fetch manifest: %s", resp.Status)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&dto); err != nil {
+			// A truncated or corrupt body is a transport-level failure:
+			// retryable.
+			return 0, fmt.Errorf("dash: decode manifest: %w", err)
+		}
+		return resp.StatusCode, nil
+	})
+	return dto, err
 }
 
 // FetchSegment downloads one segment, discarding the body, and returns
-// its size and transfer duration.
+// its size and transfer duration. With a RetryPolicy armed (SetRetry),
+// failed attempts are retried with capped exponential backoff; the
+// returned duration spans all attempts including backoff — the stall
+// the player actually experienced.
 func (c *Client) FetchSegment(repID string, seg int) (units.Bytes, time.Duration, error) {
 	start := c.Now()
-	resp, err := c.HTTP.Get(fmt.Sprintf("%s/video/%s/%d", c.BaseURL, repID, seg))
-	if err != nil {
-		return 0, 0, fmt.Errorf("dash: fetch segment: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return 0, 0, fmt.Errorf("dash: fetch segment %s/%d: %s", repID, seg, resp.Status)
-	}
 	var total int64
-	buf := make([]byte, 64*1024)
-	for {
-		n, err := resp.Body.Read(buf)
-		total += int64(n)
+	err := c.withRetry(func() (int, error) {
+		resp, err := c.HTTP.Get(fmt.Sprintf("%s/video/%s/%d", c.BaseURL, repID, seg))
 		if err != nil {
-			break
+			return 0, fmt.Errorf("dash: fetch segment: %w", err)
 		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode, fmt.Errorf("dash: fetch segment %s/%d: %s", repID, seg, resp.Status)
+		}
+		total = 0
+		buf := make([]byte, 64*1024)
+		for {
+			n, err := resp.Body.Read(buf)
+			total += int64(n)
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, nil
+	})
+	if err != nil {
+		return 0, 0, err
 	}
 	return units.Bytes(total), c.Now().Sub(start), nil
 }

@@ -154,3 +154,110 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("404 counted as a segment request: %v", again["dash.segment_requests.480p30"])
 	}
 }
+
+// flakyHandler fails the first failures requests with the given status
+// (0 means drop the connection), then delegates to the real server.
+type flakyHandler struct {
+	inner    http.Handler
+	failures int
+	status   int
+	seen     int
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.seen++
+	if h.seen <= h.failures {
+		if h.status == 0 {
+			// Drop the connection: a transport-level failure.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				panic("test server does not support hijacking")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				panic(err)
+			}
+			conn.Close()
+			return
+		}
+		http.Error(w, "injected failure", h.status)
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// retryClient builds a client against a flaky front of the test server
+// with a fake clock and a sleep recorder, so backoff timing is asserted
+// without any wall-clock waiting.
+func retryClient(t *testing.T, fail, status int, p RetryPolicy) (*Client, *Manifest, *[]time.Duration) {
+	t.Helper()
+	m := NewManifest(TestVideos[0], 24, 30, 48, 60)
+	ts := httptest.NewServer(&flakyHandler{inner: NewServer(m), failures: fail, status: status})
+	t.Cleanup(ts.Close)
+	fake := time.Unix(1700000000, 0)
+	now := func() time.Time { return fake }
+	var slept []time.Duration
+	c := NewClient(ts.URL, now)
+	c.SetRetry(p, func(d time.Duration) { slept = append(slept, d) })
+	return c, m, &slept
+}
+
+func TestClientRetriesTransportErrors(t *testing.T) {
+	c, m, slept := retryClient(t, 2, 0, RetryPolicy{Attempts: 4, Backoff: 100 * time.Millisecond, BackoffCap: time.Second})
+	rung, _ := m.Rung(R480p, 30)
+	got, _, err := c.FetchSegment("480p30", 3)
+	if err != nil {
+		t.Fatalf("fetch after retries: %v", err)
+	}
+	if want := m.Video.SegmentBytes(rung, 3); got != want {
+		t.Errorf("segment bytes = %d, want %d", got, want)
+	}
+	// Two failures -> two backoffs, exponentially doubled.
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	if len(*slept) != len(want) {
+		t.Fatalf("slept %v, want %v", *slept, want)
+	}
+	for i, d := range want {
+		if (*slept)[i] != d {
+			t.Errorf("backoff[%d] = %v, want %v", i, (*slept)[i], d)
+		}
+	}
+}
+
+func TestClientRetries5xxAndCapsBackoff(t *testing.T) {
+	c, _, slept := retryClient(t, 3, http.StatusServiceUnavailable,
+		RetryPolicy{Attempts: 4, Backoff: time.Second, BackoffCap: 2 * time.Second})
+	if _, err := c.FetchManifest(); err != nil {
+		t.Fatalf("manifest after retries: %v", err)
+	}
+	want := []time.Duration{time.Second, 2 * time.Second, 2 * time.Second}
+	if len(*slept) != len(want) {
+		t.Fatalf("slept %v, want %v", *slept, want)
+	}
+	for i, d := range want {
+		if (*slept)[i] != d {
+			t.Errorf("backoff[%d] = %v, want %v (cap)", i, (*slept)[i], d)
+		}
+	}
+}
+
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	c, _, slept := retryClient(t, 0, 0, RetryPolicy{Attempts: 5})
+	if _, _, err := c.FetchSegment("480p30", 99999); err == nil {
+		t.Fatal("expected error for out-of-range segment")
+	}
+	if len(*slept) != 0 {
+		t.Errorf("client slept %v retrying a 404", *slept)
+	}
+}
+
+func TestClientExhaustsAttempts(t *testing.T) {
+	c, _, slept := retryClient(t, 100, http.StatusInternalServerError,
+		RetryPolicy{Attempts: 3, Backoff: 50 * time.Millisecond})
+	if _, err := c.FetchManifest(); err == nil {
+		t.Fatal("expected error after exhausting attempts")
+	}
+	if len(*slept) != 2 {
+		t.Errorf("3 attempts should back off twice, slept %v", *slept)
+	}
+}

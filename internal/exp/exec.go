@@ -40,15 +40,34 @@ func (o Options) Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// runSafe is Run behind a panic barrier: a run that panics yields a
+// Result marked Failed with the panic value, instead of taking down
+// the whole grid (and, in the pool, the process — a panic in a worker
+// goroutine is otherwise unrecoverable). Results stay input-ordered,
+// so parallel output remains byte-identical to serial even when some
+// runs fail.
+func runSafe(cfg VideoRun) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Failed: true, FailReason: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	return Run(cfg)
+}
+
 // runJobs executes the fully-seeded runs across the worker pool and
 // returns results in input order. With one worker (or one job) it
 // degenerates to the plain serial loop.
 func runJobs(o Options, jobs []VideoRun) []Result {
-	if o.Telemetry != nil {
-		for i := range jobs {
-			if jobs[i].Telemetry == nil {
-				jobs[i].Telemetry = o.Telemetry
-			}
+	for i := range jobs {
+		if o.Telemetry != nil && jobs[i].Telemetry == nil {
+			jobs[i].Telemetry = o.Telemetry
+		}
+		if o.Faults != nil && jobs[i].Faults == nil {
+			jobs[i].Faults = o.Faults
+		}
+		if o.Deadline > 0 && jobs[i].Deadline == 0 {
+			jobs[i].Deadline = o.Deadline
 		}
 	}
 	results := make([]Result, len(jobs))
@@ -74,7 +93,7 @@ func runJobs(o Options, jobs []VideoRun) []Result {
 		for i, cfg := range jobs {
 			started++
 			emit()
-			results[i] = Run(cfg)
+			results[i] = runSafe(cfg)
 			done++
 			emit()
 			deliver(i, results[i])
@@ -97,7 +116,7 @@ func runJobs(o Options, jobs []VideoRun) []Result {
 				started++
 				emit()
 				mu.Unlock()
-				results[i] = Run(jobs[i])
+				results[i] = runSafe(jobs[i])
 				mu.Lock()
 				done++
 				emit()
@@ -170,10 +189,23 @@ func CellSeed(base int64, cell VideoRun) int64 {
 // established before PressureTimeout. Averaging such runs into drop or
 // crash statistics silently dilutes the measurement, so report rows
 // carry an annotation whenever the count is non-zero (see regimeNote).
+// Failed runs are skipped — they never got far enough for the regime
+// question to be meaningful, and Failures covers them.
 func Unreached(results []Result) int {
 	n := 0
 	for _, r := range results {
-		if !r.PressureReached {
+		if !r.Failed && !r.PressureReached {
+			n++
+		}
+	}
+	return n
+}
+
+// Failures counts runs the executor marked Failed (panic or deadline).
+func Failures(results []Result) int {
+	n := 0
+	for _, r := range results {
+		if r.Failed {
 			n++
 		}
 	}
@@ -181,11 +213,32 @@ func Unreached(results []Result) int {
 }
 
 // regimeNote annotates a report row when some of its runs never reached
-// the target pressure regime, so a mis-calibrated regime cannot
-// masquerade as a clean measurement.
+// the target pressure regime — or failed outright — so a mis-calibrated
+// regime or a crashed/wedged run cannot masquerade as a clean
+// measurement. (Folding failures in here keeps every existing report
+// row honest without touching its call site.)
 func regimeNote(results []Result) string {
+	note := ""
 	if u := Unreached(results); u > 0 {
-		return fmt.Sprintf("  [%d/%d runs never reached target regime]", u, len(results))
+		note += fmt.Sprintf("  [%d/%d runs never reached target regime]", u, len(results))
 	}
-	return ""
+	note += failNote(results)
+	return note
+}
+
+// failNote annotates a report row with its failed-run count and the
+// first failure's reason.
+func failNote(results []Result) string {
+	f := Failures(results)
+	if f == 0 {
+		return ""
+	}
+	reason := ""
+	for _, r := range results {
+		if r.Failed {
+			reason = r.FailReason
+			break
+		}
+	}
+	return fmt.Sprintf("  [%d/%d runs failed: %s]", f, len(results), reason)
 }

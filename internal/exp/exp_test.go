@@ -21,6 +21,8 @@ func TestRegistryComplete(t *testing.T) {
 		// extensions and ablations
 		"memabr", "ladder", "abl-zram", "abl-mmcqd", "abl-cpu",
 		"abl-kswapd-pin", "abl-order",
+		// robustness
+		"faults_recovery",
 	}
 	for _, id := range want {
 		if _, err := Find(id); err != nil {

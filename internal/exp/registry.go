@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"coalqoe/internal/dash"
+	"coalqoe/internal/faults"
 	"coalqoe/internal/telemetry"
 )
 
@@ -37,6 +38,15 @@ type Options struct {
 	// from worker goroutines but are serialized by the executor. The
 	// callback owns where the data goes — file I/O stays in cmd/.
 	OnTelemetry func(run int, dump *telemetry.Dump)
+	// Faults, when non-nil, injects the named fault plan into every run
+	// the executor launches that does not already carry its own (see
+	// VideoRun.Faults). The concrete windows derive from each run's seed,
+	// so parallel output stays byte-identical to serial.
+	Faults *faults.Spec
+	// Deadline, when positive, caps every launched run's simulated time
+	// (see VideoRun.Deadline): a run still going at the deadline is
+	// marked Failed instead of wedging the grid.
+	Deadline time.Duration
 }
 
 func (o *Options) applyDefaults() {

@@ -10,7 +10,9 @@ import (
 
 	"coalqoe/internal/dash"
 	"coalqoe/internal/device"
+	"coalqoe/internal/faults"
 	"coalqoe/internal/mempress"
+	"coalqoe/internal/netem"
 	"coalqoe/internal/player"
 	"coalqoe/internal/proc"
 	"coalqoe/internal/stats"
@@ -65,6 +67,17 @@ type VideoRun struct {
 	// disabled — the zero-cost default. Sampling only reads simulator
 	// state, so enabling it never changes the run's outcome.
 	Telemetry *telemetry.Config
+	// Faults, when non-nil, materializes the plan into impairment
+	// windows (seeded by the run's Seed, so repeats differ but replays
+	// don't) and injects them over the playback horizon. nil keeps the
+	// paper's ideal network/storage conditions.
+	Faults *faults.Spec
+	// Deadline, when positive, caps the run's simulated time: a session
+	// still active at the deadline is abandoned and the Result is marked
+	// Failed ("deadline exceeded") rather than wedging the whole grid.
+	// Zero keeps the legacy slack (3x video duration + 30s) with no
+	// failure marking.
+	Deadline time.Duration
 }
 
 func (r *VideoRun) applyDefaults() {
@@ -109,6 +122,16 @@ type Result struct {
 	// device or session references), so retaining it across a grid is
 	// cheap.
 	Telemetry *telemetry.Dump
+	// Failed marks a run that produced no trustworthy metrics: it
+	// panicked inside the executor (FailReason carries the panic value)
+	// or overran its Deadline. Aggregations (DropStats, CrashRate)
+	// exclude failed runs; report rows annotate them (see failNote).
+	Failed     bool
+	FailReason string
+	// FaultWindows records the injected impairment schedule (absolute
+	// sim times) when the run carried a fault plan. Plain data — safe to
+	// retain and export (trace marks, reports).
+	FaultWindows []faults.Window
 }
 
 // Run executes the experiment to completion (or crash) and returns the
@@ -151,17 +174,43 @@ func Run(cfg VideoRun) Result {
 	if cfg.PlayerTweaks != nil {
 		cfg.PlayerTweaks(&pcfg)
 	}
+	// Play to the end (or crash), with slack for stalls. An explicit
+	// Deadline overrides the legacy slack and marks overruns as failed.
+	slack := cfg.Video.Duration*3 + 30*time.Second
+	if cfg.Deadline > 0 {
+		slack = cfg.Deadline
+	}
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		// The injector needs a concrete link handle; materialize the
+		// default LAN here when the tweaks didn't supply one. Windows
+		// derive from the run seed over the full playable horizon, before
+		// the session starts, so the schedule is independent of playback.
+		if pcfg.Link == nil {
+			pcfg.Link = netem.LAN(dev.Clock)
+		}
+		inj = faults.Attach(dev, pcfg.Link, cfg.Faults.Windows(cfg.Seed, slack))
+	}
 	sess := player.Start(pcfg)
+	if inj != nil {
+		sess.SetFaultProbe(inj.FaultActive)
+	}
 	if cfg.OnSession != nil {
 		cfg.OnSession(sess, dev)
 	}
-	// Play to the end (or crash), with slack for stalls.
-	deadline := dev.Clock.Now() + cfg.Video.Duration*3 + 30*time.Second
+	deadline := dev.Clock.Now() + slack
 	for sess.Active() && dev.Clock.Now() < deadline {
 		dev.Settle(time.Second)
 	}
 	dev.Tracer.Finish(dev.Clock.Now())
 	res := Result{Metrics: sess.Metrics(), PressureReached: reached}
+	if inj != nil {
+		res.FaultWindows = inj.Windows()
+	}
+	if cfg.Deadline > 0 && sess.Active() {
+		res.Failed = true
+		res.FailReason = "deadline exceeded"
+	}
 	if dev.Sampler != nil {
 		// One edge sample at the final instant, so the last partial
 		// period is represented, then freeze the series.
@@ -192,25 +241,66 @@ func Repeat(cfg VideoRun, n int, baseSeed int64) []Result {
 
 // DropStats aggregates the effective drop rates of repeated runs (a
 // crashed run counts its unplayed remainder as dropped, as the paper
-// does for unplayable Critical-state runs).
+// does for unplayable Critical-state runs). Failed runs (panic or
+// deadline, see Result.Failed) carry no trustworthy metrics and are
+// excluded; failNote makes the exclusion visible on report rows.
 func DropStats(results []Result) stats.MeanCI {
-	xs := make([]float64, len(results))
-	for i, r := range results {
-		xs[i] = r.Metrics.EffectiveDropRate
+	xs := make([]float64, 0, len(results))
+	for _, r := range results {
+		if r.Failed {
+			continue
+		}
+		xs = append(xs, r.Metrics.EffectiveDropRate)
 	}
 	return stats.Summarize(xs)
 }
 
-// CrashRate returns the percentage of runs that crashed.
+// CrashRate returns the percentage of runs that crashed, over the runs
+// that completed (failed runs excluded).
 func CrashRate(results []Result) float64 {
-	n := 0
+	n, total := 0, 0
 	for _, r := range results {
+		if r.Failed {
+			continue
+		}
+		total++
 		if r.Metrics.Crashed {
 			n++
 		}
 	}
-	if len(results) == 0 {
+	if total == 0 {
 		return 0
 	}
-	return 100 * float64(n) / float64(len(results))
+	return 100 * float64(n) / float64(total)
+}
+
+// Restarts sums crash recoveries across completed runs, and
+// MeanTimeToRecover averages the recovery gap over runs that actually
+// restarted — the headline numbers of the faults_recovery experiment.
+func Restarts(results []Result) int {
+	n := 0
+	for _, r := range results {
+		if !r.Failed {
+			n += r.Metrics.Restarts
+		}
+	}
+	return n
+}
+
+// MeanTimeToRecover averages Metrics.TimeToRecover over runs with at
+// least one restart; zero when none restarted.
+func MeanTimeToRecover(results []Result) time.Duration {
+	var sum time.Duration
+	n := 0
+	for _, r := range results {
+		if r.Failed || r.Metrics.Restarts == 0 {
+			continue
+		}
+		sum += r.Metrics.TimeToRecover
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
 }

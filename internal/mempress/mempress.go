@@ -150,6 +150,36 @@ func (a *Applicator) Stop() {
 	}
 }
 
+// Spike launches a short-lived native allocation storm — the "a system
+// daemon suddenly needs memory" event of a fault plan (see
+// internal/faults): a burst that ramps quickly to bytes with a hot
+// working set, forcing reclaim and — if the spike is large enough —
+// lmkd kills, then exits after hold. It runs at native adj (like the
+// real media/camera servers, whose bursts are the classic trigger):
+// lmkd cannot reclaim the spike itself, so sustained pressure resolves
+// by killing apps — ultimately the foreground client. Unlike the
+// Applicator balloon it is not feedback-controlled: it models a burst,
+// not a regime.
+func Spike(d *device.Device, name string, bytes units.Bytes, hold time.Duration) *proc.Process {
+	ramp := 2 * time.Second
+	if hold < 2*ramp {
+		ramp = hold / 2
+	}
+	p := d.Table.Start(proc.Spec{
+		Name:        name,
+		Adj:         proc.AdjNative,
+		AnonBytes:   bytes,
+		HotAnonFrac: 0.9,
+		RampTime:    ramp,
+	})
+	d.Clock.Schedule(hold, func() {
+		if !p.Dead() {
+			d.Table.Kill(p, "mempress spike done")
+		}
+	})
+	return p
+}
+
 // BackgroundApp describes one organically opened app.
 type BackgroundApp struct {
 	Name string

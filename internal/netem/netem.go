@@ -10,6 +10,7 @@ package netem
 
 import (
 	"io"
+	"math/rand"
 	"time"
 
 	"coalqoe/internal/simclock"
@@ -23,6 +24,8 @@ type Link struct {
 	rate      units.BitsPerSecond
 	delay     time.Duration
 	busyUntil time.Duration
+	downUntil time.Duration
+	loss      float64
 
 	// TotalBytes counts transferred payload.
 	TotalBytes units.Bytes
@@ -50,8 +53,50 @@ func (l *Link) SetRate(rate units.BitsPerSecond) {
 	l.rate = rate
 }
 
+// maxLoss caps the loss rate: beyond it the goodput model (rate scaled
+// by 1-loss) degenerates, and real links that lossy are outages.
+const maxLoss = 0.95
+
+// lossRTO is the stall a retransmission round costs a transfer: one
+// timeout-and-resend at typical WiFi RTO scale.
+const lossRTO = 200 * time.Millisecond
+
+// SetLoss sets the packet-loss rate in [0, maxLoss]. Loss scales the
+// effective rate by 1-p (retransmitted bytes re-occupy the link) and
+// adds a per-transfer retransmission stall drawn from the clock's RNG.
+// Zero restores the lossless path.
+func (l *Link) SetLoss(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > maxLoss {
+		p = maxLoss
+	}
+	l.loss = p
+}
+
+// Loss returns the current loss rate.
+func (l *Link) Loss() float64 { return l.loss }
+
+// OutageFor takes the link down for d from now: transfers submitted
+// while down queue behind the outage. Overlapping outages extend to the
+// latest end. In-flight deliveries already scheduled are not recalled —
+// the model applies to new submissions.
+func (l *Link) OutageFor(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if until := l.clock.Now() + d; until > l.downUntil {
+		l.downUntil = until
+	}
+}
+
+// Down reports whether the link is currently in an outage window.
+func (l *Link) Down() bool { return l.clock.Now() < l.downUntil }
+
 // Transfer schedules the delivery of b bytes and invokes onDone when
-// the last byte arrives. Transfers share the link serially (FIFO).
+// the last byte arrives. Transfers share the link serially (FIFO);
+// during an outage window transmission waits for the link to return.
 func (l *Link) Transfer(b units.Bytes, onDone func()) {
 	if b < 0 {
 		b = 0
@@ -61,7 +106,17 @@ func (l *Link) Transfer(b units.Bytes, onDone func()) {
 	if start < now {
 		start = now
 	}
+	if start < l.downUntil {
+		start = l.downUntil
+	}
 	tx := time.Duration(float64(b) / l.rate.BytesPerSecond() * float64(time.Second))
+	if l.loss > 0 {
+		// Goodput shrinks by the retransmitted share, and the transfer
+		// eats at least one retransmission stall. Only lossy links draw
+		// from the RNG, so lossless runs keep their random streams.
+		tx = time.Duration(float64(tx) / (1 - l.loss))
+		tx += time.Duration(float64(lossRTO) * l.loss * (0.5 + l.clock.Rand().Float64()))
+	}
 	l.busyUntil = start + tx
 	l.TotalBytes += b
 	if onDone != nil {
@@ -86,6 +141,16 @@ type Shaper struct {
 	read    int64
 	sleep   func(time.Duration)
 	now     func() time.Time
+
+	loss    float64
+	lossRTO time.Duration
+	rng     *rand.Rand
+	outages []shaperOutage
+}
+
+// shaperOutage is one scheduled dead window, relative to first read.
+type shaperOutage struct {
+	from, until time.Duration
 }
 
 // NewShaper wraps r so reads average the given rate, timed by now and
@@ -98,7 +163,39 @@ func NewShaper(r io.Reader, rate units.BitsPerSecond, now func() time.Time, slee
 	return &Shaper{r: r, rate: rate, sleep: sleep, now: now}
 }
 
-// Read implements io.Reader with pacing.
+// SetLoss configures a deterministic loss model: each read suffers a
+// retransmission stall of rto with probability p, drawn from rng. The
+// generator is injected (seeded by the caller) per the globalrand rule,
+// so paired shapers can replay identical loss realizations. p <= 0
+// disables loss; rng must be non-nil when p > 0.
+func (s *Shaper) SetLoss(p float64, rto time.Duration, rng *rand.Rand) {
+	if p > maxLoss {
+		p = maxLoss
+	}
+	if p > 0 && rng == nil {
+		panic("netem: Shaper.SetLoss needs a seeded *rand.Rand when p > 0")
+	}
+	if rto <= 0 {
+		rto = lossRTO
+	}
+	s.loss, s.lossRTO, s.rng = p, rto, rng
+}
+
+// AddOutage schedules a dead window [from, from+dur), measured from the
+// shaper's first read: a read landing inside the window sleeps until it
+// ends. Windows may overlap; each is honored independently.
+func (s *Shaper) AddOutage(from, dur time.Duration) {
+	if dur <= 0 {
+		return
+	}
+	if from < 0 {
+		from = 0
+	}
+	s.outages = append(s.outages, shaperOutage{from: from, until: from + dur})
+}
+
+// Read implements io.Reader with pacing, loss stalls, and outage
+// windows.
 func (s *Shaper) Read(p []byte) (int, error) {
 	if s.started.IsZero() {
 		s.started = s.now()
@@ -110,6 +207,16 @@ func (s *Shaper) Read(p []byte) (int, error) {
 	elapsed := s.now().Sub(s.started)
 	if due > elapsed {
 		s.sleep(due - elapsed)
+	}
+	if s.loss > 0 && s.rng.Float64() < s.loss {
+		s.sleep(s.lossRTO)
+	}
+	// An outage blocks the read until the window closes. Re-check the
+	// clock per window: the sleeps above may have crossed into one.
+	for _, o := range s.outages {
+		if at := s.now().Sub(s.started); at >= o.from && at < o.until {
+			s.sleep(o.until - at)
+		}
 	}
 	return n, err
 }

@@ -3,6 +3,7 @@ package netem
 import (
 	"bytes"
 	"io"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -100,4 +101,148 @@ func TestShaperEOF(t *testing.T) {
 	if _, err := s.Read(buf); err != io.EOF {
 		t.Errorf("err = %v, want EOF", err)
 	}
+}
+
+func TestLinkLossSlowsTransfers(t *testing.T) {
+	clock := simclock.New(1)
+	l := NewLink(clock, 8*units.Mbps, 0)
+	l.SetLoss(0.5)
+	if l.Loss() != 0.5 {
+		t.Fatalf("Loss = %v", l.Loss())
+	}
+	var done time.Duration
+	l.Transfer(units.Bytes(1e6), func() { done = clock.Now() }) // 1s lossless
+	clock.Run()
+	// Goodput halves (2s) plus at least half an RTO of retransmission
+	// stall; jitter bounds the rest.
+	if done < 2*time.Second+50*time.Millisecond || done > 2*time.Second+400*time.Millisecond {
+		t.Errorf("lossy transfer done at %v, want ~2s + retransmission stall", done)
+	}
+	l.SetLoss(0)
+	var clean time.Duration
+	l.Transfer(units.Bytes(1e6), func() { clean = clock.Now() })
+	clock.Run()
+	if clean-done != time.Second {
+		t.Errorf("after clearing loss, transfer took %v, want 1s", clean-done)
+	}
+}
+
+func TestLinkLossClamped(t *testing.T) {
+	l := NewLink(simclock.New(1), units.Mbps, 0)
+	l.SetLoss(2)
+	if l.Loss() != maxLoss {
+		t.Errorf("Loss = %v, want clamped to %v", l.Loss(), maxLoss)
+	}
+	l.SetLoss(-1)
+	if l.Loss() != 0 {
+		t.Errorf("Loss = %v, want clamped to 0", l.Loss())
+	}
+}
+
+func TestLinkOutageDefersTransfers(t *testing.T) {
+	clock := simclock.New(1)
+	l := NewLink(clock, 8*units.Mbps, 0)
+	l.OutageFor(3 * time.Second)
+	if !l.Down() {
+		t.Fatal("link should be down")
+	}
+	var done time.Duration
+	l.Transfer(units.Bytes(1e6), func() { done = clock.Now() })
+	clock.Run()
+	if done != 4*time.Second {
+		t.Errorf("transfer during outage done at %v, want 4s (3s outage + 1s tx)", done)
+	}
+	if l.Down() {
+		t.Error("link should be back up")
+	}
+}
+
+func TestLinkOverlappingOutagesExtend(t *testing.T) {
+	clock := simclock.New(1)
+	l := NewLink(clock, 8*units.Mbps, 0)
+	l.OutageFor(2 * time.Second)
+	l.OutageFor(5 * time.Second) // extends
+	l.OutageFor(time.Second)     // no-op: earlier end
+	var done time.Duration
+	l.Transfer(units.Bytes(1e6), func() { done = clock.Now() })
+	clock.Run()
+	if done != 6*time.Second {
+		t.Errorf("done at %v, want 6s", done)
+	}
+}
+
+func TestLinkLossDeterministic(t *testing.T) {
+	run := func() time.Duration {
+		clock := simclock.New(42)
+		l := NewLink(clock, 8*units.Mbps, 0)
+		l.SetLoss(0.3)
+		var done time.Duration
+		for i := 0; i < 5; i++ {
+			l.Transfer(units.Bytes(1e5), func() { done = clock.Now() })
+		}
+		clock.Run()
+		return done
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed, different outcomes: %v vs %v", a, b)
+	}
+}
+
+func TestShaperLossStalls(t *testing.T) {
+	data := make([]byte, 100_000)
+	var slept time.Duration
+	base := time.Unix(0, 0)
+	mk := func(loss float64, seed int64) time.Duration {
+		slept = 0
+		s := NewShaper(bytes.NewReader(data), 80*units.Mbps,
+			func() time.Time { return base.Add(slept) },
+			func(d time.Duration) { slept += d })
+		if loss > 0 {
+			s.SetLoss(loss, 100*time.Millisecond, rand.New(rand.NewSource(seed)))
+		}
+		if _, err := io.Copy(io.Discard, s); err != nil {
+			t.Fatal(err)
+		}
+		return slept
+	}
+	clean := mk(0, 0)
+	lossy := mk(0.5, 1)
+	if lossy <= clean {
+		t.Errorf("lossy shaper slept %v, clean %v: loss should add stalls", lossy, clean)
+	}
+	// Identical seeds replay identical loss realizations.
+	if a, b := mk(0.5, 7), mk(0.5, 7); a != b {
+		t.Errorf("same seed, different stalls: %v vs %v", a, b)
+	}
+}
+
+func TestShaperLossNeedsRNG(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for loss without rng")
+		}
+	}()
+	s := NewShaper(bytes.NewReader(nil), units.Mbps,
+		func() time.Time { return time.Unix(0, 0) }, func(time.Duration) {})
+	s.SetLoss(0.5, 0, nil)
+}
+
+func TestShaperOutageWindow(t *testing.T) {
+	data := make([]byte, 200_000)
+	var slept time.Duration
+	base := time.Unix(0, 0)
+	s := NewShaper(bytes.NewReader(data), 8*units.Mbps, // 1 MB/s
+		func() time.Time { return base.Add(slept) },
+		func(d time.Duration) { slept += d })
+	// 200 KB at 1 MB/s paces to ~200ms; an outage [100ms, 600ms) must
+	// hold a mid-transfer read until 600ms.
+	s.AddOutage(100*time.Millisecond, 500*time.Millisecond)
+	if _, err := io.Copy(io.Discard, s); err != nil {
+		t.Fatal(err)
+	}
+	if slept < 600*time.Millisecond {
+		t.Errorf("slept %v, want >= 600ms (outage end)", slept)
+	}
+	// Negative/zero windows are ignored.
+	s.AddOutage(-1, 0)
 }

@@ -19,7 +19,11 @@ type metricsDTO struct {
 	DropRatePct      float64        `json:"drop_rate_pct"`
 	EffectiveDropPct float64        `json:"effective_drop_rate_pct"`
 	Crashed          bool           `json:"crashed"`
-	CrashedAtSec     float64        `json:"crashed_at_sec,omitempty"`
+	CrashedAtSec     *float64       `json:"crashed_at_sec,omitempty"`
+	Restarts         int            `json:"restarts,omitempty"`
+	TimeToRecoverSec float64        `json:"time_to_recover_sec,omitempty"`
+	Retries          int            `json:"retries,omitempty"`
+	FaultStalls      int            `json:"fault_stalls,omitempty"`
 	Stalls           int            `json:"stalls"`
 	StallSec         float64        `json:"stall_sec"`
 	FPSTimeline      []float64      `json:"fps_timeline"`
@@ -54,8 +58,16 @@ func (m Metrics) MarshalJSON() ([]byte, error) {
 		PeakPSSMiB:       m.PeakPSS.MiBf(),
 		Signals:          map[string]int{},
 	}
+	dto.Restarts = m.Restarts
+	dto.TimeToRecoverSec = m.TimeToRecover.Seconds()
+	dto.Retries = m.Retries
+	dto.FaultStalls = m.FaultStalls
 	if m.Crashed {
-		dto.CrashedAtSec = m.CrashedAt.Seconds()
+		// A pointer, not omitempty-on-zero: a kill at sim time zero is a
+		// real crash and must still emit the field (Crashed gates it, the
+		// timestamp value never does).
+		sec := m.CrashedAt.Seconds()
+		dto.CrashedAtSec = &sec
 	}
 	//coalvet:allow maporder key-to-key map copy; encoding/json sorts map keys on marshal
 	for l, n := range m.Signals {

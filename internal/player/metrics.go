@@ -31,8 +31,24 @@ type Metrics struct {
 	// the video client crashed" (§4.3) as ~100% loss.
 	EffectiveDropRate float64
 
+	// Crashed is the sole source of truth for whether lmkd terminally
+	// killed the client. CrashedAt is only meaningful when Crashed is
+	// true: a session killed at sim time zero legitimately reports
+	// CrashedAt == 0, so zero is NOT a "did not crash" sentinel.
 	Crashed   bool
 	CrashedAt time.Duration
+
+	// Restarts counts crash recoveries the session survived (lmkd kill →
+	// relaunch → resume); TimeToRecover is the total playback gap those
+	// recoveries cost (kill to resumed presentation, including any
+	// recovery still in progress at snapshot time). Retries counts
+	// abandoned segment-fetch attempts (SegmentTimeout hits), and
+	// FaultStalls counts rebuffer ticks that began while an injected
+	// fault window was open (see internal/faults).
+	Restarts      int
+	TimeToRecover time.Duration
+	Retries       int
+	FaultStalls   int
 
 	Stalls    int
 	StallTime time.Duration
@@ -62,10 +78,18 @@ func (s *Session) Metrics() Metrics {
 		FramesDropped:  s.dropped,
 		Crashed:        s.crashed,
 		CrashedAt:      s.crashedAt,
+		Restarts:       s.restarts,
+		TimeToRecover:  s.timeToRecover,
+		Retries:        s.retries,
+		FaultStalls:    s.faultStalls,
 		Stalls:         s.stalls,
 		StallTime:      s.stallTime,
 		Signals:        make(map[proc.Level]int, len(s.signals)),
 		Switches:       append([]SwitchEvent(nil), s.switches...),
+	}
+	if s.recovering {
+		// A snapshot taken mid-recovery still accounts the gap so far.
+		m.TimeToRecover += s.dev.Clock.Now() - s.recoverStart
 	}
 	total := s.rendered + s.dropped
 	if total > 0 {
@@ -129,6 +153,9 @@ func (m Metrics) String() string {
 	crash := ""
 	if m.Crashed {
 		crash = fmt.Sprintf(" CRASHED@%v", m.CrashedAt.Round(time.Second))
+	}
+	if m.Restarts > 0 {
+		crash += fmt.Sprintf(" restarts=%d(ttr=%v)", m.Restarts, m.TimeToRecover.Round(time.Second))
 	}
 	return fmt.Sprintf("%s/%s %s: drops=%.1f%% (%d/%d)%s pss=%s",
 		m.Device, m.Client, m.Rung, m.DropRate, m.FramesDropped,

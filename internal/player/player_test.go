@@ -1,6 +1,7 @@
 package player
 
 import (
+	"bytes"
 	"encoding/json"
 	"testing"
 	"time"
@@ -189,6 +190,108 @@ func TestCrashMetrics(t *testing.T) {
 	}
 	if m.EffectiveDropRate < m.DropRate {
 		t.Error("effective drop rate must dominate the raw rate for crashes")
+	}
+}
+
+func TestCrashAtTimeZero(t *testing.T) {
+	// Regression: a kill at sim time zero is a legitimate crash, and
+	// CrashedAt == 0 must not read as "did not crash". Crashed is the
+	// sole source of truth; the JSON encoding must still emit the
+	// timestamp (as a pointer, so zero survives omitempty).
+	dev := device.New(13, device.Nokia1, device.Options{})
+	s := startSession(t, dev, dash.R480p, 30, time.Minute, nil)
+	dev.Table.Kill(dev.Table.Find(Firefox.Name), "test kill")
+	m := s.Metrics()
+	if !m.Crashed {
+		t.Fatal("kill at t=0 not recorded as a crash")
+	}
+	if m.CrashedAt != 0 {
+		t.Errorf("CrashedAt = %v, want 0", m.CrashedAt)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := back["crashed_at_sec"]; !ok || v != 0.0 {
+		t.Errorf("crashed_at_sec = %v (present=%v), want 0 to survive marshalling", v, ok)
+	}
+	// And the inverse: an uncrashed session must not emit the field.
+	clean, _ := json.Marshal(Metrics{Device: "d", Client: "c"})
+	if bytes.Contains(clean, []byte("crashed_at_sec")) {
+		t.Errorf("uncrashed metrics leaked crashed_at_sec: %s", clean)
+	}
+}
+
+func TestRecoveryRestartsAndResumes(t *testing.T) {
+	// On an otherwise idle flagship a single injected kill is the only
+	// adversity: a recovering session must relaunch, re-fetch the
+	// manifest, resume from the boundary, and finish the clip.
+	dev := device.New(14, device.Nexus6P, device.Options{})
+	dev.Settle(2 * time.Second)
+	s := startSession(t, dev, dash.R480p, 30, time.Minute, func(c *Config) {
+		c.Recovery = &RecoveryPolicy{}
+	})
+	dev.Settle(20 * time.Second)
+	dev.Table.Kill(dev.Table.Find(Firefox.Name), "test kill")
+	if !s.Recovering() {
+		t.Fatal("session not recovering after a kill with Recovery set")
+	}
+	if s.Crashed() {
+		t.Fatal("recoverable kill marked as terminal crash")
+	}
+	deadline := dev.Clock.Now() + 5*time.Minute
+	for s.Active() && dev.Clock.Now() < deadline {
+		dev.Settle(5 * time.Second)
+	}
+	if s.Active() {
+		t.Fatal("recovering session never finished")
+	}
+	m := s.Metrics()
+	if m.Crashed {
+		t.Fatalf("session crashed instead of recovering: %v", m)
+	}
+	if m.Restarts < 1 {
+		t.Errorf("Restarts = %d, want >= 1", m.Restarts)
+	}
+	if m.TimeToRecover <= 0 {
+		t.Errorf("TimeToRecover = %v, want > 0", m.TimeToRecover)
+	}
+	// Recovery includes the 2s cold start plus manifest re-fetch and
+	// buffer refill; anything under the cold start is bookkeeping error.
+	if m.TimeToRecover < 2*time.Second {
+		t.Errorf("TimeToRecover = %v, below the cold-start floor", m.TimeToRecover)
+	}
+	// The clip still played to the end: the unplayed remainder must not
+	// be charged as effective drops.
+	if m.EffectiveDropRate > 50 {
+		t.Errorf("EffectiveDropRate = %.1f%% for a recovered session", m.EffectiveDropRate)
+	}
+}
+
+func TestRecoveryMaxRestartsTerminal(t *testing.T) {
+	// The kill after the last permitted restart is terminal.
+	dev := device.New(15, device.Nexus6P, device.Options{})
+	dev.Settle(2 * time.Second)
+	s := startSession(t, dev, dash.R480p, 30, 2*time.Minute, func(c *Config) {
+		c.Recovery = &RecoveryPolicy{MaxRestarts: 1}
+	})
+	dev.Settle(10 * time.Second)
+	dev.Table.Kill(dev.Table.Find(Firefox.Name), "kill 1")
+	dev.Settle(20 * time.Second) // cold start + refill, playing again
+	if s.Crashed() {
+		t.Fatal("first kill should be recoverable")
+	}
+	dev.Table.Kill(dev.Table.Find(Firefox.Name), "kill 2")
+	m := s.Metrics()
+	if !m.Crashed {
+		t.Fatal("kill beyond MaxRestarts must be terminal")
+	}
+	if m.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", m.Restarts)
 	}
 }
 

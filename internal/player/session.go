@@ -9,6 +9,7 @@ import (
 	"coalqoe/internal/netem"
 	"coalqoe/internal/proc"
 	"coalqoe/internal/sched"
+	"coalqoe/internal/simclock"
 	"coalqoe/internal/telemetry"
 	"coalqoe/internal/units"
 )
@@ -42,6 +43,45 @@ type Config struct {
 	SwitchLatency time.Duration
 	// DisableGC turns off periodic client GC pauses (ablation).
 	DisableGC bool
+	// SegmentTimeout bounds one segment-fetch attempt on the sim clock:
+	// an attempt still undelivered at the timeout is abandoned and
+	// retried after a capped exponential backoff (RetryBackoff doubling
+	// up to RetryBackoffCap). Zero keeps the legacy wait-forever
+	// behavior — appropriate for the paper's never-bottlenecked LAN,
+	// required reading under injected outages (see internal/faults).
+	SegmentTimeout time.Duration
+	// RetryBackoff is the first retry delay (default 500ms); it doubles
+	// per consecutive abandoned attempt up to RetryBackoffCap (default
+	// 8s). Retries are unbounded: the backoff cap, not an attempt
+	// budget, is what keeps a long outage survivable. All retry timing
+	// runs on the sim clock (see LINTING.md on wall-clock-free timers).
+	RetryBackoff    time.Duration
+	RetryBackoffCap time.Duration
+	// Recovery, when non-nil, makes an lmkd kill survivable: the app
+	// relaunches after the cold-start cost, re-fetches the manifest,
+	// and resumes from the next segment boundary. nil keeps kills
+	// terminal (the seed behavior, and the paper's §4.3 reading).
+	Recovery *RecoveryPolicy
+}
+
+// RecoveryPolicy configures crash-recovery playback.
+type RecoveryPolicy struct {
+	// ColdStart is the app relaunch delay after a kill — process fork,
+	// runtime init, player setup — before the manifest re-fetch and
+	// buffer refill even begin. Default 2s.
+	ColdStart time.Duration
+	// MaxRestarts caps recovery attempts; the kill after the last
+	// restart is terminal (Metrics.Crashed). Default 3.
+	MaxRestarts int
+}
+
+func (r *RecoveryPolicy) applyDefaults() {
+	if r.ColdStart <= 0 {
+		r.ColdStart = 2 * time.Second
+	}
+	if r.MaxRestarts <= 0 {
+		r.MaxRestarts = 3
+	}
 }
 
 func (c *Config) applyDefaults() {
@@ -56,6 +96,17 @@ func (c *Config) applyDefaults() {
 	}
 	if c.SwitchLatency <= 0 {
 		c.SwitchLatency = 2 * time.Second
+	}
+	if c.SegmentTimeout > 0 {
+		if c.RetryBackoff <= 0 {
+			c.RetryBackoff = 500 * time.Millisecond
+		}
+		if c.RetryBackoffCap <= 0 {
+			c.RetryBackoffCap = 8 * time.Second
+		}
+	}
+	if c.Recovery != nil {
+		c.Recovery.applyDefaults()
 	}
 }
 
@@ -77,6 +128,7 @@ type Session struct {
 	// playback state
 	started        bool
 	startedAt      time.Duration
+	everStarted    bool
 	done           bool
 	crashed        bool
 	crashedAt      time.Duration
@@ -87,6 +139,19 @@ type Session struct {
 	decoding       bool
 	playedTime     time.Duration
 	decodeWallEWMA time.Duration
+
+	// crash-recovery state. epoch increments on every kill; callbacks
+	// scheduled before a kill are wrapped by inEpoch and silently die,
+	// so a restarted session never races its predecessor's pipeline.
+	epoch         int
+	recovering    bool
+	recoverStart  time.Duration
+	restarts      int
+	timeToRecover time.Duration
+	retries       int
+	faultStalls   int
+	faultProbe    func() bool
+	workerTicks   []*simclock.Event
 
 	// buffer state
 	nextSeg        int
@@ -136,35 +201,8 @@ func Start(cfg Config) *Session {
 		droppedBins: make(map[int]int),
 		signals:     make(map[proc.Level]int),
 	}
-	s.process = d.Table.Start(proc.Spec{
-		Name:        cfg.Client.Name,
-		Adj:         proc.AdjForeground,
-		AnonBytes:   cfg.Client.BasePSS + cfg.Client.VideoHeap(cfg.Rung),
-		FileWSBytes: cfg.Client.FileWS,
-		HotAnonFrac: cfg.Client.HotAnonFrac,
-		RampTime:    6 * time.Second,
-		ExtraThreads: append([]string{
-			"MediaCodec", "Compositor",
-		}, workerNames(cfg.Client.Workers)...),
-		OnTrim: func(l proc.Level) {
-			s.signals[l]++
-			if s.onSignal != nil {
-				s.onSignal(l)
-			}
-		},
-		OnKilled: func(string) {
-			s.crashed = true
-			s.crashedAt = d.Clock.Now()
-			for _, fn := range s.onFinish {
-				fn()
-			}
-		},
-	})
-	s.decoder = s.process.Thread("MediaCodec")
-	s.comp = s.process.Thread("Compositor")
 	s.sf = d.SurfaceFlinger
-	s.decodeWallEWMA = s.estimateDecodeWall()
-	s.startWorkers()
+	s.spawnProcess()
 	if d.Telem != nil {
 		s.instrument(d.Telem)
 	}
@@ -178,6 +216,155 @@ func Start(cfg Config) *Session {
 	d.Clock.Every(100*time.Millisecond, s.pageFaultPump)
 	return s
 }
+
+// manifestBytes is the size of the manifest document a recovering
+// client re-fetches before it can resume downloads.
+const manifestBytes = 32 * units.KiB
+
+// spawnProcess starts (or, after a kill, restarts) the client process
+// and binds the session's thread handles to it. A restart gets fresh
+// threads — the scheduler never resurrects dead ones — which is why
+// every handle is rebound here rather than cached by the pipeline.
+func (s *Session) spawnProcess() {
+	cfg := s.cfg
+	d := s.dev
+	s.process = d.Table.Start(proc.Spec{
+		Name:        cfg.Client.Name,
+		Adj:         proc.AdjForeground,
+		AnonBytes:   cfg.Client.BasePSS + cfg.Client.VideoHeap(s.rung),
+		FileWSBytes: cfg.Client.FileWS,
+		HotAnonFrac: cfg.Client.HotAnonFrac,
+		RampTime:    6 * time.Second,
+		ExtraThreads: append([]string{
+			"MediaCodec", "Compositor",
+		}, workerNames(cfg.Client.Workers)...),
+		OnTrim: func(l proc.Level) {
+			s.signals[l]++
+			if s.onSignal != nil {
+				s.onSignal(l)
+			}
+		},
+		OnKilled: func(string) { s.onKilled() },
+	})
+	s.decoder = s.process.Thread("MediaCodec")
+	s.comp = s.process.Thread("Compositor")
+	s.decodeWallEWMA = s.estimateDecodeWall()
+	s.workers = nil
+	s.startWorkers()
+}
+
+// inEpoch wraps fn so it becomes a no-op once the session's process has
+// been killed (terminally or into recovery) after scheduling: every
+// clock callback belonging to the playback pipeline goes through this,
+// so stale deliveries, vsyncs, timeouts and GC pauses from before a
+// kill cannot leak into the restarted session.
+func (s *Session) inEpoch(fn func()) func() {
+	e := s.epoch
+	return func() {
+		if s.epoch == e {
+			fn()
+		}
+	}
+}
+
+// onKilled handles the lmkd kill: terminal crash (the seed behavior),
+// or — under a RecoveryPolicy with restarts to spare — transition into
+// recovery: app relaunch after the cold-start cost, manifest re-fetch,
+// resume from the next segment boundary.
+func (s *Session) onKilled() {
+	now := s.dev.Clock.Now()
+	s.epoch++
+	s.decoding = false
+	s.decodedQ = nil
+	for _, ev := range s.workerTicks {
+		ev.Cancel()
+	}
+	s.workerTicks = nil
+
+	// The dead process's buffer is gone; a restart would resume at the
+	// next segment boundary (the partial segment at the playhead is
+	// re-fetched media we choose not to replay — it is simply lost).
+	video := s.cfg.Manifest.Video
+	segDur := video.SegmentDuration
+	seg := int(s.playedTime / segDur)
+	if s.playedTime%segDur != 0 {
+		seg++
+	}
+	resume := time.Duration(seg) * segDur
+
+	rec := s.cfg.Recovery
+	if rec == nil || s.restarts >= rec.MaxRestarts || resume >= video.Duration {
+		// No policy, out of restarts, or killed with less than one
+		// segment left (nothing meaningful to resume into): terminal.
+		s.crashed = true
+		s.crashedAt = now
+		for _, fn := range s.onFinish {
+			fn()
+		}
+		return
+	}
+	s.restarts++
+	s.recovering = true
+	s.recoverStart = now
+	s.started = false
+	s.playedTime = resume
+	s.downloadedTime = resume
+	s.segSizes = nil
+	s.consumedInSeg = 0
+	s.nextSeg = seg
+	s.nextDecode = s.playFrame
+	s.lastDecode = s.playFrame - 1
+	s.dev.Clock.Schedule(rec.ColdStart, s.inEpoch(s.respawn))
+}
+
+// respawn relaunches the client after the cold-start delay: new
+// process, manifest re-fetch over the link, then the download loop
+// refills the buffer and begin() resumes playback.
+func (s *Session) respawn() {
+	if !s.Active() {
+		return
+	}
+	s.spawnProcess()
+	s.link.Transfer(manifestBytes, s.inEpoch(func() {
+		s.process.Main().Enqueue(s.cfg.Client.DemuxCost, s.inEpoch(s.download))
+	}))
+	if !s.cfg.DisableGC {
+		s.scheduleGC()
+	}
+}
+
+// begin starts — or, after a crash recovery, resumes — presentation
+// once the startup buffer is full.
+func (s *Session) begin() {
+	now := s.dev.Clock.Now()
+	s.started = true
+	if !s.everStarted {
+		s.everStarted = true
+		s.startedAt = now
+	}
+	if s.recovering {
+		s.recovering = false
+		s.timeToRecover += now - s.recoverStart
+	}
+	s.scheduleVsync(s.frameInterval())
+}
+
+func (s *Session) scheduleVsync(d time.Duration) {
+	s.dev.Clock.Schedule(d, s.inEpoch(s.vsync))
+}
+
+// SetFaultProbe installs a predicate consulted at each stall tick:
+// stalls that begin while it reports true are counted separately as
+// Metrics.FaultStalls (see internal/faults for the injector that
+// supplies it).
+func (s *Session) SetFaultProbe(fn func() bool) { s.faultProbe = fn }
+
+// Recovering reports whether the session is between an lmkd kill and
+// the post-restart playback resume.
+func (s *Session) Recovering() bool { return s.recovering }
+
+// Restarts returns how many crash recoveries the session has survived.
+func (s *Session) Restarts() int { return s.restarts }
 
 // instrument registers the client-side QoE series: buffer level, the
 // current rung (bitrate and FPS), stall state, frame counters, and
@@ -214,6 +401,22 @@ func (s *Session) instrument(reg *telemetry.Registry) {
 		}
 		return float64(s.process.PSS())
 	})
+	reg.SampleFunc("player.restarts", func() float64 { return float64(s.restarts) })
+	reg.SampleFunc("player.retries", func() float64 { return float64(s.retries) })
+	reg.SampleFunc("player.recovering", func() float64 {
+		if s.recovering {
+			return 1
+		}
+		return 0
+	})
+	reg.SampleFunc("player.time_to_recover_ms", func() float64 {
+		ttr := s.timeToRecover
+		if s.recovering {
+			ttr += s.dev.Clock.Now() - s.recoverStart
+		}
+		return float64(ttr / time.Millisecond)
+	})
+	reg.SampleFunc("player.fault_stalls", func() float64 { return float64(s.faultStalls) })
 }
 
 // OnSignal registers a callback for onTrimMemory deliveries to the
@@ -277,40 +480,79 @@ func (s *Session) download() {
 		return
 	}
 	if s.BufferLevel() >= s.cfg.BufferCapacity {
-		s.dev.Clock.Schedule(500*time.Millisecond, s.download)
+		s.dev.Clock.Schedule(500*time.Millisecond, s.inEpoch(s.download))
 		return
 	}
 	seg := s.nextSeg
 	s.nextSeg++
-	bytes := video.SegmentBytes(s.rung, seg)
+	s.fetchSegment(seg, video.SegmentBytes(s.rung, seg), 0)
+}
+
+// retryBackoff returns the delay before retry number attempt (1-based):
+// capped exponential, per Config.RetryBackoff/RetryBackoffCap.
+func (s *Session) retryBackoff(attempt int) time.Duration {
+	b := s.cfg.RetryBackoff
+	for i := 0; i < attempt && b < s.cfg.RetryBackoffCap; i++ {
+		b *= 2
+	}
+	if b > s.cfg.RetryBackoffCap {
+		b = s.cfg.RetryBackoffCap
+	}
+	return b
+}
+
+// fetchSegment transfers one segment attempt. With SegmentTimeout set,
+// an undelivered attempt is abandoned at the timeout and retried after
+// the capped exponential backoff — all on the sim clock. A late
+// delivery of an abandoned attempt is ignored (the settled flag is
+// per-attempt; the retry owns the segment from then on).
+func (s *Session) fetchSegment(seg int, bytes units.Bytes, attempt int) {
+	video := s.cfg.Manifest.Video
 	reqStart := s.dev.Clock.Now()
-	s.link.Transfer(bytes, func() {
-		if s.crashed {
+	settled := false
+	var timeout *simclock.Event
+	s.link.Transfer(bytes, s.inEpoch(func() {
+		if settled {
 			return
 		}
+		settled = true
+		timeout.Cancel()
 		if dur := s.dev.Clock.Now() - reqStart; dur > 0 {
 			s.throughput = units.BitsPerSecond(float64(bytes*8) / dur.Seconds())
 		}
 		// Demux on the main thread, then the media lands in the buffer.
-		s.process.Main().Enqueue(s.cfg.Client.DemuxCost, func() {
+		s.process.Main().Enqueue(s.cfg.Client.DemuxCost, s.inEpoch(func() {
 			s.downloadedTime += video.SegmentDuration
 			s.segSizes = append(s.segSizes, bytes)
 			s.process.GrowAnon(bytes, nil)
-			if !s.started && s.downloadedTime >= s.cfg.StartupBuffer {
-				s.started = true
-				s.startedAt = s.dev.Clock.Now()
-				s.dev.Clock.Schedule(s.frameInterval(), s.vsync)
+			if !s.started && s.BufferLevel() >= s.cfg.StartupBuffer {
+				s.begin()
 			}
 			s.kickDecoder()
 			s.download()
-		})
-	})
+		}))
+	}))
+	if s.cfg.SegmentTimeout > 0 {
+		timeout = s.dev.Clock.Schedule(s.cfg.SegmentTimeout, s.inEpoch(func() {
+			if settled {
+				return
+			}
+			settled = true
+			s.retries++
+			s.dev.Clock.Schedule(s.retryBackoff(attempt), s.inEpoch(func() {
+				s.fetchSegment(seg, bytes, attempt+1)
+			}))
+		}))
+	}
 }
 
 // vsync presents one frame per interval: rendered if the decoder got it
 // done in time, dropped otherwise — the skip-to-maintain-1× behavior.
 func (s *Session) vsync() {
-	if !s.Active() {
+	if !s.Active() || !s.started {
+		// !started covers recovery: the kill bumped the epoch, so a
+		// stale vsync cannot reach here, but a zero-cold-start restart
+		// could schedule a second loop — the guard keeps it single.
 		return
 	}
 	video := s.cfg.Manifest.Video
@@ -322,7 +564,10 @@ func (s *Session) vsync() {
 		// Rebuffering: the playhead pauses; no frames drop.
 		s.stalls++
 		s.stallTime += 100 * time.Millisecond
-		s.dev.Clock.Schedule(100*time.Millisecond, s.vsync)
+		if s.faultProbe != nil && s.faultProbe() {
+			s.faultStalls++
+		}
+		s.scheduleVsync(100 * time.Millisecond)
 		return
 	}
 	interval := s.frameInterval()
@@ -344,7 +589,7 @@ func (s *Session) vsync() {
 	s.playedTime += interval
 	s.consumeBuffer(interval)
 	s.kickDecoder()
-	s.dev.Clock.Schedule(interval, s.vsync)
+	s.scheduleVsync(interval)
 }
 
 // consumeBuffer releases segment memory as media plays out.
@@ -397,6 +642,7 @@ func (s *Session) kickDecoder() {
 	cost := s.decodeCost(frame)
 	started := s.dev.Clock.Now()
 	epoch := len(s.switches)
+	se := s.epoch
 	s.decoder.Enqueue(cost, func() {
 		// Decode done: the frame moves down the render chain while the
 		// decoder starts the next one. Composition and SurfaceFlinger
@@ -412,8 +658,12 @@ func (s *Session) kickDecoder() {
 			// application's main UI thread", §2) — then composition.
 			s.process.Main().Enqueue(500*time.Microsecond, func() {
 				s.sf.Enqueue(s.cfg.Client.ComposeCost, func() {
-					if len(s.switches) != epoch {
-						return // rung switched while in flight; frame discarded
+					if len(s.switches) != epoch || s.epoch != se {
+						// Rung switched — or the process was killed —
+						// while in flight; frame discarded. The kill
+						// check matters because SurfaceFlinger is a
+						// system thread that outlives the client.
+						return
 					}
 					wall := s.dev.Clock.Now() - started
 					s.decodeWallEWMA = time.Duration(0.8*float64(s.decodeWallEWMA) + 0.2*float64(wall))
@@ -550,17 +800,21 @@ func (s *Session) startWorkers() {
 			continue
 		}
 		s.workers = append(s.workers, w)
-		// Desynchronize workers across the period.
+		// Desynchronize workers across the period. The tick events are
+		// retained so onKilled can cancel them: the restarted process
+		// gets its own workers, and the dead generation must not keep
+		// drawing from the RNG on behalf of dead threads.
 		offset := time.Duration(s.dev.Clock.Rand().Int63n(int64(period)))
-		s.dev.Clock.Schedule(offset, func() {
-			s.dev.Clock.Every(period, func() {
+		s.dev.Clock.Schedule(offset, s.inEpoch(func() {
+			ev := s.dev.Clock.Every(period, func() {
 				if !s.Active() {
 					return
 				}
 				jitter := 0.7 + 0.6*s.dev.Clock.Rand().Float64()
 				w.Enqueue(time.Duration(float64(burst)*jitter), nil)
 			})
-		})
+			s.workerTicks = append(s.workerTicks, ev)
+		}))
 	}
 }
 
@@ -571,17 +825,19 @@ func (s *Session) scheduleGC() {
 		return
 	}
 	gap := 2*time.Second + time.Duration(s.dev.Clock.Rand().Intn(2500))*time.Millisecond
-	s.dev.Clock.Schedule(gap, func() {
+	s.dev.Clock.Schedule(gap, s.inEpoch(func() {
 		if !s.Active() {
 			return
 		}
 		// Browser GC pauses on low-memory devices run 40–140ms and
-		// stall the media pipeline with them.
+		// stall the media pipeline with them. The chain is epoch-bound:
+		// a kill ends it, and respawn starts a fresh one, so a
+		// recovered session never runs two GC loops.
 		pause := time.Duration(40+s.dev.Clock.Rand().Intn(100)) * time.Millisecond
 		s.decoder.Enqueue(pause, nil)
 		s.process.Main().Enqueue(pause/2, nil)
 		s.scheduleGC()
-	})
+	}))
 }
 
 // memoryChurn models ongoing allocator activity (JS objects, media
@@ -590,14 +846,20 @@ func (s *Session) scheduleGC() {
 // (cookies, databases, media cache) — the pages whose writeback later
 // occupies mmcqd when reclaim flushes them (§2).
 func (s *Session) memoryChurn() {
-	if !s.Active() {
+	if !s.Active() || s.recovering {
+		// A killed-but-restarting app allocates nothing and dirties no
+		// cache until the new process is up and downloading again.
 		return
 	}
 	const churn = 3 * units.MiB
-	s.process.GrowAnon(churn, func() {
+	// Pin the current process: by the time the shrink fires, a crash
+	// recovery may have re-pointed s.process at a fresh one, and the
+	// churn must not be un-accounted from the wrong generation.
+	p := s.process
+	p.GrowAnon(churn, func() {
 		s.dev.Clock.Schedule(time.Second, func() {
-			if !s.process.Dead() {
-				s.process.ShrinkAnon(churn)
+			if !p.Dead() {
+				p.ShrinkAnon(churn)
 			}
 		})
 	})
@@ -620,7 +882,7 @@ func (s *Session) SwitchRung(to dash.Rung) {
 	if !s.Active() || to == s.rung {
 		return
 	}
-	s.dev.Clock.Schedule(s.cfg.SwitchLatency, func() {
+	s.dev.Clock.Schedule(s.cfg.SwitchLatency, s.inEpoch(func() {
 		if !s.Active() || s.rung == to {
 			return
 		}
@@ -642,7 +904,7 @@ func (s *Session) SwitchRung(to dash.Rung) {
 		s.decoder.Enqueue(30*time.Millisecond, func() {
 			s.kickDecoder()
 		})
-	})
+	}))
 }
 
 func (s *Session) finish() {

@@ -80,13 +80,15 @@ func (t *Tracer) WriteText(w io.Writer) error {
 // carry telemetry series, "M" metadata events name processes and
 // threads. Timestamps and durations are microseconds.
 type chromeEvent struct {
-	Name string         `json:"name"`
-	Ph   string         `json:"ph"`
-	Cat  string         `json:"cat,omitempty"`
-	TS   int64          `json:"ts"`
-	Dur  int64          `json:"dur,omitempty"`
-	PID  int            `json:"pid"`
-	TID  int            `json:"tid"`
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	Cat  string `json:"cat,omitempty"`
+	TS   int64  `json:"ts"`
+	Dur  int64  `json:"dur,omitempty"`
+	PID  int    `json:"pid"`
+	TID  int    `json:"tid"`
+	// S scopes "i" instant events ("g" = global, full-height line).
+	S    string         `json:"s,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -99,17 +101,33 @@ type chromeTrace struct {
 // processes get pids from 1 in sorted name order.
 const telemetryPID = 0
 
+// markTID is the synthetic tid (under telemetryPID) carrying Mark
+// annotations — injected fault windows and similar run-level events.
+const markTID = 1
+
 func micros(d time.Duration) int64 { return int64(d / time.Microsecond) }
 
+// Mark is a named annotation on the trace timeline: an interval (End >
+// Start, rendered as a complete event) or an instant (End == Start,
+// rendered as a full-height global instant line). The fault injector's
+// impairment windows export this way, so a Perfetto view shows network
+// outages and memory-spike storms on the same timeline as the thread
+// stalls they cause.
+type Mark struct {
+	Name  string
+	Start time.Duration
+	End   time.Duration
+}
+
 // WriteChromeTrace exports the recorded thread intervals — merged with
-// the counter tracks of dump, if non-nil — as one chrome://tracing-
-// loadable JSON document: the simulator's version of the §5 Perfetto
-// view, free memory and pgscan on the same timeline as the thread
-// states they explain. Requires KeepIntervals(true) for the thread
-// tracks. The output is deterministic: pids are assigned by sorted
-// process name, intervals are chronological, series are sorted by
-// name.
-func (t *Tracer) WriteChromeTrace(w io.Writer, dump *telemetry.Dump) error {
+// the counter tracks of dump, if non-nil, and any marks — as one
+// chrome://tracing-loadable JSON document: the simulator's version of
+// the §5 Perfetto view, free memory and pgscan on the same timeline as
+// the thread states they explain. Requires KeepIntervals(true) for the
+// thread tracks. The output is deterministic: pids are assigned by
+// sorted process name, intervals are chronological, series are sorted
+// by name, marks render in argument order.
+func (t *Tracer) WriteChromeTrace(w io.Writer, dump *telemetry.Dump, marks ...Mark) error {
 	// Assign pids by sorted process name. Thread records are visited in
 	// TID order only to collect the name set.
 	procSet := make(map[string]bool)
@@ -127,10 +145,16 @@ func (t *Tracer) WriteChromeTrace(w io.Writer, dump *telemetry.Dump) error {
 	}
 
 	var events []chromeEvent
-	if dump != nil && len(dump.Series) > 0 {
+	if (dump != nil && len(dump.Series) > 0) || len(marks) > 0 {
 		events = append(events, chromeEvent{
 			Name: "process_name", Ph: "M", PID: telemetryPID,
 			Args: map[string]any{"name": "telemetry"},
+		})
+	}
+	if len(marks) > 0 {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: telemetryPID, TID: markTID,
+			Args: map[string]any{"name": "faults"},
 		})
 	}
 	for _, name := range procs {
@@ -158,6 +182,23 @@ func (t *Tracer) WriteChromeTrace(w io.Writer, dump *telemetry.Dump) error {
 			TS: micros(iv.Start), Dur: micros(iv.End - iv.Start),
 			PID: pid[iv.Key.Process], TID: iv.Key.TID,
 		})
+	}
+
+	// Mark annotations: intervals as complete events, instants as
+	// global instant lines.
+	for _, m := range marks {
+		ev := chromeEvent{
+			Name: m.Name, Cat: "faults",
+			TS: micros(m.Start), PID: telemetryPID, TID: markTID,
+		}
+		if m.End > m.Start {
+			ev.Ph = "X"
+			ev.Dur = micros(m.End - m.Start)
+		} else {
+			ev.Ph = "i"
+			ev.S = "g"
+		}
+		events = append(events, ev)
 	}
 
 	// Counter tracks: dump.Series is already sorted by name.
