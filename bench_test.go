@@ -29,6 +29,7 @@ func benchExperiment(b *testing.B, id string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rep := e.Run(exp.Options{Quick: true, Seed: int64(i)})
 		if len(rep.Lines) == 0 {
@@ -98,6 +99,7 @@ func benchExperimentWorkers(b *testing.B, id string, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rep := e.Run(exp.Options{Quick: true, Seed: int64(i), Parallel: workers})
 		if len(rep.Lines) == 0 {

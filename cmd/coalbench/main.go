@@ -1,0 +1,275 @@
+// Command coalbench runs the kernel benchmark suite
+// (internal/kernbench) outside `go test` and emits machine-readable
+// results, so performance is a recorded, diffable artifact instead of
+// a number scrolled past in a terminal.
+//
+// Two modes:
+//
+//	coalbench -out BENCH.json [-baseline OLD.json]
+//	    Run the suite, measure the end-to-end grid wall time, and write
+//	    a JSON report. With -baseline, the old report is embedded under
+//	    "baseline" so before/after travel together in one file.
+//
+//	coalbench -check BENCH.json [-ns-threshold F] [-alloc-threshold F]
+//	    Run the suite (use -quick in CI) and compare against the
+//	    committed report. Exits non-zero when any benchmark regresses
+//	    past its threshold. Allocations per op are machine-independent
+//	    and held to the tight threshold; ns/op varies across hosts, so
+//	    its threshold is deliberately generous — it catches order-of-
+//	    magnitude regressions, not percent-level drift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"coalqoe/internal/exp"
+	"coalqoe/internal/kernbench"
+)
+
+// Host fingerprints the machine a report was recorded on. ns/op
+// comparisons across different fingerprints are advisory only.
+type Host struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// Measurement is one benchmark's result.
+type Measurement struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerSec    float64 `json:"-"`
+}
+
+// GridTiming is the headline end-to-end number: best-of-k wall time of
+// one serial quick fig9 grid (min filters scheduler noise, the
+// standard benchmarking practice).
+type GridTiming struct {
+	Experiment string `json:"experiment"`
+	Samples    int    `json:"samples"`
+	BestWallMS int64  `json:"best_wall_ms"`
+}
+
+// Report is the coalbench output schema (BENCH_5.json).
+type Report struct {
+	Schema     int           `json:"schema"`
+	Host       Host          `json:"host"`
+	Quick      bool          `json:"quick"`
+	Benchmarks []Measurement `json:"benchmarks"`
+	Grid       GridTiming    `json:"grid"`
+	// Baseline embeds the pre-change report when -baseline was given,
+	// so a single artifact shows before and after.
+	Baseline *Report `json:"baseline,omitempty"`
+}
+
+func hostFingerprint() Host {
+	return Host{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// runSuite executes every kernbench entry via testing.Benchmark.
+// benchtime is applied through the testing package's own flag, which
+// must be registered first (testing.Init).
+func runSuite(benchtime string) []Measurement {
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "coalbench: set benchtime: %v\n", err)
+		os.Exit(2)
+	}
+	out := make([]Measurement, 0, len(kernbench.Suite))
+	for _, e := range kernbench.Suite {
+		fmt.Fprintf(os.Stderr, "bench %-20s ", e.Name)
+		r := testing.Benchmark(e.Fn)
+		m := Measurement{
+			Name:        e.Name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "%12d ns/op %10d allocs/op %12d B/op (n=%d)\n",
+			m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.Iterations)
+		out = append(out, m)
+	}
+	return out
+}
+
+// measureGrid times the serial quick fig9 grid k times and keeps the
+// best. Wall clock is measured here in cmd/ — the simulator itself
+// never reads it.
+func measureGrid(samples int) GridTiming {
+	e, err := exp.Find("fig9")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coalbench: %v\n", err)
+		os.Exit(2)
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < samples; i++ {
+		start := time.Now()
+		rep := e.Run(exp.Options{Quick: true, Seed: 9, Parallel: 1})
+		d := time.Since(start)
+		if len(rep.Lines) == 0 {
+			fmt.Fprintln(os.Stderr, "coalbench: fig9 produced no output")
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "grid  fig9 quick serial sample %d/%d: %v\n", i+1, samples, d.Round(time.Millisecond))
+		if d < best {
+			best = d
+		}
+	}
+	return GridTiming{Experiment: "fig9", Samples: samples, BestWallMS: best.Milliseconds()}
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// compare holds current against committed, returning the number of
+// regressions. A benchmark present in only one side is reported but
+// not fatal (suites evolve).
+func compare(committed *Report, current Report, nsThreshold, allocThreshold float64) int {
+	byName := make(map[string]Measurement, len(committed.Benchmarks))
+	for _, m := range committed.Benchmarks {
+		byName[m.Name] = m
+	}
+	sameHost := committed.Host == current.Host
+	if !sameHost {
+		fmt.Fprintf(os.Stderr, "note: host differs from committed report (%+v vs %+v); ns/op thresholds are advisory\n",
+			current.Host, committed.Host)
+	}
+	regressions := 0
+	for _, cur := range current.Benchmarks {
+		old, ok := byName[cur.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "new benchmark %s (no committed baseline)\n", cur.Name)
+			continue
+		}
+		delete(byName, cur.Name)
+		if old.AllocsPerOp > 0 {
+			ratio := float64(cur.AllocsPerOp) / float64(old.AllocsPerOp)
+			if ratio > allocThreshold {
+				fmt.Fprintf(os.Stderr, "REGRESSION %s: %d allocs/op vs committed %d (%.2fx > %.2fx)\n",
+					cur.Name, cur.AllocsPerOp, old.AllocsPerOp, ratio, allocThreshold)
+				regressions++
+			}
+		} else if cur.AllocsPerOp > 2 {
+			// Zero-alloc benchmarks must stay (near) zero-alloc.
+			fmt.Fprintf(os.Stderr, "REGRESSION %s: %d allocs/op vs committed 0\n", cur.Name, cur.AllocsPerOp)
+			regressions++
+		}
+		if old.NsPerOp > 0 {
+			ratio := float64(cur.NsPerOp) / float64(old.NsPerOp)
+			if ratio > nsThreshold {
+				fmt.Fprintf(os.Stderr, "REGRESSION %s: %d ns/op vs committed %d (%.2fx > %.2fx)\n",
+					cur.Name, cur.NsPerOp, old.NsPerOp, ratio, nsThreshold)
+				regressions++
+			}
+		}
+	}
+	for name := range byName {
+		fmt.Fprintf(os.Stderr, "benchmark %s in committed report but not in suite\n", name)
+	}
+	return regressions
+}
+
+func main() {
+	var (
+		out          = flag.String("out", "", "write a JSON report to this path")
+		baselinePath = flag.String("baseline", "", "embed this prior report as the baseline section of -out")
+		checkPath    = flag.String("check", "", "compare a fresh run against this committed report; exit 1 on regression")
+		quick        = flag.Bool("quick", false, "short benchtime and fewer grid samples (CI)")
+		benchtime    = flag.String("benchtime", "", "override go benchtime (e.g. 2s, 100x)")
+		gridSamples  = flag.Int("grid-samples", 0, "grid wall-time samples (default 3, quick 1)")
+		nsThreshold  = flag.Float64("ns-threshold", 2.5, "check: max allowed ns/op ratio vs committed")
+		allocThresh  = flag.Float64("alloc-threshold", 1.25, "check: max allowed allocs/op ratio vs committed")
+	)
+	testing.Init()
+	flag.Parse()
+
+	if (*out == "") == (*checkPath == "") {
+		fmt.Fprintln(os.Stderr, "coalbench: exactly one of -out or -check is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	bt := *benchtime
+	if bt == "" {
+		if *quick {
+			bt = "0.2s"
+		} else {
+			bt = "1s"
+		}
+	}
+	samples := *gridSamples
+	if samples <= 0 {
+		if *quick {
+			samples = 1
+		} else {
+			samples = 3
+		}
+	}
+
+	report := Report{
+		Schema:     1,
+		Host:       hostFingerprint(),
+		Quick:      *quick,
+		Benchmarks: runSuite(bt),
+		Grid:       measureGrid(samples),
+	}
+
+	if *checkPath != "" {
+		committed, err := readReport(*checkPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coalbench: %v\n", err)
+			os.Exit(2)
+		}
+		if n := compare(committed, report, *nsThreshold, *allocThresh); n > 0 {
+			fmt.Fprintf(os.Stderr, "coalbench: %d regression(s) against %s\n", n, *checkPath)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "coalbench: no regressions against %s\n", *checkPath)
+		return
+	}
+
+	if *baselinePath != "" {
+		base, err := readReport(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coalbench: %v\n", err)
+			os.Exit(2)
+		}
+		base.Baseline = nil // never nest more than one level
+		report.Baseline = base
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coalbench: %v\n", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "coalbench: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "coalbench: wrote %s\n", *out)
+}

@@ -1,0 +1,242 @@
+package exp
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/device"
+	"coalqoe/internal/faults"
+	"coalqoe/internal/proc"
+	"coalqoe/internal/telemetry"
+)
+
+// The event-order digest oracle.
+//
+// Every kernel optimisation must leave the dispatch sequence of the
+// simulation byte-identical: same events, same virtual times, same
+// order. The digest (an FNV-1a hash over every dispatched event's
+// time/seq/kind, see simclock.EnableDigest) compresses a whole run's
+// dispatch sequence into one uint64. The golden file below pins the
+// digests of a representative set of experiment cells; it was recorded
+// BEFORE the kernel hot paths were optimised, so a passing run proves
+// the optimised kernel replays exactly the pre-optimisation event
+// sequence.
+//
+// Refresh (only for intentional simulation-behavior changes — never to
+// paper over an optimisation regression):
+//
+//	go test ./internal/exp -run TestEventDigestGolden -update-digests
+
+var updateDigests = flag.Bool("update-digests", false, "rewrite testdata/event_digests.golden from the current kernel")
+
+const digestGoldenPath = "testdata/event_digests.golden"
+
+// digestCells is the oracle's cell set: every device profile, every
+// pressure regime, organic pressure, telemetry sampling, and a fault
+// plan — the configurations that exercise all kernel subsystems
+// (simclock, sched, mem, kswapd, lmkd, blockio, player, faults).
+func digestCells() map[string]VideoRun {
+	quickVideo := dash.TestVideos[0]
+	quickVideo.Duration = 60 * time.Second
+
+	memstorm, err := faults.Lookup("memstorm")
+	if err != nil {
+		panic(err)
+	}
+
+	cells := map[string]VideoRun{
+		"nokia1-720p30-normal": {
+			Profile: device.Nokia1, Video: quickVideo,
+			Resolution: dash.R720p, FPS: 30, Pressure: proc.Normal,
+		},
+		"nokia1-720p30-moderate": {
+			Profile: device.Nokia1, Video: quickVideo,
+			Resolution: dash.R720p, FPS: 30, Pressure: proc.Moderate,
+		},
+		"nokia1-720p30-critical": {
+			Profile: device.Nokia1, Video: quickVideo,
+			Resolution: dash.R720p, FPS: 30, Pressure: proc.Critical,
+		},
+		"nexus5-1080p30-low": {
+			Profile: device.Nexus5, Video: quickVideo,
+			Resolution: dash.R1080p, FPS: 30, Pressure: proc.Low,
+		},
+		"nexus6p-1080p60-moderate": {
+			Profile: device.Nexus6P, Video: quickVideo,
+			Resolution: dash.R1080p, FPS: 60, Pressure: proc.Moderate,
+		},
+		"nokia1-480p30-organic6": {
+			Profile: device.Nokia1, Video: quickVideo,
+			Resolution: dash.R480p, FPS: 30, OrganicApps: 6,
+		},
+		"nokia1-720p30-moderate-telemetry": {
+			Profile: device.Nokia1, Video: quickVideo,
+			Resolution: dash.R720p, FPS: 30, Pressure: proc.Moderate,
+			Telemetry: &telemetry.Config{},
+		},
+		"nokia1-720p30-moderate-memstorm": {
+			Profile: device.Nokia1, Video: quickVideo,
+			Resolution: dash.R720p, FPS: 30, Pressure: proc.Moderate,
+			Faults: &memstorm,
+		},
+	}
+	for name, c := range cells {
+		c.Digest = true
+		c.Seed = CellSeed(12345, c) + 1
+		cells[name] = c
+	}
+	return cells
+}
+
+func runDigests(t *testing.T) map[string]uint64 {
+	t.Helper()
+	cells := digestCells()
+	names := make([]string, 0, len(cells))
+	for name := range cells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	got := make(map[string]uint64, len(cells))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, name := range names {
+		name, cfg := name, cells[name]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := Run(cfg)
+			mu.Lock()
+			got[name] = res.EventDigest
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return got
+}
+
+func readDigestGolden(t *testing.T) map[string]uint64 {
+	t.Helper()
+	f, err := os.Open(digestGoldenPath)
+	if err != nil {
+		t.Fatalf("open golden (run with -update-digests to create): %v", err)
+	}
+	defer f.Close()
+	out := make(map[string]uint64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var name string
+		var d uint64
+		if _, err := fmt.Sscanf(line, "%s %x", &name, &d); err != nil {
+			t.Fatalf("bad golden line %q: %v", line, err)
+		}
+		out[name] = d
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func writeDigestGolden(t *testing.T, digests map[string]uint64) {
+	t.Helper()
+	names := make([]string, 0, len(digests))
+	for name := range digests {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("# Event-order digests per experiment cell (FNV-1a over dispatched\n")
+	b.WriteString("# (time, seq, kind) — see simclock.EnableDigest and digest_test.go).\n")
+	b.WriteString("# Recorded against the pre-optimisation kernel; any optimisation\n")
+	b.WriteString("# must reproduce these bytes exactly.\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s %016x\n", name, digests[name])
+	}
+	if err := os.MkdirAll(filepath.Dir(digestGoldenPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(digestGoldenPath, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventDigestGolden replays every oracle cell and holds its digest
+// to the committed golden value.
+func TestEventDigestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full digest battery skipped in -short mode")
+	}
+	got := runDigests(t)
+	for name, d := range got {
+		if d == 0 {
+			t.Errorf("%s: digest is zero — digest plumbing broken", name)
+		}
+	}
+	if *updateDigests {
+		writeDigestGolden(t, got)
+		t.Logf("rewrote %s with %d digests", digestGoldenPath, len(got))
+		return
+	}
+	want := readDigestGolden(t)
+	if len(want) != len(got) {
+		t.Errorf("golden has %d cells, battery ran %d (run -update-digests after adding cells)", len(want), len(got))
+	}
+	for name, w := range want {
+		if g, ok := got[name]; !ok {
+			t.Errorf("%s: in golden but not run", name)
+		} else if g != w {
+			t.Errorf("%s: event digest %016x, golden %016x — the kernel's dispatch sequence changed", name, g, w)
+		}
+	}
+}
+
+// TestEventDigestSerialVsParallel runs one digest-enabled grid serially
+// and at 8 workers and requires identical digests run-for-run: the
+// executor's byte-identical-at-any-parallelism contract, asserted at
+// the kernel-event level rather than the report level.
+func TestEventDigestSerialVsParallel(t *testing.T) {
+	cell := VideoRun{
+		Profile: device.Nokia1, Resolution: dash.R720p, FPS: 30,
+		Pressure: proc.Moderate,
+	}
+	cell.Video = dash.TestVideos[0]
+	cell.Video.Duration = 45 * time.Second
+
+	digestsOf := func(workers int) []uint64 {
+		res := RunGrid(Options{Quick: true, Seed: 7, Runs: 3, Parallel: workers, Digest: true}, []VideoRun{cell})
+		var out []uint64
+		for _, rr := range res {
+			for _, r := range rr {
+				out = append(out, r.EventDigest)
+			}
+		}
+		return out
+	}
+	serial := digestsOf(1)
+	parallel := digestsOf(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("run counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] == 0 {
+			t.Fatalf("run %d: zero digest", i)
+		}
+		if serial[i] != parallel[i] {
+			t.Errorf("run %d: serial digest %016x != parallel digest %016x", i, serial[i], parallel[i])
+		}
+	}
+}

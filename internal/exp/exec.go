@@ -69,6 +69,9 @@ func runJobs(o Options, jobs []VideoRun) []Result {
 		if o.Deadline > 0 && jobs[i].Deadline == 0 {
 			jobs[i].Deadline = o.Deadline
 		}
+		if o.Digest {
+			jobs[i].Digest = true
+		}
 	}
 	results := make([]Result, len(jobs))
 	workers := o.Workers()

@@ -47,6 +47,11 @@ type Options struct {
 	// (see VideoRun.Deadline): a run still going at the deadline is
 	// marked Failed instead of wedging the grid.
 	Deadline time.Duration
+	// Digest enables the event-order digest on every run the executor
+	// launches (see VideoRun.Digest). The determinism test battery uses
+	// it to assert that serial and parallel executions dispatch exactly
+	// the same kernel events.
+	Digest bool
 }
 
 func (o *Options) applyDefaults() {

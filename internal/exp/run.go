@@ -78,6 +78,13 @@ type VideoRun struct {
 	// Zero keeps the legacy slack (3x video duration + 30s) with no
 	// failure marking.
 	Deadline time.Duration
+	// Digest enables the kernel's event-order digest: an FNV-1a hash
+	// over every dispatched event's (time, seq, kind), returned in
+	// Result.EventDigest. It is the correctness oracle for kernel
+	// optimisations — any change to the dispatch sequence changes the
+	// digest — and costs one branch per dispatched event, so it is off
+	// by default.
+	Digest bool
 }
 
 func (r *VideoRun) applyDefaults() {
@@ -132,6 +139,10 @@ type Result struct {
 	// sim times) when the run carried a fault plan. Plain data — safe to
 	// retain and export (trace marks, reports).
 	FaultWindows []faults.Window
+	// EventDigest is the kernel's event-order digest when the run was
+	// configured with Digest; 0 otherwise. Two runs of the same config
+	// and seed must produce the same digest at any executor parallelism.
+	EventDigest uint64
 }
 
 // Run executes the experiment to completion (or crash) and returns the
@@ -143,6 +154,11 @@ func Run(cfg VideoRun) Result {
 		cfg.DeviceOpts.Telemetry = cfg.Telemetry
 	}
 	dev := device.New(cfg.Seed, cfg.Profile, cfg.DeviceOpts)
+	if cfg.Digest {
+		// Enabled before the first Settle, so the digest covers every
+		// dispatched event of the run, boot included.
+		dev.Clock.EnableDigest()
+	}
 	dev.Tracer.KeepIntervals(cfg.KeepTrace)
 	dev.Settle(cfg.SettleTime)
 
@@ -203,7 +219,7 @@ func Run(cfg VideoRun) Result {
 		dev.Settle(time.Second)
 	}
 	dev.Tracer.Finish(dev.Clock.Now())
-	res := Result{Metrics: sess.Metrics(), PressureReached: reached}
+	res := Result{Metrics: sess.Metrics(), PressureReached: reached, EventDigest: dev.Clock.Digest()}
 	if inj != nil {
 		res.FaultWindows = inj.Windows()
 	}

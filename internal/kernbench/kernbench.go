@@ -1,0 +1,271 @@
+// Package kernbench holds the kernel benchmark bodies shared between
+// the per-package `go test -bench` wrappers and the cmd/coalbench
+// binary. Keeping one implementation means the numbers in
+// results/kernel-bench.txt, BENCH_5.json and an ad-hoc
+// `go test -bench` run all measure exactly the same work.
+//
+// Every body calls b.ReportAllocs: allocations per op are the
+// machine-independent half of each measurement, and the one a CI
+// regression gate can hold to a tight threshold.
+//
+// All benchmark inputs are fixed and seeded — nothing here reads wall
+// time or global randomness, so repeated runs measure identical
+// simulated work.
+package kernbench
+
+import (
+	"testing"
+	"time"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/device"
+	"coalqoe/internal/exp"
+	"coalqoe/internal/mem"
+	"coalqoe/internal/proc"
+	"coalqoe/internal/sched"
+	"coalqoe/internal/simclock"
+	"coalqoe/internal/telemetry"
+	"coalqoe/internal/trace"
+	"coalqoe/internal/units"
+)
+
+// Entry names one benchmark of the suite.
+type Entry struct {
+	// Name is hierarchical ("clock/dispatch"); coalbench reports it
+	// verbatim and the test wrappers map it onto Benchmark functions.
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// Suite is the full kernel benchmark suite in report order.
+var Suite = []Entry{
+	{"clock/dispatch", ClockDispatch},
+	{"clock/every", ClockEvery},
+	{"clock/cancel", ClockCancel},
+	{"sched/ticks", SchedTicks},
+	{"mem/scan", MemScan},
+	{"telemetry/sample", TelemetrySample},
+	{"run/video60s", VideoRun60s},
+	{"grid/fig9quick", GridFig9Quick},
+}
+
+// Lookup returns the named suite entry.
+func Lookup(name string) (Entry, bool) {
+	for _, e := range Suite {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// clockEvents is the one-shot batch size of ClockDispatch and
+// ClockCancel: large enough that heap depth matters, small enough to
+// keep one op under a millisecond.
+const clockEvents = 4096
+
+// ClockDispatch measures the simclock hot loop: schedule a batch of
+// one-shot events at scattered times, then dispatch them all. One op =
+// one full schedule+dispatch cycle of clockEvents events.
+func ClockDispatch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := simclock.New(1)
+		fired := 0
+		fn := func() { fired++ }
+		for j := 0; j < clockEvents; j++ {
+			// 977 is prime: times scatter instead of colliding.
+			c.Schedule(time.Duration(j%977)*time.Millisecond, fn)
+		}
+		c.Run()
+		if fired != clockEvents {
+			b.Fatalf("fired %d of %d events", fired, clockEvents)
+		}
+	}
+}
+
+// ClockEvery measures periodic re-arm: 32 repeating timers with
+// co-prime periods dispatched over 10 simulated seconds. One op = one
+// full 10 s run (~28k dispatches).
+func ClockEvery(b *testing.B) {
+	periods := []time.Duration{7, 11, 13, 17}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := simclock.New(1)
+		fired := 0
+		fn := func() { fired++ }
+		for j := 0; j < 32; j++ {
+			c.Every(periods[j%len(periods)]*time.Millisecond, fn)
+		}
+		c.RunUntil(10 * time.Second)
+		if fired == 0 {
+			b.Fatal("no periodic events fired")
+		}
+	}
+}
+
+// ClockCancel measures cancellation cost and its effect on the queue:
+// schedule clockEvents far-future one-shots, cancel every other one,
+// then dispatch the rest. With true heap removal the dispatch loop
+// only ever sees live events.
+func ClockCancel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := simclock.New(1)
+		fired := 0
+		fn := func() { fired++ }
+		evs := make([]*simclock.Event, clockEvents)
+		for j := 0; j < clockEvents; j++ {
+			evs[j] = c.Schedule(time.Duration(j%977)*time.Millisecond, fn)
+		}
+		for j := 0; j < clockEvents; j += 2 {
+			evs[j].Cancel()
+		}
+		c.Run()
+		if fired != clockEvents/2 {
+			b.Fatalf("fired %d, want %d", fired, clockEvents/2)
+		}
+	}
+}
+
+// SchedTicks measures the scheduler step loop: 12 threads (2 RT, 10
+// fair) on 4 cores, fed periodic work, over 5 simulated seconds. One
+// op = 5000 ticks with realistic contention.
+func SchedTicks(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := simclock.New(1)
+		tr := trace.New(0)
+		s := sched.New(c, sched.Config{
+			CoreSpeeds: []float64{1, 1, 1, 1},
+			Tracer:     tr,
+		})
+		var threads []*sched.Thread
+		for j := 0; j < 2; j++ {
+			threads = append(threads, s.Spawn("rt", "bench", sched.ClassRT, 0))
+		}
+		for j := 0; j < 10; j++ {
+			threads = append(threads, s.Spawn("fair", "bench", sched.ClassFair, 0))
+		}
+		// Each thread gets a periodic burst: more total demand than the
+		// cores supply, so the fair path (sorting, vruntime, preemption)
+		// stays exercised throughout.
+		for j, t := range threads {
+			t := t
+			cost := time.Duration(200+50*j) * time.Microsecond
+			c.Every(time.Duration(2+j%5)*time.Millisecond, func() {
+				t.Enqueue(cost, nil)
+			})
+		}
+		c.RunUntil(5 * time.Second)
+		s.Stop()
+		c.RunUntil(6 * time.Second)
+	}
+}
+
+// MemScan measures the reclaim accounting hot path: alloc/free churn
+// with scan batches and a pressure read per simulated millisecond,
+// over 2 simulated seconds. One op = 2000 scan+pressure rounds.
+func MemScan(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := simclock.New(1)
+		m := mem.New(c, mem.Config{
+			Total:         1 * units.GiB,
+			KernelReserve: 128 * units.MiB,
+			ZRAMMax:       256 * units.MiB,
+		})
+		m.SetWorkingSet("fg", mem.WorkingSet{Anon: units.PagesOf(200 * units.MiB), File: units.PagesOf(120 * units.MiB)})
+		m.SetWorkingSet("bg", mem.WorkingSet{Anon: units.PagesOf(80 * units.MiB), File: units.PagesOf(40 * units.MiB)})
+		// Occupy most of RAM so scans find work.
+		m.ForceAllocAnon(units.PagesOf(500 * units.MiB))
+		m.FileRead(units.PagesOf(250 * units.MiB))
+		m.MarkDirty(units.PagesOf(40 * units.MiB))
+		sink := 0.0
+		c.Every(time.Millisecond, func() {
+			m.AllocAnon(units.PagesOf(1 * units.MiB))
+			r := m.ScanBatch(128)
+			if r.DirtyQueued > 0 {
+				m.CompleteWriteback(r.DirtyQueued)
+			}
+			m.FreeAnon(units.PagesOf(1 * units.MiB))
+			sink += m.Pressure()
+		})
+		c.RunUntil(2 * time.Second)
+		if sink < 0 {
+			b.Fatal("impossible pressure")
+		}
+	}
+}
+
+// TelemetrySample measures the sampler fast path: one Sample() over a
+// registry of 36 series. One op = one sampling tick, the per-period
+// cost a telemetry-enabled run pays.
+func TelemetrySample(b *testing.B) {
+	c := simclock.New(1)
+	reg := telemetry.NewRegistry()
+	for _, name := range []string{
+		"a.count", "b.count", "c.count", "d.count", "e.count", "f.count",
+		"g.count", "h.count", "i.count", "j.count", "k.count", "l.count",
+	} {
+		reg.Counter(name).Add(7)
+	}
+	for _, name := range []string{
+		"a.gauge", "b.gauge", "c.gauge", "d.gauge", "e.gauge", "f.gauge",
+		"g.gauge", "h.gauge", "i.gauge", "j.gauge", "k.gauge", "l.gauge",
+	} {
+		reg.Gauge(name).Set(3.5)
+	}
+	for _, name := range []string{
+		"a.fn", "b.fn", "c.fn", "d.fn", "e.fn", "f.fn",
+		"g.fn", "h.fn", "i.fn", "j.fn", "k.fn", "l.fn",
+	} {
+		reg.SampleFunc(name, func() float64 { return 1.25 })
+	}
+	s := telemetry.NewSampler(c, reg, telemetry.Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample()
+	}
+}
+
+// VideoRun60s measures one end-to-end experiment cell: a 60 s 720p30
+// video on a Nokia 1 under moderate pressure — the workload class
+// every grid is made of. One op = one full run.
+func VideoRun60s(b *testing.B) {
+	video := dash.TestVideos[0]
+	video.Duration = 60 * time.Second
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := exp.Run(exp.VideoRun{
+			Seed:       int64(i) + 1,
+			Profile:    device.Nokia1,
+			Video:      video,
+			Resolution: dash.R720p,
+			FPS:        30,
+			Pressure:   proc.Moderate,
+		})
+		if res.Metrics.FramesRendered == 0 && !res.Metrics.Crashed {
+			b.Fatal("run produced no frames and no crash")
+		}
+	}
+}
+
+// GridFig9Quick measures the headline end-to-end cost: the quick
+// configuration of the paper's Figure 9 grid (resolution ladder ×
+// pressure states), serially executed so the measurement is pure
+// kernel speed, not executor parallelism. One op = the whole grid.
+func GridFig9Quick(b *testing.B) {
+	e, err := exp.Find("fig9")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep := e.Run(exp.Options{Quick: true, Seed: 9, Parallel: 1})
+		if len(rep.Lines) == 0 {
+			b.Fatal("fig9 produced no output")
+		}
+	}
+}

@@ -68,6 +68,18 @@ type Daemon struct {
 	thread *sched.Thread
 	active bool
 
+	// Bound batch callbacks and the precomputed scan cost, created once
+	// in New: the reclaim loop runs a batch every few hundred
+	// microseconds of simulated time under pressure, and re-creating
+	// the closures per batch made it one of the kernel's top allocation
+	// sites. lastRes carries the batch outcome to finishBatch (only one
+	// batch is ever in flight: the loop re-arms strictly from
+	// finishBatch).
+	scanCost time.Duration
+	batchFn  func()
+	finishFn func()
+	lastRes  mem.ScanResult
+
 	// Wakeups counts low-watermark activations.
 	Wakeups int
 	// BatchesRun counts scan batches executed.
@@ -94,6 +106,9 @@ func New(clock *simclock.Clock, s *sched.Scheduler, m *mem.Memory, d *blockio.Di
 	if cfg.PinCore > 0 {
 		k.thread.SetPreferredCore(cfg.PinCore - 1)
 	}
+	k.scanCost = time.Duration(cfg.BatchPages) * cfg.ScanCPUPerPage
+	k.batchFn = k.runBatch
+	k.finishFn = k.finishBatch
 	clock.Every(cfg.CheckInterval, k.Kick)
 	return k
 }
@@ -136,28 +151,34 @@ func (k *Daemon) Kick() {
 // (scan cost) and after (compression cost), so reclaim throughput is
 // limited by the CPU share kswapd actually gets.
 func (k *Daemon) loop() {
-	scanCost := time.Duration(k.cfg.BatchPages) * k.cfg.ScanCPUPerPage
-	k.thread.Enqueue(scanCost, func() {
-		res := k.mem.ScanBatch(k.cfg.BatchPages)
-		k.BatchesRun++
-		k.tmReclaimed.Add(int64(res.Reclaimed()))
-		if res.DirtyQueued > 0 {
-			dirty := res.DirtyQueued
-			k.disk.Write(dirty, func() { k.mem.CompleteWriteback(dirty) })
-		}
-		finish := func() {
-			if k.mem.AboveHigh() || (res.Reclaimed() == 0 && res.Scanned == 0) {
-				k.active = false
-				return
-			}
-			k.loop()
-		}
-		if res.AnonCompressed > 0 {
-			k.thread.Enqueue(time.Duration(res.AnonCompressed)*k.cfg.CompressCPUPerPage, finish)
-		} else {
-			finish()
-		}
-	})
+	k.thread.Enqueue(k.scanCost, k.batchFn)
+}
+
+// runBatch executes one scan batch once the scan CPU has been paid.
+func (k *Daemon) runBatch() {
+	res := k.mem.ScanBatch(k.cfg.BatchPages)
+	k.BatchesRun++
+	k.tmReclaimed.Add(int64(res.Reclaimed()))
+	if res.DirtyQueued > 0 {
+		dirty := res.DirtyQueued
+		k.disk.Write(dirty, func() { k.mem.CompleteWriteback(dirty) })
+	}
+	k.lastRes = res
+	if res.AnonCompressed > 0 {
+		k.thread.Enqueue(time.Duration(res.AnonCompressed)*k.cfg.CompressCPUPerPage, k.finishFn)
+	} else {
+		k.finishBatch()
+	}
+}
+
+// finishBatch decides whether the reclaim loop re-arms or goes back to
+// sleep, after any compression CPU for the last batch was paid.
+func (k *Daemon) finishBatch() {
+	if k.mem.AboveHigh() || (k.lastRes.Reclaimed() == 0 && k.lastRes.Scanned == 0) {
+		k.active = false
+		return
+	}
+	k.loop()
 }
 
 // DirectReclaim performs synchronous reclaim of need pages on the

@@ -1,0 +1,13 @@
+package mem_test
+
+import (
+	"testing"
+
+	"coalqoe/internal/kernbench"
+)
+
+// Wrapper over the shared suite body (internal/kernbench), so
+// `go test -bench . ./internal/mem` measures exactly what
+// cmd/coalbench records in BENCH_5.json.
+
+func BenchmarkScan(b *testing.B) { kernbench.MemScan(b) }

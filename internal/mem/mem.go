@@ -161,9 +161,17 @@ type Memory struct {
 	wmMin, wmLow, wmHigh units.Pages
 
 	workingSets map[string]WorkingSet
+	// Cached sums over workingSets, maintained on Set/Remove so the
+	// per-scan hot path never iterates the map.
+	wsAnon, wsFile units.Pages
 
-	window  []scanSample
-	swapIns units.Pages // total pages decompressed back out of zRAM
+	// window[winHead:] is the live pressure window; winScanned and
+	// winReclaimed are running sums over it, so Pressure() is O(1) and
+	// trimming advances the head instead of shifting the slice.
+	window                   []scanSample
+	winHead                  int
+	winScanned, winReclaimed units.Pages
+	swapIns                  units.Pages // total pages decompressed back out of zRAM
 
 	// cumulative counters (vmstat-style)
 	TotalScanned   units.Pages
@@ -297,18 +305,26 @@ func (m *Memory) Instrument(reg *telemetry.Registry) {
 }
 
 // SetWorkingSet registers (or updates) the named process's hot set.
-func (m *Memory) SetWorkingSet(id string, ws WorkingSet) { m.workingSets[id] = ws }
+func (m *Memory) SetWorkingSet(id string, ws WorkingSet) {
+	old := m.workingSets[id]
+	m.wsAnon += ws.Anon - old.Anon
+	m.wsFile += ws.File - old.File
+	m.workingSets[id] = ws
+}
 
 // RemoveWorkingSet drops the named process's hot set (process died).
-func (m *Memory) RemoveWorkingSet(id string) { delete(m.workingSets, id) }
+func (m *Memory) RemoveWorkingSet(id string) {
+	old, ok := m.workingSets[id]
+	if !ok {
+		return
+	}
+	m.wsAnon -= old.Anon
+	m.wsFile -= old.File
+	delete(m.workingSets, id)
+}
 
 func (m *Memory) totalWorkingSet() (anon, file units.Pages) {
-	//coalvet:allow maporder integer page sums, order-insensitive (hot path: called per reclaim scan)
-	for _, ws := range m.workingSets {
-		anon += ws.Anon
-		file += ws.File
-	}
-	return anon, file
+	return m.wsAnon, m.wsFile
 }
 
 // AllocAnon attempts to allocate p anonymous pages. The fast path
@@ -657,16 +673,25 @@ func (m *Memory) noteScan(scanned, reclaimed units.Pages) {
 	m.tmPgsteal.Add(int64(reclaimed))
 	now := m.clock.Now()
 	m.window = append(m.window, scanSample{at: now, scanned: scanned, reclaimed: reclaimed})
+	m.winScanned += scanned
+	m.winReclaimed += reclaimed
 	m.trimWindow(now)
 }
 
 func (m *Memory) trimWindow(now time.Duration) {
-	cut := 0
-	for cut < len(m.window) && m.window[cut].at < now-m.cfg.PressureWindow {
-		cut++
+	for m.winHead < len(m.window) && m.window[m.winHead].at < now-m.cfg.PressureWindow {
+		m.winScanned -= m.window[m.winHead].scanned
+		m.winReclaimed -= m.window[m.winHead].reclaimed
+		m.winHead++
 	}
-	if cut > 0 {
-		m.window = append(m.window[:0], m.window[cut:]...)
+	// Reclaim the dead prefix: reset when drained, compact when it
+	// dominates the backing array so it cannot grow without bound.
+	if m.winHead == len(m.window) {
+		m.window = m.window[:0]
+		m.winHead = 0
+	} else if m.winHead > 64 && m.winHead > len(m.window)/2 {
+		m.window = append(m.window[:0], m.window[m.winHead:]...)
+		m.winHead = 0
 	}
 }
 
@@ -675,11 +700,7 @@ func (m *Memory) trimWindow(now time.Duration) {
 // window (an idle reclaim path means no pressure).
 func (m *Memory) Pressure() float64 {
 	m.trimWindow(m.clock.Now())
-	var s, r units.Pages
-	for _, smp := range m.window {
-		s += smp.scanned
-		r += smp.reclaimed
-	}
+	s, r := m.winScanned, m.winReclaimed
 	if s == 0 {
 		return 0
 	}

@@ -122,6 +122,14 @@ type Session struct {
 	sf      *sched.Thread // system SurfaceFlinger
 	workers []*sched.Thread
 
+	// Cached fault-target lists for pageFaultPump, rebuilt on every
+	// (re)spawn: the pump runs 10×/s for the whole session, and
+	// assembling these slices per tick was a measurable allocation
+	// site. Order is fixed (decoder, compositor, [sf,] main, workers),
+	// so cached draws replay exactly what per-tick construction drew.
+	faultTargets []*sched.Thread
+	chaseTargets []*sched.Thread
+
 	rung  dash.Rung
 	genre dash.Genre
 
@@ -251,6 +259,9 @@ func (s *Session) spawnProcess() {
 	s.decodeWallEWMA = s.estimateDecodeWall()
 	s.workers = nil
 	s.startWorkers()
+	s.faultTargets = append(s.faultTargets[:0], s.decoder, s.comp, s.sf, s.process.Main())
+	s.faultTargets = append(s.faultTargets, s.workers...)
+	s.chaseTargets = append(s.chaseTargets[:0], s.decoder, s.comp, s.process.Main())
 }
 
 // inEpoch wraps fn so it becomes a no-op once the session's process has
@@ -729,7 +740,7 @@ func (s *Session) pageFaultPump() {
 		// just the decoder. Faults are demand paging: a thread that is
 		// already blocked cannot raise more of them, which is the
 		// natural flow control that keeps the disk queue bounded.
-		targets := append([]*sched.Thread{s.decoder, s.comp, s.sf, s.process.Main()}, s.workers...)
+		targets := s.faultTargets
 		for i := 0; i < n; i++ {
 			th := targets[rng.Intn(len(targets))]
 			if th.QueueLen() > 3 {
@@ -750,7 +761,7 @@ func (s *Session) pageFaultPump() {
 		// one cold pointer chase freezes its thread for tens of ms.
 		expected := s.cfg.Client.StallBurstsPerSec * deficit * interval
 		if rng.Float64() < expected {
-			targets := []*sched.Thread{s.decoder, s.comp, s.process.Main()}
+			targets := s.chaseTargets
 			th := targets[rng.Intn(len(targets))]
 			if th.QueueLen() > 3 {
 				return

@@ -1,0 +1,13 @@
+package sched_test
+
+import (
+	"testing"
+
+	"coalqoe/internal/kernbench"
+)
+
+// Wrapper over the shared suite body (internal/kernbench), so
+// `go test -bench . ./internal/sched` measures exactly what
+// cmd/coalbench records in BENCH_5.json.
+
+func BenchmarkTicks(b *testing.B) { kernbench.SchedTicks(b) }

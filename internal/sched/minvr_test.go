@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"coalqoe/internal/simclock"
+	"coalqoe/internal/trace"
+)
+
+// minVruntimeBrute is the uncached reference: scan every live
+// participating fair thread.
+func minVruntimeBrute(s *Scheduler) (time.Duration, bool) {
+	var mv time.Duration
+	found := false
+	for _, t := range s.threads {
+		if t.dead || t.class != ClassFair {
+			continue
+		}
+		if participating(t.state) {
+			if !found || t.vruntime < mv {
+				mv = t.vruntime
+				found = true
+			}
+		}
+	}
+	return mv, found
+}
+
+// TestMinVruntimeCacheMatchesBruteForce drives a contended workload —
+// wakes, sleeps, I/O barriers, preemptions, kills — and holds the
+// cached minVruntime to the brute-force scan at every tick boundary
+// and after every kill. The cache's invalidation points (setState pool
+// membership, retire-phase advancement, Kill) must cover everything
+// this workload can do to the pool.
+func TestMinVruntimeCacheMatchesBruteForce(t *testing.T) {
+	c := simclock.New(42)
+	s := New(c, Config{CoreSpeeds: []float64{1, 1}, Tracer: trace.New(0)})
+
+	rt := s.Spawn("mmcqd", "kernel", ClassRT, 0)
+	var fair []*Thread
+	for i := 0; i < 8; i++ {
+		fair = append(fair, s.Spawn("worker", "app", ClassFair, i%3))
+	}
+
+	check := func(when string) {
+		wantMV, wantOK := minVruntimeBrute(s)
+		gotMV, gotOK := s.minVruntime()
+		if gotMV != wantMV || gotOK != wantOK {
+			t.Fatalf("%s at %v: cached minVruntime = (%v, %v), brute force = (%v, %v)",
+				when, c.Now(), gotMV, gotOK, wantMV, wantOK)
+		}
+	}
+
+	// Irregular periodic load: more demand than two cores supply, with
+	// RT interference and an occasional barrier so threads cycle through
+	// every participating and non-participating state.
+	for i, th := range fair {
+		th := th
+		cost := time.Duration(300+100*i) * time.Microsecond
+		c.Every(time.Duration(2+i)*time.Millisecond, func() {
+			th.Enqueue(cost, nil)
+		})
+	}
+	c.Every(5*time.Millisecond, func() {
+		rt.Enqueue(800*time.Microsecond, nil)
+	})
+	c.Every(7*time.Millisecond, func() {
+		complete := fair[0].EnqueueIOBarrier()
+		c.Schedule(3*time.Millisecond, complete)
+	})
+	c.Every(time.Millisecond, func() { check("tick") })
+
+	c.RunUntil(200 * time.Millisecond)
+	check("mid-run")
+
+	// Kill a participating thread (possibly the minimum) and re-check.
+	s.Kill(fair[1])
+	check("after kill")
+	c.RunUntil(300 * time.Millisecond)
+	check("end")
+}

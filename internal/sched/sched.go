@@ -22,12 +22,19 @@
 // Cores may have heterogeneous speeds (big.LITTLE, e.g. the Nexus 6P's
 // 4×1.55 GHz + 4×2.0 GHz): job costs are expressed in reference-CPU time
 // and a core of speed s completes s ticks of reference work per tick.
+//
+// The step loop runs once per simulated millisecond for every run of
+// every grid, which makes it the hottest code in the simulator after
+// the clock itself. It is written allocation-free in steady state: job
+// structs are recycled through a free list, candidate/scratch slices
+// are reused tick to tick, selection is marked with a tick stamp
+// instead of a map, and the fair-class minimum vruntime is cached
+// between ticks instead of recomputed on every wake.
 package sched
 
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"coalqoe/internal/simclock"
@@ -76,11 +83,41 @@ type Thread struct {
 	wokenAt   time.Duration // for RT FIFO ordering
 	core      int           // core while Running, else -1
 	preferred int           // soft core affinity; -1 = none
-	jobs      []*job
 	dead      bool
+
+	// jobs[jobHead:] is the pending FIFO. Popping advances jobHead
+	// instead of reslicing, so the backing array (and its capacity) is
+	// reused once the queue drains, and append never reallocates in
+	// steady state.
+	jobs    []*job
+	jobHead int
+
+	// selTick marks the scheduler tick that last selected this thread
+	// for a core — a stamp comparison replaces the per-tick selection
+	// map.
+	selTick int64
 
 	// accounting
 	cpuTime time.Duration
+}
+
+// queueLen returns the number of queued (unfinished) jobs.
+func (t *Thread) queueLen() int { return len(t.jobs) - t.jobHead }
+
+// headJob returns the queue head; call only when queueLen() > 0.
+func (t *Thread) headJob() *job { return t.jobs[t.jobHead] }
+
+// popJob removes the queue head and recycles it. The job must already
+// be finished: nothing may touch it after this call.
+func (t *Thread) popJob() {
+	j := t.jobs[t.jobHead]
+	t.jobs[t.jobHead] = nil
+	t.jobHead++
+	if t.jobHead == len(t.jobs) {
+		t.jobs = t.jobs[:0]
+		t.jobHead = 0
+	}
+	t.sched.freeJob(j)
 }
 
 // Key returns the thread's trace identity.
@@ -99,10 +136,10 @@ func (t *Thread) State() trace.State { return t.state }
 func (t *Thread) CPUTime() time.Duration { return t.cpuTime }
 
 // QueueLen returns the number of queued (unfinished) jobs.
-func (t *Thread) QueueLen() int { return len(t.jobs) }
+func (t *Thread) QueueLen() int { return t.queueLen() }
 
 // Idle reports whether the thread has no pending work.
-func (t *Thread) Idle() bool { return len(t.jobs) == 0 }
+func (t *Thread) Idle() bool { return t.queueLen() == 0 }
 
 // Dead reports whether the thread has been killed.
 func (t *Thread) Dead() bool { return t.dead }
@@ -110,7 +147,7 @@ func (t *Thread) Dead() bool { return t.dead }
 // PendingWork returns the total queued reference-CPU time.
 func (t *Thread) PendingWork() time.Duration {
 	var sum time.Duration
-	for _, j := range t.jobs {
+	for _, j := range t.jobs[t.jobHead:] {
 		if j.kind == jobCPU {
 			sum += j.remaining
 		}
@@ -128,7 +165,11 @@ func (t *Thread) Enqueue(cost time.Duration, onDone func()) {
 	if cost < 0 {
 		cost = 0
 	}
-	t.jobs = append(t.jobs, &job{kind: jobCPU, remaining: cost, onDone: onDone})
+	j := t.sched.newJob()
+	j.kind = jobCPU
+	j.remaining = cost
+	j.onDone = onDone
+	t.jobs = append(t.jobs, j)
 	t.wake()
 }
 
@@ -137,11 +178,17 @@ func (t *Thread) Enqueue(cost time.Duration, onDone func()) {
 // returned completion function is called. Jobs queued behind the
 // barrier do not run until it resolves. The completion function is
 // idempotent and safe to call after the thread dies.
+//
+// The returned closure is the one place a job pointer outlives the
+// queue, which is why it must never touch j after its first call: a
+// barrier only leaves the queue once ioDone is set, i.e. after the
+// first call flipped done, and by then j may have been recycled.
 func (t *Thread) EnqueueIOBarrier() (complete func()) {
 	if t.dead {
 		return func() {}
 	}
-	j := &job{kind: jobIOBarrier}
+	j := t.sched.newJob()
+	j.kind = jobIOBarrier
 	t.jobs = append(t.jobs, j)
 	t.wake()
 	done := false
@@ -178,12 +225,38 @@ func (t *Thread) wake() {
 
 // blockedOnIO reports whether the queue head is an unresolved barrier.
 func (t *Thread) blockedOnIO() bool {
-	return len(t.jobs) > 0 && t.jobs[0].kind == jobIOBarrier && !t.jobs[0].ioDone
+	return t.queueLen() > 0 && t.headJob().kind == jobIOBarrier && !t.headJob().ioDone
+}
+
+// participating reports whether a fair thread in state s counts toward
+// the minimum-vruntime pool.
+func participating(s trace.State) bool {
+	return s == trace.Running || s == trace.Runnable || s == trace.RunnablePreempted
 }
 
 func (t *Thread) setState(s trace.State) {
 	if t.state == s {
 		return
+	}
+	// Maintain the cached fair-class minimum vruntime across membership
+	// changes (see minVruntime). A thread leaving the pool can only
+	// matter if it carried the cached minimum; a thread entering can
+	// only pull the minimum down to its own vruntime.
+	if t.class == ClassFair {
+		sc := t.sched
+		was, is := participating(t.state), participating(s)
+		if was && !is {
+			if sc.minVrValid && !sc.minVrEmpty && t.vruntime == sc.minVrCache {
+				sc.minVrValid = false
+			}
+		} else if is && !was && !t.dead {
+			if sc.minVrValid {
+				if sc.minVrEmpty || t.vruntime < sc.minVrCache {
+					sc.minVrCache = t.vruntime
+					sc.minVrEmpty = false
+				}
+			}
+		}
 	}
 	t.state = s
 	core := -1
@@ -208,6 +281,29 @@ type Scheduler struct {
 	busyTime   time.Duration
 	totalTicks int64
 	preempts   int64
+
+	// stepFn is the bound step method, created once so the tick loop
+	// doesn't allocate a fresh closure every millisecond.
+	stepFn func()
+
+	// jobFree recycles job structs: a job leaves a thread's queue only
+	// when finished (or its thread died), so popJob can return it here
+	// for the next Enqueue.
+	jobFree []*job
+
+	// Per-tick scratch buffers, reused so a steady-state tick performs
+	// no allocations.
+	cands       []*Thread
+	arrivals    []*Thread
+	needCore    []*Thread
+	rest        []*Thread
+	nextRunning []*Thread
+
+	// Cached fair-class minimum vruntime over participating threads
+	// (see minVruntime). minVrEmpty is meaningful only when valid.
+	minVrCache time.Duration
+	minVrValid bool
+	minVrEmpty bool
 }
 
 // Config configures a Scheduler.
@@ -233,17 +329,34 @@ func New(clock *simclock.Clock, cfg Config) *Scheduler {
 		tick = DefaultTick
 	}
 	s := &Scheduler{
-		clock:     clock,
-		tracer:    cfg.Tracer,
-		coreSpeed: append([]float64(nil), cfg.CoreSpeeds...),
-		tick:      tick,
-		running:   make([]*Thread, len(cfg.CoreSpeeds)),
-		nextTID:   1,
+		clock:       clock,
+		tracer:      cfg.Tracer,
+		coreSpeed:   append([]float64(nil), cfg.CoreSpeeds...),
+		tick:        tick,
+		running:     make([]*Thread, len(cfg.CoreSpeeds)),
+		nextRunning: make([]*Thread, len(cfg.CoreSpeeds)),
+		nextTID:     1,
 	}
+	s.stepFn = s.step
 	// Ticks fire at t=0, tick, 2·tick, …: each tick retires the work of
 	// the interval that just ended, then dispatches the next interval.
-	clock.Schedule(0, s.step)
+	clock.Schedule(0, s.stepFn)
 	return s
+}
+
+func (s *Scheduler) newJob() *job {
+	if n := len(s.jobFree); n > 0 {
+		j := s.jobFree[n-1]
+		s.jobFree[n-1] = nil
+		s.jobFree = s.jobFree[:n-1]
+		return j
+	}
+	return &job{}
+}
+
+func (s *Scheduler) freeJob(j *job) {
+	*j = job{}
+	s.jobFree = append(s.jobFree, j)
 }
 
 // Stop halts the tick loop (e.g. at the end of a session).
@@ -314,24 +427,42 @@ func (s *Scheduler) Spawn(name, process string, class Class, nice int) *Thread {
 }
 
 // Kill terminates a thread: pending jobs are dropped and it never runs
-// again.
+// again. The thread is removed from the scheduler's table, so long
+// sessions that spawn and kill many processes don't pay for the corpses
+// on every tick.
 func (s *Scheduler) Kill(t *Thread) {
 	if t.dead {
 		return
 	}
 	t.dead = true
+	// Dropped jobs are finished as far as the queue is concerned; their
+	// barrier closures check t.dead before touching the job, so
+	// recycling here is safe.
+	for _, j := range t.jobs[t.jobHead:] {
+		s.freeJob(j)
+	}
 	t.jobs = nil
+	t.jobHead = 0
 	if t.state == trace.Running {
 		s.vacateCore(t)
 	}
 	t.setState(trace.Sleeping)
 	s.tracer.Unregister(t.key.TID, s.clock.Now())
+	for i, x := range s.threads {
+		if x == t {
+			s.threads = append(s.threads[:i], s.threads[i+1:]...)
+			break
+		}
+	}
 }
 
 // KillProcess kills every thread of the named process.
 func (s *Scheduler) KillProcess(process string) int {
 	n := 0
-	for _, t := range s.threads {
+	// Backwards: Kill compacts s.threads in place, which only moves
+	// entries we have already visited.
+	for i := len(s.threads) - 1; i >= 0; i-- {
+		t := s.threads[i]
 		if !t.dead && t.key.Process == process {
 			s.Kill(t)
 			n++
@@ -353,35 +484,45 @@ func niceWeight(nice int) float64 {
 	return 1024 / math.Pow(1.25, float64(nice))
 }
 
+// minVruntime returns the smallest vruntime over participating fair
+// threads. The value is cached: setState maintains it across pool
+// membership changes, the retire phase invalidates it when a running
+// thread's vruntime advances, and this function recomputes it lazily.
+// Enqueue-heavy workloads call this (via wake) many times per tick, so
+// the cache turns an O(threads) scan per wake into one per tick.
 func (s *Scheduler) minVruntime() (time.Duration, bool) {
+	if s.minVrValid {
+		return s.minVrCache, !s.minVrEmpty
+	}
 	var mv time.Duration
 	found := false
 	for _, t := range s.threads {
 		if t.dead || t.class != ClassFair {
 			continue
 		}
-		if t.state == trace.Running || t.state == trace.Runnable || t.state == trace.RunnablePreempted {
+		if participating(t.state) {
 			if !found || t.vruntime < mv {
 				mv = t.vruntime
 				found = true
 			}
 		}
 	}
+	s.minVrCache, s.minVrEmpty, s.minVrValid = mv, !found, true
 	return mv, found
 }
 
 // reapBarriers removes resolved barriers from the head of t's queue and
 // wakes the thread if work follows.
 func (s *Scheduler) reapBarriers(t *Thread) {
-	for len(t.jobs) > 0 && t.jobs[0].kind == jobIOBarrier && t.jobs[0].ioDone {
-		done := t.jobs[0].onDone
-		t.jobs = t.jobs[1:]
+	for t.queueLen() > 0 && t.headJob().kind == jobIOBarrier && t.headJob().ioDone {
+		done := t.headJob().onDone
+		t.popJob()
 		if done != nil {
 			done()
 		}
 	}
 	if t.state == trace.UninterruptibleSleep {
-		if len(t.jobs) > 0 {
+		if t.queueLen() > 0 {
 			t.wokenAt = s.clock.Now()
 			t.setState(trace.Runnable)
 		} else {
@@ -392,10 +533,44 @@ func (s *Scheduler) reapBarriers(t *Thread) {
 
 // runnable reports whether t wants a core this tick.
 func runnable(t *Thread) bool {
-	if t.dead || len(t.jobs) == 0 {
+	if t.dead || t.queueLen() == 0 {
 		return false
 	}
 	return !t.blockedOnIO()
+}
+
+// lessThread is the candidate order: RT first (FIFO by wake time), then
+// fair by vruntime. Ties broken by TID, so the order is total and the
+// sort deterministic.
+func lessThread(a, b *Thread) bool {
+	if a.class != b.class {
+		return a.class == ClassRT
+	}
+	if a.class == ClassRT {
+		if a.wokenAt != b.wokenAt {
+			return a.wokenAt < b.wokenAt
+		}
+		return a.key.TID < b.key.TID
+	}
+	if a.vruntime != b.vruntime {
+		return a.vruntime < b.vruntime
+	}
+	return a.key.TID < b.key.TID
+}
+
+// sortCands insertion-sorts the candidate slice by lessThread. Runnable
+// counts are small (tens at worst), where insertion sort beats the
+// generic sort and allocates nothing.
+func sortCands(cands []*Thread) {
+	for i := 1; i < len(cands); i++ {
+		t := cands[i]
+		j := i - 1
+		for j >= 0 && lessThread(t, cands[j]) {
+			cands[j+1] = cands[j]
+			j--
+		}
+		cands[j+1] = t
+	}
 }
 
 // step runs once per tick boundary: it retires the interval that just
@@ -406,7 +581,7 @@ func (s *Scheduler) step() {
 	}
 	s.totalTicks++
 	now := s.clock.Now()
-	s.clock.Schedule(s.tick, s.step)
+	s.clock.Schedule(s.tick, s.stepFn)
 
 	// Retire phase: account the work performed during [now-tick, now).
 	if s.dispatched {
@@ -419,6 +594,10 @@ func (s *Scheduler) step() {
 			budget := time.Duration(float64(s.tick) * s.coreSpeed[core])
 			t.cpuTime += budget
 			if t.class == ClassFair {
+				if s.minVrValid && !s.minVrEmpty && t.vruntime == s.minVrCache {
+					// The pool minimum is about to advance.
+					s.minVrValid = false
+				}
 				t.vruntime += time.Duration(float64(s.tick) * 1024 / t.weight)
 			}
 			s.consume(t, budget)
@@ -432,7 +611,7 @@ func (s *Scheduler) step() {
 		if t.dead {
 			continue
 		}
-		if t.state == trace.Running && len(t.jobs) == 0 {
+		if t.state == trace.Running && t.queueLen() == 0 {
 			s.vacateCore(t)
 			s.tracer.PreemptorStopped(t.key.TID, now)
 			t.setState(trace.Sleeping)
@@ -445,63 +624,44 @@ func (s *Scheduler) step() {
 		}
 	}
 
-	// Candidate ordering: RT first (FIFO by wake time), then fair by
-	// vruntime. Ties broken by TID for determinism.
-	var cands []*Thread
+	cands := s.cands[:0]
 	for _, t := range s.threads {
 		if runnable(t) {
 			cands = append(cands, t)
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		a, b := cands[i], cands[j]
-		if a.class != b.class {
-			return a.class == ClassRT
-		}
-		if a.class == ClassRT {
-			if a.wokenAt != b.wokenAt {
-				return a.wokenAt < b.wokenAt
-			}
-			return a.key.TID < b.key.TID
-		}
-		if a.vruntime != b.vruntime {
-			return a.vruntime < b.vruntime
-		}
-		return a.key.TID < b.key.TID
-	})
+	sortCands(cands)
+	s.cands = cands
 
 	ncores := len(s.coreSpeed)
 	selected := cands
 	if len(selected) > ncores {
 		selected = selected[:ncores]
 	}
-	selSet := make(map[*Thread]bool, len(selected))
 	for _, t := range selected {
-		selSet[t] = true
+		t.selTick = s.totalTicks
 	}
 
 	// Displacement: threads that were running but are not selected.
-	var displaced []*Thread
-	for _, t := range s.threads {
-		if t.state == trace.Running && !selSet[t] {
-			displaced = append(displaced, t)
-		}
-	}
 	// New arrivals among the selected (were not running last tick).
-	var arrivals []*Thread
+	arrivals := s.arrivals[:0]
 	for _, t := range selected {
 		if t.state != trace.Running {
 			arrivals = append(arrivals, t)
 		}
 	}
+	s.arrivals = arrivals
 
 	// Record preemptions: a displaced thread was preempted if some
 	// newly arriving selected thread outranks it. Attribute the event
 	// to the highest-priority arrival (RT beats fair; then ordering).
-	for _, v := range displaced {
+	for _, v := range s.threads {
+		if v.state != trace.Running || v.selTick == s.totalTicks {
+			continue
+		}
 		s.vacateCore(v)
 		s.tracer.PreemptorStopped(v.key.TID, now)
-		if len(v.jobs) == 0 {
+		if v.queueLen() == 0 {
 			v.setState(trace.Sleeping)
 			continue
 		}
@@ -519,8 +679,11 @@ func (s *Scheduler) step() {
 	}
 
 	// Core assignment with affinity: keep previous core when possible.
-	newRunning := make([]*Thread, ncores)
-	var needCore []*Thread
+	newRunning := s.nextRunning
+	for i := range newRunning {
+		newRunning[i] = nil
+	}
+	needCore := s.needCore[:0]
 	for _, t := range selected {
 		if t.core >= 0 && t.core < ncores && s.running[t.core] == t && newRunning[t.core] == nil {
 			newRunning[t.core] = t
@@ -528,9 +691,10 @@ func (s *Scheduler) step() {
 			needCore = append(needCore, t)
 		}
 	}
+	s.needCore = needCore
 	// Soft affinity first: place threads on their preferred core when
 	// it is open.
-	var rest []*Thread
+	rest := s.rest[:0]
 	for _, t := range needCore {
 		if t.preferred >= 0 && t.preferred < ncores && newRunning[t.preferred] == nil {
 			newRunning[t.preferred] = t
@@ -539,6 +703,7 @@ func (s *Scheduler) step() {
 		}
 		rest = append(rest, t)
 	}
+	s.rest = rest
 	free := 0
 	for _, t := range rest {
 		for free < ncores && newRunning[free] != nil {
@@ -550,7 +715,7 @@ func (s *Scheduler) step() {
 		newRunning[free] = t
 		t.core = free
 	}
-	s.running = newRunning
+	s.running, s.nextRunning = newRunning, s.running
 
 	// Mark the dispatched threads Running for the interval [now, now+tick).
 	for core, t := range s.running {
@@ -564,15 +729,16 @@ func (s *Scheduler) step() {
 
 // consume burns budget of reference-CPU time from t's job queue.
 func (s *Scheduler) consume(t *Thread, budget time.Duration) {
-	for budget > 0 && len(t.jobs) > 0 {
-		j := t.jobs[0]
+	for budget > 0 && t.queueLen() > 0 {
+		j := t.headJob()
 		if j.kind == jobIOBarrier {
 			if !j.ioDone {
 				return // blocked; handled by caller
 			}
-			t.jobs = t.jobs[1:]
-			if j.onDone != nil {
-				j.onDone()
+			done := j.onDone
+			t.popJob()
+			if done != nil {
+				done()
 			}
 			continue
 		}
@@ -581,9 +747,10 @@ func (s *Scheduler) consume(t *Thread, budget time.Duration) {
 			return
 		}
 		budget -= j.remaining
-		t.jobs = t.jobs[1:]
-		if j.onDone != nil {
-			j.onDone()
+		done := j.onDone
+		t.popJob()
+		if done != nil {
+			done()
 		}
 		if t.dead {
 			return

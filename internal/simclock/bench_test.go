@@ -1,0 +1,15 @@
+package simclock_test
+
+import (
+	"testing"
+
+	"coalqoe/internal/kernbench"
+)
+
+// Wrappers over the shared suite bodies (internal/kernbench), so
+// `go test -bench . ./internal/simclock` measures exactly what
+// cmd/coalbench records in BENCH_5.json.
+
+func BenchmarkDispatch(b *testing.B) { kernbench.ClockDispatch(b) }
+func BenchmarkEvery(b *testing.B)    { kernbench.ClockEvery(b) }
+func BenchmarkCancel(b *testing.B)   { kernbench.ClockCancel(b) }

@@ -1,0 +1,119 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzClock interprets the fuzz input as a small op script against the
+// clock — schedule, cancel, start a periodic, advance time — and then
+// checks the kernel invariants that every simulator run depends on:
+//
+//   - dispatch times are monotone non-decreasing
+//   - an event canceled while pending never fires again
+//   - every live one-shot fires exactly once
+//   - a periodic fires at exact period multiples (no drift, no skips)
+//   - Pending() counts exactly the events still queued
+//
+// Script encoding (stream of ops, each op = tag byte + 1 operand byte):
+//
+//	tag%4 == 0: schedule one-shot after (operand) ms
+//	tag%4 == 1: cancel event number (operand mod created)
+//	tag%4 == 2: start a periodic with period (operand%50+1) ms that
+//	            cancels itself on its 3rd firing
+//	tag%4 == 3: RunUntil(now + operand ms)
+func FuzzClock(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 5, 3, 20})                  // two one-shots, drain
+	f.Add([]byte{0, 10, 1, 0, 3, 20})                  // schedule then cancel
+	f.Add([]byte{2, 7, 3, 100})                        // periodic to self-cancel
+	f.Add([]byte{2, 3, 0, 9, 1, 0, 3, 50, 0, 0, 3, 0}) // mixed
+	f.Add([]byte{0, 0, 0, 0, 1, 1, 2, 1, 3, 4, 1, 2})  // same-instant pileup
+	f.Add([]byte{3, 255, 0, 255, 1, 0, 2, 49, 3, 255}) // big time jumps
+	f.Fuzz(func(t *testing.T, script []byte) {
+		c := New(1)
+		type rec struct {
+			fired      int
+			firedAtCxl int // fire count when Cancel was called; -1 = never canceled
+			schedAt    time.Duration
+			delay      time.Duration
+			period     time.Duration // 0 for one-shots
+		}
+		var recs []*rec
+		var events []*Event
+		lastDispatch := time.Duration(0)
+
+		for i := 0; i+1 < len(script); i += 2 {
+			op, arg := script[i]%4, script[i+1]
+			switch op {
+			case 0:
+				m := &rec{firedAtCxl: -1, schedAt: c.Now(), delay: time.Duration(arg) * time.Millisecond}
+				e := c.Schedule(m.delay, func() {
+					m.fired++
+					if c.Now() < lastDispatch {
+						t.Fatalf("dispatch time went backwards: %v after %v", c.Now(), lastDispatch)
+					}
+					lastDispatch = c.Now()
+					if want := m.schedAt + m.delay; c.Now() != want {
+						t.Fatalf("one-shot fired at %v, scheduled for %v", c.Now(), want)
+					}
+				})
+				recs = append(recs, m)
+				events = append(events, e)
+			case 1:
+				if len(events) == 0 {
+					continue
+				}
+				j := int(arg) % len(events)
+				recs[j].firedAtCxl = recs[j].fired
+				events[j].Cancel()
+			case 2:
+				m := &rec{firedAtCxl: -1, schedAt: c.Now(), period: time.Duration(arg%50+1) * time.Millisecond}
+				var e *Event
+				e = c.Every(m.period, func() {
+					m.fired++
+					if c.Now() < lastDispatch {
+						t.Fatalf("dispatch time went backwards: %v after %v", c.Now(), lastDispatch)
+					}
+					lastDispatch = c.Now()
+					if want := m.schedAt + time.Duration(m.fired)*m.period; c.Now() != want {
+						t.Fatalf("periodic fire %d at %v, want %v (period %v)", m.fired, c.Now(), want, m.period)
+					}
+					if m.fired == 3 {
+						m.firedAtCxl = m.fired
+						e.Cancel()
+					}
+				})
+				recs = append(recs, m)
+				events = append(events, e)
+			case 3:
+				c.RunUntil(c.Now() + time.Duration(arg)*time.Millisecond)
+			}
+		}
+
+		// Drain: every remaining one-shot is within 255ms of when it was
+		// scheduled, and every live periodic will hit its self-cancel
+		// within 3 periods (≤150ms), so one bounded RunUntil ends it all.
+		c.RunUntil(c.Now() + 500*time.Millisecond)
+
+		for j, m := range recs {
+			if m.firedAtCxl >= 0 {
+				if m.fired != m.firedAtCxl {
+					t.Fatalf("event %d fired %d times after being canceled at %d", j, m.fired, m.firedAtCxl)
+				}
+				continue
+			}
+			if m.period > 0 {
+				// Every periodic either got canceled externally or hit its
+				// 3rd fire during the drain (≥10 periods long) and canceled
+				// itself — reaching here means a firing was lost.
+				t.Fatalf("periodic %d survived the drain with only %d fires", j, m.fired)
+			}
+			if m.fired != 1 {
+				t.Fatalf("live one-shot %d fired %d times, want exactly 1", j, m.fired)
+			}
+		}
+		if c.Pending() != 0 {
+			t.Fatalf("Pending() = %d after the drain, want 0", c.Pending())
+		}
+	})
+}

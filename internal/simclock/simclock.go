@@ -9,10 +9,16 @@
 // The clock supports one-shot events (Schedule/At), repeating events
 // (Every), and cancellation. Events at the same instant fire in the
 // order they were scheduled, which keeps runs reproducible.
+//
+// The implementation is a hand-rolled binary heap over slab-allocated
+// events: the dispatch loop is the single hottest path of the whole
+// simulator, so it avoids container/heap's interface dispatch, allocates
+// events in chunks instead of one at a time, re-arms periodic events in
+// place (no pop+push), and removes canceled events immediately rather
+// than letting them age through the queue.
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -23,11 +29,41 @@ import (
 // deterministic.
 type Clock struct {
 	now     time.Duration
-	queue   eventHeap
+	queue   []*Event
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
+
+	// slab is the current event allocation chunk: events are handed out
+	// from fixed-capacity chunks so scheduling doesn't pay one heap
+	// allocation per event. Events are never recycled — a fired event's
+	// handle stays valid (callers may Cancel it long after it fired), so
+	// a free list would hand two owners the same struct.
+	slab []Event
+
+	// digest accumulates an FNV-1a hash over every dispatched event's
+	// (time, seq, kind) when enabled — the event-order oracle that pins
+	// the kernel's dispatch sequence across optimisations and worker
+	// counts. Zero-cost when disabled: one boolean test per dispatch.
+	digestOn bool
+	digest   uint64
 }
+
+// slabSize is the event-chunk length: large enough to amortize the
+// chunk allocation to noise, small enough that a few live handles
+// pinning a mostly-dead chunk waste little memory.
+const slabSize = 256
+
+// Event kinds as hashed into the dispatch digest.
+const (
+	digestOneShot  = 0
+	digestPeriodic = 1
+)
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
 
 // Event is a handle to a scheduled callback. Cancel it to prevent firing.
 type Event struct {
@@ -40,13 +76,17 @@ type Event struct {
 	clock    *Clock
 }
 
-// Cancel prevents the event from firing (and from repeating). Canceling
-// an already-fired one-shot event is a no-op.
+// Cancel prevents the event from firing (and from repeating), removing
+// it from the queue immediately. Canceling an already-fired one-shot
+// event is a no-op.
 func (e *Event) Cancel() {
 	if e == nil {
 		return
 	}
 	e.canceled = true
+	if e.index >= 0 {
+		e.clock.remove(e.index)
+	}
 }
 
 // Canceled reports whether Cancel has been called on the event.
@@ -55,33 +95,101 @@ func (e *Event) Canceled() bool { return e.canceled }
 // When returns the virtual time at which the event will next fire.
 func (e *Event) When() time.Duration { return e.at }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders the queue by (time, seq): same-instant events fire in
+// scheduling order.
+func (c *Clock) less(i, j int) bool {
+	a, b := c.queue[i], c.queue[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func (c *Clock) swap(i, j int) {
+	c.queue[i], c.queue[j] = c.queue[j], c.queue[i]
+	c.queue[i].index = i
+	c.queue[j].index = j
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+func (c *Clock) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.less(i, parent) {
+			return
+		}
+		c.swap(i, parent)
+		i = parent
+	}
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
+
+func (c *Clock) siftDown(i int) {
+	n := len(c.queue)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && c.less(right, left) {
+			least = right
+		}
+		if !c.less(least, i) {
+			return
+		}
+		c.swap(i, least)
+		i = least
+	}
+}
+
+func (c *Clock) push(e *Event) {
+	e.index = len(c.queue)
+	c.queue = append(c.queue, e)
+	c.siftUp(e.index)
+}
+
+// popRoot removes and returns the earliest event.
+func (c *Clock) popRoot() *Event {
+	e := c.queue[0]
+	n := len(c.queue) - 1
+	c.queue[0] = c.queue[n]
+	c.queue[0].index = 0
+	c.queue[n] = nil
+	c.queue = c.queue[:n]
+	if n > 1 {
+		c.siftDown(0)
+	}
 	e.index = -1
-	*h = old[:n-1]
 	return e
+}
+
+// remove deletes the event at heap index i, restoring heap order.
+func (c *Clock) remove(i int) {
+	e := c.queue[i]
+	n := len(c.queue) - 1
+	if i != n {
+		moved := c.queue[n]
+		c.queue[i] = moved
+		moved.index = i
+		c.queue[n] = nil
+		c.queue = c.queue[:n]
+		c.siftDown(i)
+		c.siftUp(moved.index)
+	} else {
+		c.queue[n] = nil
+		c.queue = c.queue[:n]
+	}
+	e.index = -1
+}
+
+// newEvent hands out one event from the current slab chunk, starting a
+// fresh chunk when full. Appending within capacity never moves the
+// backing array, so returned pointers stay valid.
+func (c *Clock) newEvent() *Event {
+	if len(c.slab) == cap(c.slab) {
+		c.slab = make([]Event, 0, slabSize)
+	}
+	c.slab = append(c.slab, Event{})
+	return &c.slab[len(c.slab)-1]
 }
 
 // New returns a clock at virtual time zero with a deterministic RNG
@@ -97,6 +205,48 @@ func (c *Clock) Now() time.Duration { return c.now }
 // model components must draw from this source (never the global rand)
 // so that a seed fully determines a run.
 func (c *Clock) Rand() *rand.Rand { return c.rng }
+
+// EnableDigest starts accumulating the event-order digest: an FNV-1a
+// hash folded over (fire time, sequence number, kind) of every event
+// dispatched from this point on. Two runs that dispatch the same events
+// in the same order produce the same digest; any reordering, insertion
+// or loss changes it. Enabling is idempotent and read-only with respect
+// to the simulation — a run's trajectory is identical with the digest
+// on or off.
+func (c *Clock) EnableDigest() {
+	if !c.digestOn {
+		c.digestOn = true
+		c.digest = fnvOffset64
+	}
+}
+
+// DigestEnabled reports whether the dispatch digest is accumulating.
+func (c *Clock) DigestEnabled() bool { return c.digestOn }
+
+// Digest returns the accumulated event-order digest (0 when disabled).
+func (c *Clock) Digest() uint64 {
+	if !c.digestOn {
+		return 0
+	}
+	return c.digest
+}
+
+// noteDispatch folds one dispatched event into the digest.
+func (c *Clock) noteDispatch(at time.Duration, seq uint64, kind byte) {
+	h := c.digest
+	x := uint64(at)
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * fnvPrime64
+		x >>= 8
+	}
+	x = seq
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * fnvPrime64
+		x >>= 8
+	}
+	h = (h ^ uint64(kind)) * fnvPrime64
+	c.digest = h
+}
 
 // Schedule runs fn after delay d. It returns a cancelable handle.
 // A negative delay is treated as zero (fire at the current instant,
@@ -117,9 +267,10 @@ func (c *Clock) At(t time.Duration, fn func()) *Event {
 	if t < c.now {
 		t = c.now
 	}
-	e := &Event{at: t, seq: c.seq, fn: fn, clock: c}
+	e := c.newEvent()
+	*e = Event{at: t, seq: c.seq, fn: fn, index: -1, clock: c}
 	c.seq++
-	heap.Push(&c.queue, e)
+	c.push(e)
 	return e
 }
 
@@ -134,8 +285,8 @@ func (c *Clock) Every(period time.Duration, fn func()) *Event {
 	return e
 }
 
-// Pending returns the number of events waiting in the queue, including
-// canceled events that have not been collected yet.
+// Pending returns the number of events waiting in the queue. Canceled
+// events are removed immediately, so they never count.
 func (c *Clock) Pending() int { return len(c.queue) }
 
 // Stop makes the current Run/RunUntil call return after the in-flight
@@ -153,17 +304,24 @@ func (c *Clock) RunUntil(deadline time.Duration) {
 		if next.at > deadline {
 			break
 		}
-		heap.Pop(&c.queue)
-		if next.canceled {
-			continue
-		}
 		c.now = next.at
+		if c.digestOn {
+			kind := byte(digestOneShot)
+			if next.period > 0 {
+				kind = digestPeriodic
+			}
+			c.noteDispatch(next.at, next.seq, kind)
+		}
 		if next.period > 0 {
-			// Re-arm before running so the callback can Cancel it.
-			next.at = c.now + next.period
+			// Re-arm in place before running, so the callback can Cancel
+			// it: the event stays queued, only its key changes, and one
+			// siftDown restores order (it can only move later).
+			next.at += next.period
 			next.seq = c.seq
 			c.seq++
-			heap.Push(&c.queue, next)
+			c.siftDown(0)
+		} else {
+			c.popRoot()
 		}
 		next.fn()
 	}
@@ -178,14 +336,15 @@ func (c *Clock) RunUntil(deadline time.Duration) {
 func (c *Clock) Run() {
 	c.stopped = false
 	for len(c.queue) > 0 && !c.stopped {
-		next := heap.Pop(&c.queue).(*Event)
-		if next.canceled {
-			continue
-		}
+		next := c.queue[0]
 		if next.period > 0 {
 			panic("simclock: Run would never terminate with a repeating event queued; use RunUntil")
 		}
+		c.popRoot()
 		c.now = next.at
+		if c.digestOn {
+			c.noteDispatch(next.at, next.seq, digestOneShot)
+		}
 		next.fn()
 	}
 }

@@ -224,3 +224,94 @@ func TestRunPanicsWithRepeatingEvent(t *testing.T) {
 	c.Every(time.Second, func() {})
 	c.Run()
 }
+
+// TestCancelRemovesImmediately pins the Cancel contract the kernel
+// optimisation introduced: a canceled event leaves the queue at Cancel
+// time, it does not age through the heap as a tombstone. Before the
+// change, a canceled long-horizon Every (the player's per-segment
+// timeout pattern) sat in the queue until its far-future fire time,
+// growing Pending() without bound under schedule/cancel churn.
+func TestCancelRemovesImmediately(t *testing.T) {
+	c := New(1)
+	n := 0
+	ev := c.Every(time.Millisecond, func() { n++ })
+	c.RunUntil(10 * time.Millisecond)
+	if n != 10 {
+		t.Fatalf("fired %d times, want 10", n)
+	}
+	ev.Cancel()
+	if p := c.Pending(); p != 0 {
+		t.Fatalf("canceled Every still queued: Pending() = %d", p)
+	}
+
+	// Schedule/cancel churn of far-future one-shots: the queue must not
+	// accumulate tombstones.
+	fn := func() { t.Error("canceled event fired") }
+	for i := 0; i < 10000; i++ {
+		c.Schedule(time.Hour, fn).Cancel()
+	}
+	if p := c.Pending(); p != 0 {
+		t.Fatalf("after churn: Pending() = %d, want 0", p)
+	}
+
+	c.RunUntil(time.Hour)
+	if n != 10 {
+		t.Fatalf("canceled Every fired after Cancel: n = %d", n)
+	}
+}
+
+// TestCancelMidQueuePreservesOrder cancels interior events and checks
+// the survivors still dispatch in exact (time, seq) order — the heap
+// removal must restore the invariant wherever the hole opens.
+func TestCancelMidQueuePreservesOrder(t *testing.T) {
+	c := New(1)
+	var fired []int
+	events := make([]*Event, 100)
+	for i := 0; i < 100; i++ {
+		i := i
+		// 37 is coprime with 100: times scatter, exercising removal at
+		// varied heap positions.
+		at := time.Duration((i*37)%100) * time.Millisecond
+		events[i] = c.At(at, func() { fired = append(fired, i) })
+	}
+	for i := 0; i < 100; i += 3 {
+		events[i].Cancel()
+	}
+	c.Run()
+	want := 0
+	for _, i := range fired {
+		if i%3 == 0 {
+			t.Fatalf("canceled event %d fired", i)
+		}
+		at := (i * 37) % 100
+		if at < want {
+			t.Fatalf("out-of-order dispatch: event %d at %dms after %dms", i, at, want)
+		}
+		want = at
+	}
+	if len(fired) != 100-34 {
+		t.Fatalf("fired %d events, want %d", len(fired), 100-34)
+	}
+}
+
+// TestCancelInsideOwnPeriodicHandler re-checks the re-arm-then-run
+// contract under in-place re-arming: the handler sees its event queued
+// (it was re-armed first) and Cancel must remove that re-armed entry.
+func TestCancelInsideOwnPeriodicHandler(t *testing.T) {
+	c := New(1)
+	n := 0
+	var ev *Event
+	ev = c.Every(time.Millisecond, func() {
+		n++
+		if n == 3 {
+			ev.Cancel()
+		}
+	})
+	c.RunUntil(time.Second)
+	if n != 3 {
+		t.Fatalf("fired %d times, want 3", n)
+	}
+	if p := c.Pending(); p != 0 {
+		t.Fatalf("Pending() = %d after self-cancel, want 0", p)
+	}
+}

@@ -1,0 +1,13 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"coalqoe/internal/kernbench"
+)
+
+// Wrapper over the shared suite body (internal/kernbench), so
+// `go test -bench . ./internal/telemetry` measures exactly what
+// cmd/coalbench records in BENCH_5.json.
+
+func BenchmarkSample(b *testing.B) { kernbench.TelemetrySample(b) }

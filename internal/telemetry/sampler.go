@@ -88,6 +88,21 @@ type Sampler struct {
 	cfg    Config
 	series map[string]*ring
 	event  *simclock.Event
+
+	// plan is the resolved sampling order — each scalar source bound to
+	// its ring — cached against the registry's mutation generation so a
+	// steady-state Sample() touches no maps at all.
+	plan    []source
+	planGen uint64
+}
+
+// source is one resolved scalar series: exactly one of counter, gauge
+// or fn is set.
+type source struct {
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	rg      *ring
 }
 
 // NewSampler registers a repeating sampling event on the clock (first
@@ -114,19 +129,53 @@ func (s *Sampler) Registry() *Registry { return s.reg }
 // final state is always in the series even when the run length is not
 // a period multiple.
 func (s *Sampler) Sample() {
+	if s.reg == nil {
+		return
+	}
+	if s.planGen != s.reg.gen || s.plan == nil {
+		s.rebuildPlan()
+	}
 	now := s.clock.Now()
-	for _, name := range s.reg.Names() {
-		v, ok := s.reg.Value(name)
-		if !ok {
+	for i := range s.plan {
+		src := &s.plan[i]
+		var v float64
+		switch {
+		case src.counter != nil:
+			v = float64(src.counter.n)
+		case src.gauge != nil:
+			v = src.gauge.v
+		default:
+			v = src.fn()
+		}
+		src.rg.push(now, v)
+	}
+}
+
+// rebuildPlan re-resolves every scalar series to its source and ring.
+// Runs only when the registry mutated since the previous sample (in
+// practice: the first tick, plus once whenever a subsystem registers
+// instruments mid-run).
+func (s *Sampler) rebuildPlan() {
+	names := s.reg.Names()
+	s.plan = s.plan[:0]
+	for _, name := range names {
+		src := source{rg: s.series[name]}
+		if src.rg == nil {
+			src.rg = newRing(s.cfg.RingCapacity)
+			s.series[name] = src.rg
+		}
+		if c, ok := s.reg.counters[name]; ok {
+			src.counter = c
+		} else if g, ok := s.reg.gauges[name]; ok {
+			src.gauge = g
+		} else if fn, ok := s.reg.funcs[name]; ok {
+			src.fn = fn
+		} else {
 			continue
 		}
-		rg := s.series[name]
-		if rg == nil {
-			rg = newRing(s.cfg.RingCapacity)
-			s.series[name] = rg
-		}
-		rg.push(now, v)
+		s.plan = append(s.plan, src)
 	}
+	s.planGen = s.reg.gen
 }
 
 // Stop cancels future periodic samples. Collected series remain

@@ -236,6 +236,12 @@ type Registry struct {
 
 	names      []string // sorted scalar series names; rebuilt when dirty
 	namesDirty bool
+
+	// gen counts scalar-source mutations (new counter/gauge, any
+	// SampleFunc registration — including a replacement, which changes
+	// what a name resolves to without touching the name set). The
+	// sampler keys its resolved source cache on it.
+	gen uint64
 }
 
 // NewRegistry returns an empty enabled registry.
@@ -279,6 +285,7 @@ func (r *Registry) Counter(name string) *Counter {
 	c := &Counter{}
 	r.counters[name] = c
 	r.namesDirty = true
+	r.gen++
 	return c
 }
 
@@ -295,6 +302,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	g := &Gauge{}
 	r.gauges[name] = g
 	r.namesDirty = true
+	r.gen++
 	return g
 }
 
@@ -331,6 +339,7 @@ func (r *Registry) SampleFunc(name string, fn func() float64) {
 		r.namesDirty = true
 	}
 	r.funcs[name] = fn
+	r.gen++
 }
 
 // Names returns all scalar series names (counters, gauges, sample
