@@ -2,20 +2,30 @@
 // of devices under natural usage and prints the SignalCapturer-style
 // telemetry summaries behind Figures 1–6.
 //
+// The fleet runs on the streaming engine, so panels far beyond the
+// paper's 80 recruits complete in bounded memory. Progress chatter goes
+// to stderr; stdout carries only the report, which is byte-identical
+// for a given population and seed whatever the shard or worker count —
+// and across checkpoint/resume cycles (the CI fleet-determinism job
+// holds it to that).
+//
 //	signalcapturer -users 80 -seed 1
 //	signalcapturer -users 20 -json fleet.json
+//	signalcapturer -users 1000000 -population stratified -shards 64 \
+//	    -checkpoint ckpt/ -halt-after 250000    # budget slice, exit 3
+//	signalcapturer -users 1000000 -population stratified -shards 64 \
+//	    -checkpoint ckpt/ -resume               # continue to completion
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"coalqoe/internal/proc"
 	"coalqoe/internal/study"
-	"coalqoe/internal/units"
 )
 
 // deviceRow is the JSON export record for one study device.
@@ -28,57 +38,96 @@ type deviceRow struct {
 }
 
 func main() {
-	users := flag.Int("users", 80, "participants to recruit")
+	users := flag.Int64("users", 80, "participants to recruit")
 	seed := flag.Int64("seed", 1, "fleet seed")
 	jsonPath := flag.String("json", "", "write per-device records to this file")
+	population := flag.String("population", "auto",
+		"population model: roster (the paper's demographics), stratified (RAM-tier x vendor x usage strata), or auto (roster up to 1000 users)")
+	shards := flag.Int("shards", 0, "shard count (0 = derive from workers; result is shard-independent)")
+	workers := flag.Int("workers", 0, "concurrent shards (0 = NumCPU; result is worker-independent)")
+	checkpoint := flag.String("checkpoint", "", "directory for per-shard checkpoints")
+	resume := flag.Bool("resume", false, "resume from -checkpoint instead of starting over")
+	haltAfter := flag.Int64("halt-after", 0, "checkpoint and stop after this many users (exit code 3); requires -checkpoint")
+	top := flag.Int("top", 20, "per-device table rows (most-pressured first)")
 	flag.Parse()
 
-	fmt.Printf("recruiting %d users...\n", *users)
-	fleet := study.RunFleet(*users, *seed)
-	fmt.Printf("kept %d users with >= %.0f h interactive data (paper: 48 of 80)\n\n",
-		len(fleet.Kept), study.MinInteractiveHours)
+	cfg := study.FleetConfig{
+		Users: *users, Seed: *seed,
+		Shards: *shards, Workers: *workers,
+		CheckpointDir: *checkpoint, Resume: *resume, HaltAfter: *haltAfter,
+	}
+	switch *population {
+	case "roster":
+	case "stratified":
+		cfg.Population = study.DefaultPopulation(*users, *seed)
+	case "auto":
+		if *users > 1000 {
+			cfg.Population = study.DefaultPopulation(*users, *seed)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -population %q (roster, stratified, auto)", *population))
+	}
+
+	fmt.Fprintf(os.Stderr, "recruiting %d users (population %s, %d shards)...\n",
+		*users, *population, cfg.Shards)
+	agg, st, err := study.RunFleetStream(cfg)
+	if errors.Is(err, study.ErrHalted) {
+		fmt.Fprintf(os.Stderr, "halted after %d users this run; %d checkpoints in %s — rerun with -resume\n",
+			st.UsersRun, st.Checkpoints, *checkpoint)
+		os.Exit(3)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if st.UsersSkipped > 0 {
+		fmt.Fprintf(os.Stderr, "resumed: %d users from checkpoints, %d simulated this run\n",
+			st.UsersSkipped, st.UsersRun)
+	}
+
+	fmt.Printf("kept %d of %d users with >= %.0f h interactive data (paper: 48 of 80)\n",
+		agg.Kept, agg.Recruited, study.MinInteractiveHours)
+	if agg.Failed > 0 {
+		fmt.Printf("%d device simulations failed (captured per user)\n", agg.Failed)
+	}
+	fmt.Println()
 
 	// Figure 2 summary.
-	cdf := fleet.Fig2CDF()
 	fmt.Printf("median RAM utilization: >=60%% on %.0f%% of devices (paper: 80%%)\n",
-		100*(1-cdf.At(0.5999)))
+		100*(1-agg.UtilCDFAt(0.5999)))
 
 	// Figure 3/4 summaries.
-	ins := fleet.Table1()
+	ins := agg.Table1()
 	fmt.Printf("devices with >=1 pressure signal/hour:  %.0f%% (paper: 63%%)\n", ins.PctAnySignal)
 	fmt.Printf("devices with >10 critical signals/hour: %.0f%% (paper: 19%%)\n", ins.PctManyCritical)
 	fmt.Printf("devices >50%% time under pressure:       %.0f%% (paper: 10%%)\n", ins.PctHighTimeOver50)
 	fmt.Printf("devices >=2%% time under pressure:       %.0f%% (paper: 35%%)\n\n", ins.PctHighTimeOver2)
 
-	// Per-device table, sorted by pressure exposure.
-	logs := append([]*study.DeviceLog(nil), fleet.Logs...)
-	sort.Slice(logs, func(i, j int) bool {
-		hi := logs[i].TimeShare[proc.Moderate] + logs[i].TimeShare[proc.Low] + logs[i].TimeShare[proc.Critical]
-		hj := logs[j].TimeShare[proc.Moderate] + logs[j].TimeShare[proc.Low] + logs[j].TimeShare[proc.Critical]
-		return hi > hj
-	})
-	fmt.Printf("%-8s %5s %6s %10s %10s %10s\n", "user", "RAM", "util", "mod/h", "low/h", "crit/h")
-	for _, l := range logs {
-		fmt.Printf("%-8s %4.0fG %5.0f%% %10.1f %10.1f %10.1f\n",
-			l.User.ID, float64(l.User.RAM)/float64(units.GiB), 100*l.MedianUtilization,
-			l.SignalsPerHour[proc.Moderate], l.SignalsPerHour[proc.Low], l.SignalsPerHour[proc.Critical])
+	// Per-device table: most-pressured first (the Figure 5 heap), exact
+	// at any fleet scale.
+	fmt.Printf("%-10s %5s %6s %10s %10s %10s\n", "user", "RAM", "util", "mod/h", "low/h", "crit/h")
+	for _, s := range agg.TopSummaries(*top) {
+		fmt.Printf("%-10s %4.0fG %5.0f%% %10.1f %10.1f %10.1f\n",
+			s.ID, s.RAMGiB, 100*s.MedianUtilization,
+			s.SignalsPerHour[proc.Moderate], s.SignalsPerHour[proc.Low], s.SignalsPerHour[proc.Critical])
 	}
 
 	if *jsonPath != "" {
-		rows := make([]deviceRow, 0, len(fleet.Logs))
-		for _, l := range fleet.Logs {
+		rows := make([]deviceRow, 0, len(agg.Summaries))
+		for _, s := range agg.Summaries {
 			row := deviceRow{
-				User:              l.User.ID,
-				RAMGiB:            float64(l.User.RAM) / float64(units.GiB),
-				MedianUtilization: l.MedianUtilization,
+				User:              s.ID,
+				RAMGiB:            s.RAMGiB,
+				MedianUtilization: s.MedianUtilization,
 				SignalsPerHour:    map[string]float64{},
 				TimeShare:         map[string]float64{},
 			}
-			for lvl, v := range l.SignalsPerHour {
-				row.SignalsPerHour[lvl.String()] = v
-			}
-			for lvl, v := range l.TimeShare {
-				row.TimeShare[lvl.String()] = v
+			for lvl := proc.Level(0); lvl <= proc.Critical; lvl++ {
+				if v := s.SignalsPerHour[lvl]; v != 0 {
+					row.SignalsPerHour[lvl.String()] = v
+				}
+				if v := s.TimeShare[lvl]; v != 0 {
+					row.TimeShare[lvl.String()] = v
+				}
 			}
 			rows = append(rows, row)
 		}
@@ -89,7 +138,12 @@ func main() {
 		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\nwrote %d device records to %s\n", len(rows), *jsonPath)
+		note := ""
+		if int64(len(rows)) < agg.Kept-agg.Failed {
+			note = fmt.Sprintf(" (first %d of %d devices — fleet outgrew the retention cap)",
+				len(rows), agg.Kept-agg.Failed)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d device records to %s%s\n", len(rows), *jsonPath, note)
 	}
 }
 

@@ -12,29 +12,39 @@ import (
 
 // fleetCache shares one fleet simulation across the §3 experiments,
 // since Figures 1–6 and the Table 1 study rows all derive from the
-// same SignalCapturer dataset.
+// same SignalCapturer dataset. The figures run on the streaming
+// aggregate (the same path the million-user engine uses); at the
+// paper's n=80 every sketch is in its exact regime, so the rendered
+// figures match the retained-log path bit for bit.
 var fleetCache struct {
 	sync.Mutex
-	fleets map[string]*study.Fleet
+	aggs map[string]*study.FleetAggregate
 }
 
-func fleetFor(o Options) *study.Fleet {
+func fleetFor(o Options) *study.FleetAggregate {
 	fleetCache.Lock()
 	defer fleetCache.Unlock()
-	if fleetCache.fleets == nil {
-		fleetCache.fleets = make(map[string]*study.Fleet)
+	if fleetCache.aggs == nil {
+		fleetCache.aggs = make(map[string]*study.FleetAggregate)
 	}
 	key := fmt.Sprintf("%d/%v", o.Seed, o.Quick)
-	if f, ok := fleetCache.fleets[key]; ok {
+	if f, ok := fleetCache.aggs[key]; ok {
 		return f
 	}
-	n := 80
+	n := int64(80)
 	if o.Quick {
 		n = 24
 	}
-	f := study.RunFleet(n, o.Seed+1000)
-	fleetCache.fleets[key] = f
-	return f
+	agg, _, err := study.RunFleetStream(study.FleetConfig{
+		Users: n, Seed: o.Seed + 1000, Workers: o.Workers(),
+	})
+	if err != nil {
+		// No checkpointing and a non-empty roster: the engine cannot
+		// fail here except through a programming error.
+		panic(err)
+	}
+	fleetCache.aggs[key] = agg
+	return agg
 }
 
 func init() {
@@ -56,15 +66,14 @@ func init() {
 		o.applyDefaults()
 		f := fleetFor(o)
 		r := Report{ID: "fig2", Title: "CDF of median RAM utilization"}
-		cdf := f.Fig2CDF()
 		for _, u := range []float64{0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.9} {
-			r.Addf("P[util <= %.0f%%] = %.0f%%", 100*u, 100*cdf.At(u))
+			r.Addf("P[util <= %.0f%%] = %.0f%%", 100*u, 100*f.UtilCDFAt(u))
 		}
-		r.Addf("devices with median utilization >= 60%%: %.0f%% (paper: 80%%)", 100*(1-cdf.At(0.5999)))
-		r.Addf("devices with median utilization >  75%%: %.0f%% (paper: 20%%)", 100*(1-cdf.At(0.75)))
+		r.Addf("devices with median utilization >= 60%%: %.0f%% (paper: 80%%)", 100*(1-f.UtilCDFAt(0.5999)))
+		r.Addf("devices with median utilization >  75%%: %.0f%% (paper: 20%%)", 100*(1-f.UtilCDFAt(0.75)))
 		r.Addf("")
 		for _, u := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
-			r.Lines = append(r.Lines, plot.CDFRow(fmt.Sprintf("%.0f%%", 100*u), cdf.At(u), 30))
+			r.Lines = append(r.Lines, plot.CDFRow(fmt.Sprintf("%.0f%%", 100*u), f.UtilCDFAt(u), 30))
 		}
 		return r
 	})
@@ -73,7 +82,7 @@ func init() {
 		o.applyDefaults()
 		f := fleetFor(o)
 		r := Report{ID: "fig3", Title: "Signals per hour by level and RAM"}
-		pts := f.Fig3Scatter()
+		pts, _ := f.Fig3Scatter()
 		r.Addf("%-8s %6s %-9s %10s", "user", "RAM", "level", "signals/h")
 		for _, p := range pts {
 			if p.PerHour > 0 {
@@ -109,7 +118,7 @@ func init() {
 		o.applyDefaults()
 		f := fleetFor(o)
 		r := Report{ID: "fig4", Title: "Fraction of time per pressure state"}
-		pts := f.Fig4TimeShares()
+		pts, _ := f.Fig4TimeShares()
 		moderate2, critical4 := map[string]bool{}, map[string]bool{}
 		users := map[string]bool{}
 		for _, p := range pts {
@@ -154,12 +163,10 @@ func init() {
 		o.applyDefaults()
 		f := fleetFor(o)
 		r := Report{ID: "fig6", Title: "Next-state shares and dwell times (most-pressured devices)"}
-		st := f.Fig6Transitions(0.02)
-		if len(st.NextShare) == 0 {
-			// Small quick-mode fleets may lack heavily pressured
-			// devices; fall back to every device with transitions.
-			st = f.Fig6Transitions(0)
-		}
+		// The aggregate filters at MinHighShareFig6 fold-time and falls
+		// back to the unfiltered transition set when no device qualified
+		// (small quick-mode fleets).
+		st := f.Fig6Transitions()
 		order := []proc.Level{proc.Normal, proc.Moderate, proc.Low, proc.Critical}
 		for _, from := range order {
 			tos, ok := st.NextShare[from]

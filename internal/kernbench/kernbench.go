@@ -24,6 +24,7 @@ import (
 	"coalqoe/internal/proc"
 	"coalqoe/internal/sched"
 	"coalqoe/internal/simclock"
+	"coalqoe/internal/study"
 	"coalqoe/internal/telemetry"
 	"coalqoe/internal/trace"
 	"coalqoe/internal/units"
@@ -47,6 +48,7 @@ var Suite = []Entry{
 	{"telemetry/sample", TelemetrySample},
 	{"run/video60s", VideoRun60s},
 	{"grid/fig9quick", GridFig9Quick},
+	{"fleet/users10k", FleetUsers10k},
 }
 
 // Lookup returns the named suite entry.
@@ -248,6 +250,31 @@ func VideoRun60s(b *testing.B) {
 		})
 		if res.Metrics.FramesRendered == 0 && !res.Metrics.Crashed {
 			b.Fatal("run produced no frames and no crash")
+		}
+	}
+}
+
+// FleetUsers10k measures the streaming fleet engine: a 10k-user
+// stratified panel folded through sharded aggregation with the
+// synthetic per-user runner, so the number isolates the engine's own
+// cost — population materialization, fold, merge — from kernel
+// simulation speed. Shards and workers are pinned so every run
+// measures identical work. One op = the whole panel.
+func FleetUsers10k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		agg, _, err := study.RunFleetStream(study.FleetConfig{
+			Seed:       10,
+			Population: study.DefaultPopulation(10000, 10),
+			Shards:     16,
+			Workers:    4,
+			Runner:     study.SyntheticRunner(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Recruited != 10000 {
+			b.Fatalf("recruited %d of 10000", agg.Recruited)
 		}
 	}
 }

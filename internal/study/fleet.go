@@ -1,8 +1,12 @@
 package study
 
 import (
+	"fmt"
+	"hash/fnv"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"coalqoe/internal/proc"
 	"coalqoe/internal/stats"
@@ -10,22 +14,69 @@ import (
 )
 
 // Fleet is the full user study: participants plus their device logs.
+// It retains one DeviceLog per kept user and is the small-panel API
+// (the paper's 80 recruits); fleets beyond a few hundred users should
+// use RunFleetStream, which folds each log into mergeable sketches
+// instead of retaining it.
 type Fleet struct {
 	// Recruited is everyone who installed the app (the paper's 80).
 	Recruited []*User
 	// Kept are participants with ≥ MinInteractiveHours of screen-on
 	// data (the paper's 48) — only they contribute to the analyses.
 	Kept []*User
-	// Logs holds one telemetry log per kept user.
+	// Logs holds one telemetry log per kept user. Users whose
+	// simulation panicked are excluded (see Failures), so every entry
+	// is non-nil.
 	Logs []*DeviceLog
+	// Failures records kept users whose simulation panicked; their
+	// panic is captured per user (like the experiment executor's
+	// hardened runs) instead of taking the process down.
+	Failures []FleetFailure
+}
+
+// FleetFailure is one captured per-user simulation panic.
+type FleetFailure struct {
+	User   string `json:"user"`
+	Reason string `json:"reason"`
 }
 
 // MinInteractiveHours is the §3 data-cleaning threshold.
 const MinInteractiveHours = 10.0
 
+// UserSeed derives the simulation seed for one participant: a stable
+// FNV-1a hash of the user's identity folded into the fleet seed — the
+// same lane discipline as exp.CellSeed. The previous additive rule
+// (seed + i*7919) put every user on arithmetically related lanes,
+// which PR 1 already ruled out for experiment cells: nearby lanes of
+// the same LCG family are cross-correlated, so "independent" users
+// shared pressure realizations.
+func UserSeed(fleetSeed int64, userID string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(userID))
+	return fleetSeed + int64(h.Sum64()&0x7fffffff)
+}
+
+// runUserSafe is RunUser behind a panic barrier, mirroring the
+// hardened experiment executor (exp.runSafe): a user whose simulation
+// panics yields a failure record instead of killing the process — in a
+// worker goroutine the panic would otherwise be unrecoverable.
+func runUserSafe(run func(*User, int64) *DeviceLog, u *User, seed int64) (log *DeviceLog, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			log, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return run(u, seed), nil
+}
+
 // RunFleet recruits n users and simulates every kept user's device.
-// Devices run concurrently; each is seeded independently so the fleet
-// is deterministic for a given seed regardless of scheduling.
+// Each user is seeded independently from their identity (UserSeed), so
+// the fleet is deterministic for a given seed regardless of
+// scheduling. Work fans out across a bounded worker pool — NumCPU
+// goroutines pulling from a shared index, not one goroutine per user:
+// the old spawn-then-gate pattern created all n goroutines (and their
+// stacks) up front before the semaphore admitted any work, which is
+// exactly what a million-user fleet cannot afford.
 func RunFleet(n int, seed int64) *Fleet {
 	f := &Fleet{Recruited: GenerateUsers(n, seed)}
 	for _, u := range f.Recruited {
@@ -33,19 +84,36 @@ func RunFleet(n int, seed int64) *Fleet {
 			f.Kept = append(f.Kept, u)
 		}
 	}
-	f.Logs = make([]*DeviceLog, len(f.Kept))
+	logs := make([]*DeviceLog, len(f.Kept))
+	fails := make([]error, len(f.Kept))
+	workers := runtime.NumCPU()
+	if workers > len(f.Kept) {
+		workers = len(f.Kept)
+	}
+	var next int64 = -1
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for i, u := range f.Kept {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			f.Logs[i] = RunUser(u, seed+int64(i)*7919)
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(f.Kept) {
+					return
+				}
+				u := f.Kept[i]
+				logs[i], fails[i] = runUserSafe(RunUser, u, UserSeed(seed, u.ID))
+			}
 		}()
 	}
 	wg.Wait()
+	for i, l := range logs {
+		if fails[i] != nil {
+			f.Failures = append(f.Failures, FleetFailure{User: f.Kept[i].ID, Reason: fails[i].Error()})
+			continue
+		}
+		f.Logs = append(f.Logs, l)
+	}
 	return f
 }
 
@@ -57,7 +125,12 @@ func (f *Fleet) Fig1Heatmap() map[Activity][5]float64 {
 	for _, a := range Activities {
 		var row [5]float64
 		for _, u := range f.Kept {
-			row[u.Ratings[a]-1]++
+			// A user with no answer for this activity (zero value) or a
+			// corrupt rating must not index off the front of the row;
+			// they simply don't contribute to the distribution.
+			if r := u.Ratings[a]; r >= 1 && r <= 5 {
+				row[r-1]++
+			}
 		}
 		if n > 0 {
 			for i := range row {
@@ -146,13 +219,16 @@ type Fig5Device struct {
 // Normal, with their per-state available-memory distributions.
 func (f *Fleet) Fig5TopDevices(k int) []Fig5Device {
 	logs := append([]*DeviceLog(nil), f.Logs...)
-	for i := 0; i < len(logs); i++ {
-		for j := i + 1; j < len(logs); j++ {
-			if highPressureShare(logs[j]) > highPressureShare(logs[i]) {
-				logs[i], logs[j] = logs[j], logs[i]
-			}
+	// Share descending with an explicit user-ID tie-break: equal shares
+	// must order the same way on every run for byte-identical reports
+	// (the previous O(n²) selection sort tie-broke on slice position).
+	sort.Slice(logs, func(i, j int) bool {
+		hi, hj := highPressureShare(logs[i]), highPressureShare(logs[j])
+		if hi != hj {
+			return hi > hj
 		}
-	}
+		return logs[i].User.ID < logs[j].User.ID
+	})
 	if k > len(logs) {
 		k = len(logs)
 	}

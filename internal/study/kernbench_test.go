@@ -1,0 +1,14 @@
+package study_test
+
+import (
+	"testing"
+
+	"coalqoe/internal/kernbench"
+)
+
+// Wrapper over the shared fleet-engine suite body (internal/kernbench),
+// so `go test -bench . ./internal/study` measures exactly what
+// cmd/coalbench records in BENCH_6.json. The external test package
+// breaks the study ↔ kernbench cycle.
+
+func BenchmarkFleetUsers10k(b *testing.B) { kernbench.FleetUsers10k(b) }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package study
+
+const raceEnabled = false

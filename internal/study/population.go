@@ -1,0 +1,208 @@
+package study
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"coalqoe/internal/lmkd"
+	"coalqoe/internal/units"
+)
+
+// PopulationModel supplies the fleet engine's participants. The
+// contract that makes streaming, sharding and resume work: User(i)
+// must be a pure function of (model, i) — no state carried between
+// calls — so any shard can materialize any participant independently,
+// in any order, across process restarts.
+type PopulationModel interface {
+	// Name identifies the model in checkpoints; resuming under a
+	// different model is refused.
+	Name() string
+	// Size is the number of recruits.
+	Size() int64
+	// User materializes participant i ∈ [0, Size).
+	User(i int64) *User
+}
+
+// Roster wraps a pre-generated participant list (e.g. GenerateUsers,
+// which reproduces the paper's 80-recruit demographics) as a
+// PopulationModel. Use it for small panels; it retains every User.
+type Roster struct {
+	users []*User
+}
+
+// NewRoster builds a roster population over the given users.
+func NewRoster(users []*User) *Roster { return &Roster{users: users} }
+
+// Name implements PopulationModel.
+func (r *Roster) Name() string { return fmt.Sprintf("roster/%d", len(r.users)) }
+
+// Size implements PopulationModel.
+func (r *Roster) Size() int64 { return int64(len(r.users)) }
+
+// User implements PopulationModel.
+func (r *Roster) User(i int64) *User { return r.users[i] }
+
+// RAMTier is one device-class stratum of a stratified population.
+type RAMTier struct {
+	Name   string
+	RAM    units.Bytes
+	Weight int
+	// CoreBase/CoreExtra bound the core count (base + 0..extra*2).
+	CoreBase, CoreExtra int
+}
+
+// VendorConfig is one manufacturer stratum: the paper's fleet spans 12
+// manufacturers whose userspace LMK tunings differ visibly (Figure 5
+// observes per-vendor threshold spread). Devices of the same vendor
+// share their signal-threshold spread (via the vendor-keyed device
+// profile) and, when LMK is non-nil, a vendor lmkd tuning.
+type VendorConfig struct {
+	Name   string
+	Weight int
+	// LMK overrides the stock lmkd config for this vendor's devices
+	// (nil keeps stock).
+	LMK *lmkd.Config
+}
+
+// UsageBand is one usage-intensity stratum: how many hours a
+// participant contributes and how hard they drive the device.
+type UsageBand struct {
+	Name   string
+	Weight int
+	// HoursLo/HoursHi bound the contributed interactive hours.
+	HoursLo, HoursHi float64
+	// Intensity scales app size and multitasking depth.
+	Intensity float64
+	// HoarderChance is the probability of the never-closes-apps tail
+	// (the paper's devices spending >40% of time under pressure).
+	HoarderChance float64
+}
+
+// Stratified is a planet-scale synthetic panel: participants are drawn
+// from RAM-tier × vendor × usage-band strata instead of the uniform
+// GenerateUsers demographics, and each participant is derived from an
+// FNV lane of their index — User(i) never depends on User(j), so a
+// million-user panel needs no million-user roster.
+type Stratified struct {
+	PopName string
+	Seed    int64
+	N       int64
+	Tiers   []RAMTier
+	Vendors []VendorConfig
+	Bands   []UsageBand
+}
+
+// DefaultPopulation is the stratified model used for large fleets: RAM
+// tiers skewed toward the low end (the study spans entry-level to
+// flagship), twelve vendors with three LMK tuning families, and
+// light/typical/heavy/hoarder usage bands.
+func DefaultPopulation(n, seed int64) *Stratified {
+	// Three vendor LMK families: stock AOSP, aggressive background
+	// reapers (kill early, short cooldown), and conservative OEMs that
+	// let caches run deep before intervening.
+	aggressive := &lmkd.Config{AvailCachedFrac: 0.19, MinFreeCachedFrac: 0.10, KillCooldown: 300 * time.Millisecond}
+	conservative := &lmkd.Config{AvailCachedFrac: 0.11, MinFreeCachedFrac: 0.06, KillCooldown: 800 * time.Millisecond}
+	return &Stratified{
+		PopName: "stratified/v1",
+		Seed:    seed,
+		N:       n,
+		Tiers: []RAMTier{
+			{Name: "entry-1g", RAM: 1 * units.GiB, Weight: 14, CoreBase: 4, CoreExtra: 0},
+			{Name: "entry-2g", RAM: 2 * units.GiB, Weight: 24, CoreBase: 4, CoreExtra: 1},
+			{Name: "mid-3g", RAM: 3 * units.GiB, Weight: 22, CoreBase: 4, CoreExtra: 2},
+			{Name: "mid-4g", RAM: 4 * units.GiB, Weight: 20, CoreBase: 6, CoreExtra: 1},
+			{Name: "high-6g", RAM: 6 * units.GiB, Weight: 12, CoreBase: 8, CoreExtra: 0},
+			{Name: "flagship-8g", RAM: 8 * units.GiB, Weight: 8, CoreBase: 8, CoreExtra: 0},
+		},
+		Vendors: []VendorConfig{
+			{Name: "aosp", Weight: 10},
+			{Name: "nokia", Weight: 9},
+			{Name: "moto", Weight: 9},
+			{Name: "sony", Weight: 7},
+			{Name: "samsung", Weight: 14, LMK: aggressive},
+			{Name: "xiaomi", Weight: 12, LMK: aggressive},
+			{Name: "oppo", Weight: 9, LMK: aggressive},
+			{Name: "vivo", Weight: 8, LMK: aggressive},
+			{Name: "huawei", Weight: 10, LMK: conservative},
+			{Name: "lg", Weight: 5, LMK: conservative},
+			{Name: "htc", Weight: 4, LMK: conservative},
+			{Name: "asus", Weight: 3, LMK: conservative},
+		},
+		Bands: []UsageBand{
+			{Name: "light", Weight: 30, HoursLo: 1, HoursHi: 14, Intensity: 0.75, HoarderChance: 0.01},
+			{Name: "typical", Weight: 45, HoursLo: 8, HoursHi: 40, Intensity: 1.0, HoarderChance: 0.05},
+			{Name: "heavy", Weight: 20, HoursLo: 20, HoursHi: 90, Intensity: 1.3, HoarderChance: 0.10},
+			{Name: "hoarder", Weight: 5, HoursLo: 15, HoursHi: 140, Intensity: 1.5, HoarderChance: 1},
+		},
+	}
+}
+
+// Name implements PopulationModel.
+func (p *Stratified) Name() string { return p.PopName }
+
+// Size implements PopulationModel.
+func (p *Stratified) Size() int64 { return p.N }
+
+// pickWeighted selects an index by integer weights.
+func pickWeighted(rng *rand.Rand, total int, weightAt func(int) int, n int) int {
+	x := rng.Intn(total)
+	for i := 0; i < n; i++ {
+		w := weightAt(i)
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return n - 1
+}
+
+// User implements PopulationModel: participant i is derived entirely
+// from the FNV lane of their identity, the same discipline as the
+// per-user simulation seeds.
+func (p *Stratified) User(i int64) *User {
+	id := fmt.Sprintf("u%08d", i)
+	rng := rand.New(rand.NewSource(UserSeed(p.Seed, "pop|"+id)))
+
+	tierTotal, vendorTotal, bandTotal := 0, 0, 0
+	for _, t := range p.Tiers {
+		tierTotal += t.Weight
+	}
+	for _, v := range p.Vendors {
+		vendorTotal += v.Weight
+	}
+	for _, b := range p.Bands {
+		bandTotal += b.Weight
+	}
+	tier := p.Tiers[pickWeighted(rng, tierTotal, func(i int) int { return p.Tiers[i].Weight }, len(p.Tiers))]
+	vendor := p.Vendors[pickWeighted(rng, vendorTotal, func(i int) int { return p.Vendors[i].Weight }, len(p.Vendors))]
+	band := p.Bands[pickWeighted(rng, bandTotal, func(i int) int { return p.Bands[i].Weight }, len(p.Bands))]
+
+	gib := float64(tier.RAM) / float64(units.GiB)
+	intensity := band.Intensity * (0.85 + 0.3*rng.Float64())
+	hoarder := rng.Float64() < band.HoarderChance
+	if hoarder {
+		intensity *= 1.6
+	}
+	u := &User{
+		ID:               id,
+		Vendor:           vendor.Name,
+		LMK:              vendor.LMK,
+		RAM:              tier.RAM,
+		Cores:            tier.CoreBase + 2*rng.Intn(tier.CoreExtra+1),
+		CoreSpeed:        1.0 + 0.4*gib*rng.Float64(),
+		InteractiveHours: band.HoursLo + rng.Float64()*(band.HoursHi-band.HoursLo),
+		LaunchEvery:      time.Duration(25+rng.Intn(120)) * time.Second,
+		AppMiB:           (90 + 130*rng.Float64()) * intensity * (0.85 + 0.08*gib),
+		MultitaskApps:    3 + int(gib/2) + rng.Intn(4) + int(2*(intensity-1)),
+	}
+	if u.MultitaskApps < 1 {
+		u.MultitaskApps = 1
+	}
+	if hoarder {
+		u.MultitaskApps += 5
+		u.LaunchEvery /= 2
+	}
+	u.Ratings = surveyRatings(rng)
+	return u
+}

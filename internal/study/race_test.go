@@ -1,0 +1,8 @@
+//go:build race
+
+package study
+
+// raceEnabled scales down the large fleet tests: the race detector
+// multiplies per-user cost by an order of magnitude, and the scaling
+// properties under test don't need a full million users to show.
+const raceEnabled = true

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"coalqoe/internal/device"
+	"coalqoe/internal/lmkd"
 	"coalqoe/internal/proc"
 	"coalqoe/internal/units"
 )
@@ -52,6 +53,13 @@ func (a Activity) String() string {
 // User is one synthetic participant.
 type User struct {
 	ID string
+	// Vendor is the device manufacturer. When set, the device profile's
+	// signal-threshold spread is keyed by vendor (all devices of one
+	// manufacturer share their tuning, the paper's 12-manufacturer
+	// spread); empty keeps the legacy per-user spread.
+	Vendor string
+	// LMK, when non-nil, applies a vendor lmkd tuning to the device.
+	LMK *lmkd.Config
 	// RAM of their device.
 	RAM units.Bytes
 	// Cores and CoreSpeed shape the device profile.
@@ -182,10 +190,21 @@ const SimHours = 1.5
 // RunUser simulates one participant's device under their usage pattern
 // and returns the SignalCapturer log.
 func RunUser(u *User, seed int64) *DeviceLog {
-	profile := device.Generic(u.ID, u.RAM, u.Cores, u.CoreSpeed)
+	// The profile key drives the vendor threshold spread in
+	// device.Generic: vendor-keyed when the population models
+	// manufacturers, per-user otherwise (legacy behavior).
+	key := u.ID
+	if u.Vendor != "" {
+		key = u.Vendor
+	}
+	profile := device.Generic(key, u.RAM, u.Cores, u.CoreSpeed)
+	profile.Name = u.ID
 	// The fleet study doesn't need frame-accurate scheduling: a coarse
 	// tick keeps 48 devices × hours tractable.
-	dev := device.New(seed, profile, device.Options{SchedTick: 20 * time.Millisecond})
+	dev := device.New(seed, profile, device.Options{
+		SchedTick:  20 * time.Millisecond,
+		LmkdConfig: u.LMK,
+	})
 	dev.Settle(3 * time.Second)
 
 	hours := u.InteractiveHours
