@@ -28,6 +28,7 @@ import (
 	"testing"
 	"time"
 
+	"coalqoe/internal/atomicio"
 	"coalqoe/internal/exp"
 	"coalqoe/internal/kernbench"
 )
@@ -267,7 +268,7 @@ func main() {
 		os.Exit(2)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := atomicio.WriteFile(*out, data, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "coalbench: %v\n", err)
 		os.Exit(2)
 	}

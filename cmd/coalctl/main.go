@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"coalqoe/internal/atomicio"
 	"coalqoe/internal/exp"
 	"coalqoe/internal/faults"
 	"coalqoe/internal/telemetry"
@@ -110,14 +111,15 @@ func runOne(e exp.Experiment, opts exp.Options, outDir, telemetryDir string, pro
 		offset, delivered := 0, 0
 		opts.OnTelemetry = func(run int, dump *telemetry.Dump) {
 			path := filepath.Join(telemetryDir, fmt.Sprintf("%s-run%03d.csv", e.ID, offset+run+1))
-			f, err := os.Create(path)
+			f, err := atomicio.Create(path)
 			if err != nil {
 				fatal(err)
 			}
 			if err := dump.WriteCSV(f); err != nil {
+				f.Close()
 				fatal(err)
 			}
-			if err := f.Close(); err != nil {
+			if err := f.Commit(); err != nil {
 				fatal(err)
 			}
 			delivered++
@@ -139,7 +141,7 @@ func runOne(e exp.Experiment, opts exp.Options, outDir, telemetryDir string, pro
 	fmt.Print(")\n\n")
 	if outDir != "" {
 		path := filepath.Join(outDir, e.ID+".txt")
-		if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
+		if err := atomicio.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
 			fatal(err)
 		}
 	}

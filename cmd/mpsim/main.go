@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"coalqoe/internal/atomicio"
 	"coalqoe/internal/device"
 	"coalqoe/internal/mempress"
 	"coalqoe/internal/proc"
@@ -153,7 +154,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+		if err := atomicio.WriteFile(*jsonPath, data, 0o644); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d series, %d kills, %d signals to %s\n",

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"coalqoe/internal/atomicio"
 	"coalqoe/internal/proc"
 	"coalqoe/internal/study"
 )
@@ -135,7 +136,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+		if err := atomicio.WriteFile(*jsonPath, data, 0o644); err != nil {
 			fatal(err)
 		}
 		note := ""

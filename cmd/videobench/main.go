@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"coalqoe/internal/atomicio"
 	"coalqoe/internal/dash"
 	"coalqoe/internal/device"
 	"coalqoe/internal/exp"
@@ -107,30 +108,32 @@ func main() {
 		}
 	}
 	if *traceOut != "" && len(results) > 0 {
-		f, err := os.Create(*traceOut)
+		f, err := atomicio.Create(*traceOut)
 		if err != nil {
 			fatal(err)
 		}
 		if err := results[0].Device.Tracer.WriteText(f); err != nil {
+			f.Close()
 			fatal(err)
 		}
-		if err := f.Close(); err != nil {
+		if err := f.Commit(); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote trace to %s\n", *traceOut)
 	}
 	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
+		f, err := atomicio.Create(*jsonOut)
 		if err != nil {
 			fatal(err)
 		}
 		enc := json.NewEncoder(f)
 		for _, r := range results {
 			if err := enc.Encode(r.Metrics); err != nil {
+				f.Close()
 				fatal(err)
 			}
 		}
-		if err := f.Close(); err != nil {
+		if err := f.Commit(); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d metric records to %s\n", len(results), *jsonOut)
@@ -159,7 +162,7 @@ func writeTelemetry(dir string, results []exp.Result) error {
 		return err
 	}
 	write := func(path string, emit func(io.Writer) error) error {
-		f, err := os.Create(path)
+		f, err := atomicio.Create(path)
 		if err != nil {
 			return err
 		}
@@ -167,7 +170,7 @@ func writeTelemetry(dir string, results []exp.Result) error {
 			f.Close()
 			return err
 		}
-		return f.Close()
+		return f.Commit()
 	}
 	for i, r := range results {
 		if r.Telemetry == nil {

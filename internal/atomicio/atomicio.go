@@ -1,0 +1,85 @@
+// Package atomicio writes artifacts temp-then-rename, so a reader (or
+// a crash) never observes a half-written file. The dash server polls
+// report files while experiments run, and a torn JSON or CSV prefix
+// parses just well enough to be dangerous; os.Rename is atomic on
+// POSIX, so publishing a fully written temp file closes the window.
+// This is the same idiom the engine's checkpoint writer has used
+// since PR 5, packaged for the cmd/ report writers — and it is the
+// fix coalvet's atomicwrite analyzer prescribes.
+//
+// Durability is deliberately out of scope: like the checkpoint
+// writer, no fsync is issued. The contract is atomic visibility, not
+// crash-durability of the very last artifact.
+package atomicio
+
+import (
+	"io/fs"
+	"os"
+)
+
+// tmpSuffix marks the scratch path. The atomicwrite analyzer
+// recognizes this suffix as a non-artifact destination.
+const tmpSuffix = ".tmp"
+
+// WriteFile writes data to path atomically: the bytes land in
+// path+".tmp" and are renamed over path only when fully written. On
+// error the scratch file is removed.
+func WriteFile(path string, data []byte, perm fs.FileMode) error {
+	tmp := path + tmpSuffix
+	if err := os.WriteFile(tmp, data, perm); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// A File is a streaming atomic writer: bytes accumulate in a temp
+// file and appear at the destination only on Commit.
+type File struct {
+	f         *os.File
+	tmp, path string
+	committed bool
+}
+
+// Create opens a temp file next to path for streaming writes. The
+// destination is untouched until Commit.
+func Create(path string) (*File, error) {
+	f, err := os.Create(path + tmpSuffix)
+	if err != nil {
+		return nil, err
+	}
+	return &File{f: f, tmp: path + tmpSuffix, path: path}, nil
+}
+
+// Write streams into the temp file.
+func (w *File) Write(p []byte) (int, error) {
+	return w.f.Write(p)
+}
+
+// Commit closes the temp file and renames it over the destination.
+func (w *File) Commit() error {
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmp)
+		return err
+	}
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		os.Remove(w.tmp)
+		return err
+	}
+	w.committed = true
+	return nil
+}
+
+// Close aborts an uncommitted write, removing the temp file; after a
+// Commit it is a no-op, so `defer f.Close()` is always safe.
+func (w *File) Close() error {
+	if w.committed {
+		return nil
+	}
+	err := w.f.Close()
+	os.Remove(w.tmp)
+	return err
+}

@@ -6,8 +6,12 @@
 // entirely on the standard library's go/ast and go/types.
 //
 // Compared to upstream, the API is intentionally minimal: coalvet's
-// analyzers are independent (no Requires DAG) and intra-package (no
-// cross-package facts), which is all the determinism invariants need.
+// analyzers are independent (no Requires DAG). Interprocedural
+// analyzers compose across packages through one JSON fact per
+// (package, analyzer) carried over the vet.cfg protocol (facts.go),
+// a per-package static call graph (callgraph.go) and a local value-
+// taint engine (taint.go) — which is all the determinism invariants
+// need.
 package analysis
 
 import (
@@ -28,6 +32,12 @@ type Analyzer struct {
 	// why it exists.
 	Doc string
 
+	// Facts marks the analyzer as interprocedural: the driver runs it
+	// in fact-only mode (diagnostics discarded) over in-module
+	// dependency units so importing packages can consult its exported
+	// facts via Pass.ImportFact.
+	Facts bool
+
 	// Run applies the analyzer to a single package.
 	Run func(*Pass) error
 }
@@ -45,6 +55,20 @@ type Pass struct {
 	// Report delivers one diagnostic. The driver — not the analyzer —
 	// applies //coalvet:allow suppression and output ordering.
 	Report func(Diagnostic)
+
+	// ImportedFacts holds facts exported by already-analyzed
+	// packages, keyed by package path (nil under a fact-free driver).
+	// Use ImportFact to decode one.
+	ImportedFacts map[string]PackageFacts
+
+	// exportFact, when set by the driver, records this package's fact
+	// for one analyzer; see Pass.ExportFact.
+	exportFact func(analyzer string, raw []byte)
+}
+
+// SetFactSink wires the driver's fact collector into the pass.
+func (p *Pass) SetFactSink(sink func(analyzer string, raw []byte)) {
+	p.exportFact = sink
 }
 
 // Reportf reports a formatted diagnostic at pos.

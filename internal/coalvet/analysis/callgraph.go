@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// This file is the per-package call-graph layer under coalvet's
+// interprocedural analyzers. It stays deliberately lightweight — a
+// static-call map over the AST/type info a Pass already holds, no SSA,
+// no dynamic dispatch resolution — because the determinism invariants
+// only need "which declared function does this call name", composed
+// across packages by the fact layer (facts.go).
+
+// A FuncInfo is one declared function or method of the analyzed
+// package, with every static call its body makes (including calls
+// inside nested function literals, which belong to the enclosing
+// declaration for reachability purposes).
+type FuncInfo struct {
+	Fn    *types.Func
+	Decl  *ast.FuncDecl
+	Calls []*ast.CallExpr
+}
+
+// A CallGraph indexes the package's declared functions. Funcs is in
+// file/declaration order, so iteration is deterministic.
+type CallGraph struct {
+	Funcs []*FuncInfo
+	byObj map[*types.Func]*FuncInfo
+}
+
+// BuildCallGraph collects every function declaration with a body and
+// its static call sites.
+func BuildCallGraph(info *types.Info, files []*ast.File) *CallGraph {
+	cg := &CallGraph{byObj: make(map[*types.Func]*FuncInfo)}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &FuncInfo{Fn: fn, Decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					fi.Calls = append(fi.Calls, call)
+				}
+				return true
+			})
+			cg.Funcs = append(cg.Funcs, fi)
+			cg.byObj[fn] = fi
+		}
+	}
+	return cg
+}
+
+// Lookup returns the package-local info for fn, or nil for functions
+// declared elsewhere (imported, or without a body here).
+func (cg *CallGraph) Lookup(fn *types.Func) *FuncInfo {
+	return cg.byObj[fn]
+}
+
+// Callee resolves the *types.Func a call statically names: a plain
+// function, a method on a concrete receiver, or nil for conversions,
+// builtins, function-valued variables and interface dispatch. That
+// nil is the engine's precision boundary — an unresolvable call
+// contributes no taint and no spawn, which under-approximates but
+// never fabricates a diagnostic on its own.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// FuncKey names a function for cross-package fact tables: "F" for a
+// package-level function, "(T).M" / "(*T).M" for methods. Keys are
+// package-relative; the fact layer already scopes tables per package.
+func FuncKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	recv := sig.Recv().Type()
+	star := ""
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+		star = "*"
+	}
+	name := recv.String()
+	if n, ok := recv.(*types.Named); ok {
+		name = n.Obj().Name()
+	}
+	return fmt.Sprintf("(%s%s).%s", star, name, fn.Name())
+}
+
+// ParamIndex returns which parameter of sig the object is, or -1.
+func ParamIndex(sig *types.Signature, obj types.Object) int {
+	if obj == nil {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return i
+		}
+	}
+	return -1
+}

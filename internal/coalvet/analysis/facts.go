@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// This file is the cross-package fact layer: the minimal subset of
+// golang.org/x/tools/go/analysis facts that coalvet's interprocedural
+// analyzers need. A fact is one JSON-serializable summary per
+// (package, analyzer) — e.g. seedlane's "these parameters of these
+// functions reach a rand.NewSource sink". Facts ride the `go vet`
+// unit-checker protocol: every compilation unit writes a facts file
+// (cfg.VetxOutput) holding its own facts plus everything it imported,
+// and cmd/go hands importers those files through cfg.PackageVetx — so
+// whole-module properties compose under ordinary build caching.
+
+// FactsVersion versions the vetx wire format. Readers skip files with
+// a different version (stale caches are already excluded by the
+// -V=full content hash, so this is belt and braces).
+const FactsVersion = 1
+
+// PackageFacts maps analyzer name -> that analyzer's serialized fact
+// for one package. At most one fact per analyzer per package; an
+// analyzer needing several tables wraps them in one struct.
+type PackageFacts map[string]json.RawMessage
+
+// FactsFile is the on-disk vetx layout: this unit's own facts merged
+// with every imported package's, keyed by package path. Serialization
+// is deterministic (encoding/json sorts map keys), which cmd/go's
+// build cache requires of vet output files.
+type FactsFile struct {
+	Version  int                     `json:"version"`
+	Packages map[string]PackageFacts `json:"packages"`
+}
+
+// EncodeFacts renders a facts file for the package set.
+func EncodeFacts(pkgs map[string]PackageFacts) ([]byte, error) {
+	f := FactsFile{Version: FactsVersion, Packages: pkgs}
+	if f.Packages == nil {
+		f.Packages = map[string]PackageFacts{}
+	}
+	return json.Marshal(f)
+}
+
+// DecodeFacts parses a facts file. Unknown versions (and non-JSON
+// content, e.g. a placeholder from an older tool build) decode to an
+// empty set rather than an error: a missing fact only widens what an
+// analyzer must assume, it never produces a wrong diagnostic.
+func DecodeFacts(data []byte) map[string]PackageFacts {
+	var f FactsFile
+	if err := json.Unmarshal(data, &f); err != nil || f.Version != FactsVersion || f.Packages == nil {
+		return map[string]PackageFacts{}
+	}
+	return f.Packages
+}
+
+// ImportFact decodes the named package's fact for this pass's
+// analyzer into out, reporting whether one was present. Analyzers
+// must treat an absent fact as "nothing known" (the dependency may
+// predate the fact chain or sit outside the module).
+func (p *Pass) ImportFact(pkgPath string, out any) bool {
+	facts, ok := p.ImportedFacts[pkgPath]
+	if !ok {
+		return false
+	}
+	raw, ok := facts[p.Analyzer.Name]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
+// ExportFact records v as this package's fact for the pass's
+// analyzer, replacing any earlier export from the same pass.
+func (p *Pass) ExportFact(v any) error {
+	if p.exportFact == nil {
+		return nil // driver without a fact chain (fact-free run)
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("analysis: exporting %s fact: %v", p.Analyzer.Name, err)
+	}
+	p.exportFact(p.Analyzer.Name, raw)
+	return nil
+}
+
+// SortedFactKeys returns the keys of a string-keyed fact table in
+// sorted order, for analyzers that iterate one (fact tables are maps,
+// and coalvet holds its own output to the determinism contract it
+// enforces).
+func SortedFactKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the value-taint half of the interprocedural layer: a
+// small forward dataflow over one function body. Taint enters at
+// analyzer-chosen sources (a loop index, a parameter, a "seed + i"
+// mix expression), propagates through operators, conversions and
+// plain assignments, and — deliberately — dies at every call
+// boundary: a function call is a semantic checkpoint (hashing an
+// index through FNV is exactly how a seed lane becomes sanctioned),
+// and whatever must survive a call travels as an explicit fact
+// instead (facts.go). That asymmetry keeps the engine linear-time and
+// its false positives near zero.
+
+// A Taint tracks which local objects carry tainted values within one
+// function body.
+type Taint struct {
+	Info *types.Info
+	// Objs is the tainted object set; seed it before Flood.
+	Objs map[types.Object]bool
+	// SourceExpr optionally marks expressions as taint sources on
+	// their own (nil = objects only).
+	SourceExpr func(ast.Expr) bool
+}
+
+// NewTaint returns an empty taint state over info.
+func NewTaint(info *types.Info) *Taint {
+	return &Taint{Info: info, Objs: make(map[types.Object]bool)}
+}
+
+// Add seeds the object as tainted.
+func (t *Taint) Add(obj types.Object) {
+	if obj != nil {
+		t.Objs[obj] = true
+	}
+}
+
+// Tainted reports whether the expression's value derives from a
+// tainted object (or source expression) through operators,
+// conversions, selections or composite literals — but never through
+// a function call.
+func (t *Taint) Tainted(e ast.Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return false
+	case *ast.Ident:
+		if t.Objs[t.Info.ObjectOf(e)] {
+			return true
+		}
+	case *ast.ParenExpr:
+		if t.Tainted(e.X) {
+			return true
+		}
+	case *ast.BinaryExpr:
+		if t.Tainted(e.X) || t.Tainted(e.Y) {
+			return true
+		}
+	case *ast.UnaryExpr:
+		if t.Tainted(e.X) {
+			return true
+		}
+	case *ast.StarExpr:
+		if t.Tainted(e.X) {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if t.Tainted(e.X) {
+			return true
+		}
+	case *ast.IndexExpr:
+		if t.Tainted(e.X) {
+			return true
+		}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if t.Tainted(el) {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		// A type conversion is transparent; a real call is a taint
+		// boundary.
+		if tv, ok := t.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			if t.Tainted(e.Args[0]) {
+				return true
+			}
+		}
+	}
+	if t.SourceExpr != nil && t.SourceExpr(e) {
+		return true
+	}
+	return false
+}
+
+// Flood propagates taint through the body's assignments to a
+// fixpoint: `x := tainted`, `x = tainted`, `x op= tainted` and
+// `var x = tainted` all taint x. Only identifier targets are
+// tracked — field and index stores are sinks the analyzers inspect
+// explicitly, not carriers.
+func (t *Taint) Flood(body ast.Node) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, lhs := range n.Lhs {
+						if t.taintIdent(lhs, n.Rhs[i]) {
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i, name := range n.Names {
+						if t.taintIdent(name, n.Values[i]) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// taintIdent taints the identifier target if rhs is tainted,
+// reporting whether the set grew.
+func (t *Taint) taintIdent(lhs, rhs ast.Expr) bool {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := t.Info.ObjectOf(id)
+	if obj == nil || t.Objs[obj] || !t.Tainted(rhs) {
+		return false
+	}
+	t.Objs[obj] = true
+	return true
+}
+
+// RootIdent unwraps an expression to the identifier it is rooted in:
+// `s.agg.sketch[i].Add` roots at s, `f(x).M` roots at nothing (a call
+// produces a fresh value). Returns nil when there is no stable root.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// A package-qualified name (pkg.Func) roots at the
+			// selected name, not the package; callers that care
+			// resolve the object and check its kind.
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.CallExpr:
+			// The root of `reg.Counter("x").Inc` is reg: the call's
+			// receiver chain still anchors the value's provenance.
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// EnclosesPos reports whether node's source range covers pos — the
+// "declared inside this goroutine body?" test behind the captured-
+// variable checks.
+func EnclosesPos(node ast.Node, pos token.Pos) bool {
+	return node != nil && node.Pos() <= pos && pos < node.End()
+}

@@ -11,7 +11,17 @@
 //	maporder       no unsorted map iteration in emission paths
 //	unitmix        no magic byte/page literals mixed with units types
 //	resultretain   exp.Result must not (re)grow device/session refs
-//	directivecheck //coalvet: directives must be well-formed
+//	directivecheck //coalvet: directives must be well-formed and live
+//	seedlane       no loop-index arithmetic reaching a rand seed
+//	goroutinebound no goroutine-per-element spawns in data-sized loops
+//	atomiccounter  no shared telemetry mutation from spawned goroutines
+//	atomicwrite    artifact writes go temp-then-rename
+//	floatfold      no float accumulation over a map range
+//
+// The last five are interprocedural: they compose across functions
+// through a per-package call graph and value taint, and across
+// packages through one JSON fact per (package, analyzer) carried on
+// the go vet unitchecker protocol (see internal/coalvet/analysis).
 //
 // Suppression: a justified `//coalvet:allow <analyzer> <reason>` on or
 // directly above the offending line (see the directive package).
@@ -42,10 +52,15 @@ const toolingPrefix = ModulePath + "/internal/coalvet"
 // All returns the full suite in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		Atomiccounter,
+		Atomicwrite,
 		Directivecheck,
+		Floatfold,
 		Globalrand,
+		Goroutinebound,
 		Maporder,
 		Resultretain,
+		Seedlane,
 		Unitmix,
 		Wallclock,
 	}

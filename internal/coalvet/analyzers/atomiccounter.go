@@ -1,0 +1,306 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"coalqoe/internal/coalvet/analysis"
+)
+
+// Atomiccounter enforces: telemetry instruments are mutated by one
+// goroutine at a time. Counter.Inc, Gauge.Set and friends are plain
+// loads and stores — deliberately, so the sim's hot path pays no
+// atomic traffic — which is safe only under the engine's
+// flush-after-drain discipline: workers accumulate privately and the
+// coordinator folds into the shared registry after wg.Wait(). The
+// PR-6 fleet build broke that by capturing a *telemetry.Counter in
+// per-user goroutines; the loss was silent (dropped increments, not
+// crashes) and surfaced as impossible rebuffer ratios. The analyzer
+// flags any instrument mutation inside a goroutine body when the
+// instrument is shared with the spawner, following helper calls
+// through the fact chain. A body that takes a mutex is trusted.
+var Atomiccounter = &analysis.Analyzer{
+	Name: "atomiccounter",
+	Doc: "forbid mutating shared telemetry instruments (Counter/Gauge/Histogram) from spawned goroutines; " +
+		"they are not atomic — accumulate per-worker and flush after the drain, or hold a mutex",
+	Facts: true,
+	Run:   runAtomiccounter,
+}
+
+// atomiccounterFact records which functions mutate telemetry
+// instruments reachable from their parameters or receiver.
+type atomiccounterFact struct {
+	// MutatesParams maps FuncKey -> parameter indices whose instrument
+	// (or a struct holding one) the function mutates.
+	MutatesParams map[string][]int `json:"mutates_params,omitempty"`
+	// MutatesRecv lists method keys that mutate instruments reachable
+	// from their receiver.
+	MutatesRecv []string `json:"mutates_recv,omitempty"`
+}
+
+// telemetryPath is the instrument-defining package.
+const telemetryPath = ModulePath + "/internal/telemetry"
+
+// instrumentMutators are the non-atomic write methods on telemetry
+// instrument types. Read-side methods (Value, Count, Quantile) are
+// racy too, but the write side is where increments vanish.
+var instrumentMutators = map[string]bool{
+	"Inc": true, "Add": true, "Set": true, "Max": true, "Observe": true,
+}
+
+// instrumentMutation returns the receiver expression of a telemetry
+// mutator call, or nil.
+func instrumentMutation(info *types.Info, call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || !instrumentMutators[fn.Name()] {
+		return nil
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != telemetryPath {
+		return nil
+	}
+	return sel.X
+}
+
+// acFacts resolves mutation facts for local and imported callees.
+type acFacts struct {
+	pass     *analysis.Pass
+	local    *atomiccounterFact
+	imported map[string]*atomiccounterFact
+}
+
+func (af *acFacts) tables(fn *types.Func) *atomiccounterFact {
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if fn.Pkg() == af.pass.Pkg {
+		return af.local
+	}
+	path := fn.Pkg().Path()
+	if f, ok := af.imported[path]; ok {
+		return f
+	}
+	f := new(atomiccounterFact)
+	if !af.pass.ImportFact(path, f) {
+		f = &atomiccounterFact{}
+	}
+	af.imported[path] = f
+	return f
+}
+
+func (af *acFacts) mutatesParams(fn *types.Func) []int {
+	if t := af.tables(fn); t != nil {
+		return t.MutatesParams[analysis.FuncKey(fn)]
+	}
+	return nil
+}
+
+func (af *acFacts) mutatesRecv(fn *types.Func) bool {
+	t := af.tables(fn)
+	if t == nil {
+		return false
+	}
+	key := analysis.FuncKey(fn)
+	for _, k := range t.MutatesRecv {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomiccounter(pass *analysis.Pass) error {
+	if !inModule(pass.Pkg) {
+		return nil
+	}
+	cg := analysis.BuildCallGraph(pass.TypesInfo, pass.Files)
+	facts := computeAtomiccounterFacts(pass, cg)
+	af := &acFacts{pass: pass, local: facts, imported: make(map[string]*atomiccounterFact)}
+	if len(facts.MutatesParams) > 0 || len(facts.MutatesRecv) > 0 {
+		if err := pass.ExportFact(facts); err != nil {
+			return err
+		}
+	}
+	for _, fi := range cg.Funcs {
+		if pass.InTestFile(fi.Decl.Pos()) {
+			continue
+		}
+		checkAtomiccounterFunc(pass, af, fi)
+	}
+	return nil
+}
+
+// computeAtomiccounterFacts finds, to a fixpoint, every function that
+// mutates an instrument rooted at a parameter or the receiver —
+// directly, or by handing it to another known mutator.
+func computeAtomiccounterFacts(pass *analysis.Pass, cg *analysis.CallGraph) *atomiccounterFact {
+	facts := &atomiccounterFact{MutatesParams: make(map[string][]int)}
+	af := &acFacts{pass: pass, local: facts, imported: make(map[string]*atomiccounterFact)}
+	recv := make(map[string]bool)
+	rootObj := func(e ast.Expr) types.Object {
+		id := analysis.RootIdent(e)
+		if id == nil {
+			return nil
+		}
+		return pass.TypesInfo.ObjectOf(id)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range cg.Funcs {
+			if pass.InTestFile(fi.Decl.Pos()) {
+				continue
+			}
+			sig, ok := fi.Fn.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			key := analysis.FuncKey(fi.Fn)
+			var recvObj types.Object
+			if sig.Recv() != nil {
+				recvObj = sig.Recv()
+			}
+			markObj := func(obj types.Object) {
+				if obj == nil {
+					return
+				}
+				if obj == recvObj && !recv[key] {
+					recv[key] = true
+					facts.MutatesRecv = analysis.SortedFactKeys(recv)
+					changed = true
+				}
+				if i := analysis.ParamIndex(sig, obj); i >= 0 && !containsInt(facts.MutatesParams[key], i) {
+					facts.MutatesParams[key] = append(facts.MutatesParams[key], i)
+					changed = true
+				}
+			}
+			ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if recvExpr := instrumentMutation(pass.TypesInfo, call); recvExpr != nil {
+					markObj(rootObj(recvExpr))
+					return true
+				}
+				fn := analysis.Callee(pass.TypesInfo, call)
+				for _, j := range af.mutatesParams(fn) {
+					if j < len(call.Args) {
+						markObj(rootObj(call.Args[j]))
+					}
+				}
+				if af.mutatesRecv(fn) {
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+						markObj(rootObj(sel.X))
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(facts.MutatesParams) == 0 {
+		facts.MutatesParams = nil
+	}
+	return facts
+}
+
+// checkAtomiccounterFunc reports instrument mutations that race with
+// the spawning goroutine.
+func checkAtomiccounterFunc(pass *analysis.Pass, af *acFacts, fi *analysis.FuncInfo) {
+	info := pass.TypesInfo
+	rootObj := func(e ast.Expr) types.Object {
+		id := analysis.RootIdent(e)
+		if id == nil {
+			return nil
+		}
+		return info.ObjectOf(id)
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			// Direct spawn of a named function: any instrument it is
+			// known to mutate is by construction shared with us.
+			fn := analysis.Callee(info, g.Call)
+			for _, j := range af.mutatesParams(fn) {
+				if j < len(g.Call.Args) && rootObj(g.Call.Args[j]) != nil {
+					pass.Reportf(g.Pos(),
+						"goroutine mutates the telemetry instrument passed to %s; Counter/Gauge writes are not atomic — "+
+							"accumulate per-worker and flush after the drain [atomiccounter]", fn.Name())
+				}
+			}
+			if af.mutatesRecv(fn) {
+				if sel, ok := ast.Unparen(g.Call.Fun).(*ast.SelectorExpr); ok && rootObj(sel.X) != nil {
+					pass.Reportf(g.Pos(),
+						"goroutine mutates telemetry instruments through %s's receiver; writes are not atomic — "+
+							"accumulate per-worker and flush after the drain [atomiccounter]", fn.Name())
+				}
+			}
+			return true
+		}
+		body := lit.Body
+		if bodyTakesMutex(body) {
+			return true
+		}
+		sharedWithSpawner := func(e ast.Expr) bool {
+			obj := rootObj(e)
+			return obj != nil && !analysis.EnclosesPos(body, obj.Pos())
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.GoStmt); ok {
+				return false // nested spawns get their own visit
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if recvExpr := instrumentMutation(info, call); recvExpr != nil {
+				if sharedWithSpawner(recvExpr) {
+					pass.Reportf(call.Pos(),
+						"telemetry instrument captured from the spawning goroutine is mutated here; writes are not atomic — "+
+							"accumulate per-worker and flush after the drain (post-Wait), or hold a mutex [atomiccounter]")
+				}
+				return true
+			}
+			fn := analysis.Callee(info, call)
+			for _, j := range af.mutatesParams(fn) {
+				if j < len(call.Args) && sharedWithSpawner(call.Args[j]) {
+					pass.Reportf(call.Pos(),
+						"%s mutates a telemetry instrument captured from the spawning goroutine; writes are not atomic — "+
+							"accumulate per-worker and flush after the drain (post-Wait), or hold a mutex [atomiccounter]", fn.Name())
+				}
+			}
+			if af.mutatesRecv(fn) {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sharedWithSpawner(sel.X) {
+					pass.Reportf(call.Pos(),
+						"%s mutates telemetry instruments through a receiver captured from the spawning goroutine; "+
+							"accumulate per-worker and flush after the drain (post-Wait), or hold a mutex [atomiccounter]", fn.Name())
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// bodyTakesMutex reports whether the goroutine body acquires any
+// mutex (a .Lock() call). Coarse on purpose: a body that locks at all
+// has opted into explicit synchronization, and pairing each mutation
+// with its guard is beyond a linter's pay grade.
+func bodyTakesMutex(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Lock" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"coalqoe/internal/coalvet/analyzers"
+	"coalqoe/internal/coalvet/vettest"
+)
+
+func TestAtomiccounter(t *testing.T) {
+	vettest.Run(t, "testdata/src", analyzers.Atomiccounter,
+		"coalqoe/internal/acbad", // failing fixture (incl. the PR-6 captured-counter shape)
+		"coalqoe/internal/acok",  // passing fixture (flush-after-drain, mutex, private)
+	)
+}

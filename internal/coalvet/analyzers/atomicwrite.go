@@ -1,0 +1,280 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"coalqoe/internal/coalvet/analysis"
+)
+
+// Atomicwrite enforces: result artifacts are written
+// temp-then-rename. A crash (or a concurrent reader — the dash
+// server polls report files) midway through os.WriteFile leaves a
+// torn artifact that parses as a truncated-but-valid CSV or JSON
+// prefix; the engine's checkpoint writer (writeCheckpoint) has done
+// this correctly since PR 5, the cmd/ report writers had not. A
+// write is clean when its destination is a temp-marked path (a
+// ".tmp"/".partial"/"~" suffix baked into the name), because the
+// temp file is not the artifact — the rename is, and os.Rename is
+// atomic on POSIX. Writes through a helper are tracked by fact:
+// a function that writes to a path taken from its parameter makes
+// every call site a write site.
+var Atomicwrite = &analysis.Analyzer{
+	Name: "atomicwrite",
+	Doc: "forbid non-atomic artifact writes (os.WriteFile/os.Create on the final path); " +
+		"write to a temp-marked path and os.Rename over the destination (see internal/atomicio)",
+	Facts: true,
+	Run:   runAtomicwrite,
+}
+
+// atomicwriteFact records which functions write a file at a path
+// taken from a parameter, making the caller responsible for atomicity.
+type atomicwriteFact struct {
+	WriteParams map[string][]int `json:"write_params,omitempty"`
+}
+
+// tempSuffixes mark a path as a scratch destination.
+var tempSuffixes = []string{".tmp", ".partial", "~"}
+
+func hasTempSuffix(s string) bool {
+	for _, suf := range tempSuffixes {
+		if strings.HasSuffix(s, suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// awFacts resolves write facts for local and imported callees.
+type awFacts struct {
+	pass     *analysis.Pass
+	local    *atomicwriteFact
+	imported map[string]*atomicwriteFact
+}
+
+func (wf *awFacts) writeParams(fn *types.Func) []int {
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	var t *atomicwriteFact
+	if fn.Pkg() == wf.pass.Pkg {
+		t = wf.local
+	} else {
+		path := fn.Pkg().Path()
+		var ok bool
+		if t, ok = wf.imported[path]; !ok {
+			t = new(atomicwriteFact)
+			if !wf.pass.ImportFact(path, t) {
+				t = &atomicwriteFact{}
+			}
+			wf.imported[path] = t
+		}
+	}
+	return t.WriteParams[analysis.FuncKey(fn)]
+}
+
+// osWritePath returns the destination-path argument of a direct
+// file-creating call (os.WriteFile, os.Create, writing os.OpenFile),
+// or nil.
+func osWritePath(info *types.Info, call *ast.CallExpr) ast.Expr {
+	fn := analysis.Callee(info, call)
+	if fn == nil || !isPkgLevelFunc(fn, "os") || len(call.Args) == 0 {
+		return nil
+	}
+	switch fn.Name() {
+	case "WriteFile", "Create":
+		return call.Args[0]
+	case "OpenFile":
+		// Only creation/write modes; a read-only OpenFile is not a
+		// write site. The flag argument is matched lexically.
+		if len(call.Args) >= 2 && flagsWrite(call.Args[1]) {
+			return call.Args[0]
+		}
+	}
+	return nil
+}
+
+func flagsWrite(e ast.Expr) bool {
+	write := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "O_CREATE", "O_WRONLY", "O_RDWR", "O_APPEND", "O_TRUNC":
+				write = true
+			}
+		}
+		return !write
+	})
+	return write
+}
+
+// tempTaint builds a taint whose sources are temp-marked string
+// constants (literals or named constants like atomicio's tmpSuffix),
+// Sprintf formats ending in a temp suffix, and filepath.Join calls
+// with a temp-marked component.
+func tempTaint(pass *analysis.Pass, body ast.Node) *analysis.Taint {
+	t := analysis.NewTaint(pass.TypesInfo)
+	t.SourceExpr = func(e ast.Expr) bool {
+		if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			return hasTempSuffix(constant.StringVal(tv.Value))
+		}
+		switch e := e.(type) {
+		case *ast.CallExpr:
+			fn := analysis.Callee(pass.TypesInfo, e)
+			if fn == nil {
+				return false
+			}
+			if isPkgLevelFunc(fn, "fmt") && fn.Name() == "Sprintf" && len(e.Args) > 0 {
+				if lit, ok := e.Args[0].(*ast.BasicLit); ok {
+					if s, err := strconv.Unquote(lit.Value); err == nil {
+						return hasTempSuffix(s)
+					}
+				}
+				return false
+			}
+			if isPkgLevelFunc(fn, "path/filepath") && fn.Name() == "Join" {
+				for _, arg := range e.Args {
+					if t.Tainted(arg) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	t.Flood(body)
+	return t
+}
+
+func runAtomicwrite(pass *analysis.Pass) error {
+	if !inModule(pass.Pkg) {
+		return nil
+	}
+	// coalvet itself is exempt: the unitchecker must write the vetx
+	// file cmd/go names, verbatim — renaming over it is not ours to do.
+	if strings.HasPrefix(pass.Pkg.Path(), toolingPrefix) {
+		return nil
+	}
+	cg := analysis.BuildCallGraph(pass.TypesInfo, pass.Files)
+	wf := &awFacts{pass: pass, imported: make(map[string]*atomicwriteFact)}
+	wf.local = computeAtomicwriteFacts(pass, cg, wf)
+	if len(wf.local.WriteParams) > 0 {
+		if err := pass.ExportFact(wf.local); err != nil {
+			return err
+		}
+	}
+	for _, fi := range cg.Funcs {
+		if pass.InTestFile(fi.Decl.Pos()) {
+			continue
+		}
+		checkAtomicwriteFunc(pass, wf, fi)
+	}
+	return nil
+}
+
+// pathFromParam floods each string parameter through the body and
+// returns the indices of those that reach the path expression.
+func pathFromParam(pass *analysis.Pass, fi *analysis.FuncInfo, path ast.Expr) []int {
+	sig, ok := fi.Fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var idxs []int
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if b, ok := p.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+			continue
+		}
+		t := analysis.NewTaint(pass.TypesInfo)
+		t.Add(p)
+		t.Flood(fi.Decl.Body)
+		if t.Tainted(path) {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}
+
+// computeAtomicwriteFacts marks functions whose write destination (a
+// direct os write, or an argument to another known writer) is
+// derived from a string parameter. Temp-marked destinations export
+// nothing: the temp file is scratch, whoever renames it owns the
+// artifact.
+func computeAtomicwriteFacts(pass *analysis.Pass, cg *analysis.CallGraph, wf *awFacts) *atomicwriteFact {
+	facts := &atomicwriteFact{WriteParams: make(map[string][]int)}
+	wf.local = facts
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range cg.Funcs {
+			if pass.InTestFile(fi.Decl.Pos()) {
+				continue
+			}
+			key := analysis.FuncKey(fi.Fn)
+			tt := tempTaint(pass, fi.Decl.Body)
+			for _, call := range fi.Calls {
+				path := osWritePath(pass.TypesInfo, call)
+				if path == nil {
+					if fn := analysis.Callee(pass.TypesInfo, call); fn != nil {
+						for _, j := range wf.writeParams(fn) {
+							if j < len(call.Args) {
+								path = call.Args[j]
+								break
+							}
+						}
+					}
+				}
+				if path == nil || tt.Tainted(path) {
+					continue
+				}
+				for _, i := range pathFromParam(pass, fi, path) {
+					if !containsInt(facts.WriteParams[key], i) {
+						facts.WriteParams[key] = append(facts.WriteParams[key], i)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	if len(facts.WriteParams) == 0 {
+		facts.WriteParams = nil
+	}
+	return facts
+}
+
+// checkAtomicwriteFunc reports write sites whose destination is
+// neither temp-marked nor a parameter (parameter-derived writes are
+// the caller's finding, via the fact chain).
+func checkAtomicwriteFunc(pass *analysis.Pass, wf *awFacts, fi *analysis.FuncInfo) {
+	tt := tempTaint(pass, fi.Decl.Body)
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		report := func(path ast.Expr, what string) {
+			if tt.Tainted(path) || len(pathFromParam(pass, fi, path)) > 0 {
+				return
+			}
+			pass.Reportf(path.Pos(),
+				"%s writes the artifact in place; a crash or concurrent reader sees a torn file — "+
+					"write to a temp-marked path and os.Rename over the destination (atomicio.WriteFile / atomicio.Create) [atomicwrite]",
+				what)
+		}
+		if path := osWritePath(pass.TypesInfo, call); path != nil {
+			fn := analysis.Callee(pass.TypesInfo, call)
+			report(path, "os."+fn.Name())
+			return true
+		}
+		if fn := analysis.Callee(pass.TypesInfo, call); fn != nil {
+			for _, j := range wf.writeParams(fn) {
+				if j < len(call.Args) {
+					report(call.Args[j], fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"coalqoe/internal/coalvet/analyzers"
+	"coalqoe/internal/coalvet/vettest"
+)
+
+func TestAtomicwrite(t *testing.T) {
+	vettest.Run(t, "testdata/src", analyzers.Atomicwrite,
+		"coalqoe/internal/awbad", // failing fixture (in-place writes, direct and via helper)
+		"coalqoe/internal/awok",  // passing fixture (temp-then-rename in several spellings)
+	)
+}

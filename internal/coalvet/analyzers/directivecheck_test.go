@@ -13,3 +13,13 @@ func TestDirectivecheck(t *testing.T) {
 		"coalqoe/internal/dcok",  // passing fixture
 	)
 }
+
+// TestStaleDirectives drives wallclock over a fixture whose
+// directives are a mix of used, unused-for-a-ran-analyzer (stale,
+// reported under directivecheck), and unused-for-an-analyzer-that-
+// did-not-run (left alone).
+func TestStaleDirectives(t *testing.T) {
+	vettest.Run(t, "testdata/src", analyzers.Wallclock,
+		"coalqoe/internal/dcstale",
+	)
+}

@@ -1,0 +1,273 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"coalqoe/internal/coalvet/analysis"
+)
+
+// Floatfold enforces: floating-point accumulation never folds over a
+// nondeterministically-ordered range. Float addition is not
+// associative, so `for _, v := range m { sum += v }` over a Go map
+// produces a different low bit on different runs — which the digest
+// oracle then amplifies into a full report mismatch, the hardest
+// class of flake PR 5's determinism battery had to chase. maporder
+// catches map iteration that reaches emitted output; this analyzer
+// catches the subtler half: the fold itself, including folds hidden
+// one call down (`for _, v := range m { acc.add(v) }` where add does
+// `a.total += v`), via the fact chain. The fix is the same sorted-
+// keys idiom maporder prescribes — ranging over a sorted key slice
+// is invisible to this check by construction. Integer and
+// time.Duration accumulation is exact and exempt.
+var Floatfold = &analysis.Analyzer{
+	Name: "floatfold",
+	Doc: "forbid float += / *= accumulation fed by a map range (directly or through a helper); " +
+		"float folds are order-sensitive — iterate sorted keys (see maporder) or accumulate integers",
+	Facts: true,
+	Run:   runFloatfold,
+}
+
+// floatfoldFact records which functions fold a float parameter into
+// state that outlives the call.
+type floatfoldFact struct {
+	AccumParams map[string][]int `json:"accum_params,omitempty"`
+}
+
+// ffFacts resolves accumulation facts for local and imported callees.
+type ffFacts struct {
+	pass     *analysis.Pass
+	local    *floatfoldFact
+	imported map[string]*floatfoldFact
+}
+
+func (ff *ffFacts) accumParams(fn *types.Func) []int {
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	var t *floatfoldFact
+	if fn.Pkg() == ff.pass.Pkg {
+		t = ff.local
+	} else {
+		path := fn.Pkg().Path()
+		var ok bool
+		if t, ok = ff.imported[path]; !ok {
+			t = new(floatfoldFact)
+			if !ff.pass.ImportFact(path, t) {
+				t = &floatfoldFact{}
+			}
+			ff.imported[path] = t
+		}
+	}
+	return t.AccumParams[analysis.FuncKey(fn)]
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isCompoundFold reports whether op is an order-sensitive compound
+// assignment operator over floats.
+func isCompoundFold(op token.Token) bool {
+	switch op {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+func runFloatfold(pass *analysis.Pass) error {
+	if !inModule(pass.Pkg) {
+		return nil
+	}
+	cg := analysis.BuildCallGraph(pass.TypesInfo, pass.Files)
+	facts := computeFloatfoldFacts(pass, cg)
+	ff := &ffFacts{pass: pass, local: facts, imported: make(map[string]*floatfoldFact)}
+	if len(facts.AccumParams) > 0 {
+		if err := pass.ExportFact(facts); err != nil {
+			return err
+		}
+	}
+	for _, fi := range cg.Funcs {
+		if pass.InTestFile(fi.Decl.Pos()) {
+			continue
+		}
+		checkFloatfoldFunc(pass, ff, fi)
+	}
+	return nil
+}
+
+// computeFloatfoldFacts marks, to a fixpoint, functions that fold a
+// float parameter into persistent state: a compound assignment to a
+// field, element, or dereference (not a plain local — locals die with
+// the call), or a hand-off to another known accumulator.
+func computeFloatfoldFacts(pass *analysis.Pass, cg *analysis.CallGraph) *floatfoldFact {
+	facts := &floatfoldFact{AccumParams: make(map[string][]int)}
+	ff := &ffFacts{pass: pass, local: facts, imported: make(map[string]*floatfoldFact)}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range cg.Funcs {
+			if pass.InTestFile(fi.Decl.Pos()) {
+				continue
+			}
+			sig, ok := fi.Fn.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			key := analysis.FuncKey(fi.Fn)
+			for i := 0; i < sig.Params().Len(); i++ {
+				p := sig.Params().At(i)
+				if !isFloat(p.Type()) || containsInt(facts.AccumParams[key], i) {
+					continue
+				}
+				t := analysis.NewTaint(pass.TypesInfo)
+				t.Add(p)
+				t.Flood(fi.Decl.Body)
+				accumulates := false
+				ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+					if accumulates {
+						return false
+					}
+					switch n := n.(type) {
+					case *ast.AssignStmt:
+						if isCompoundFold(n.Tok) && len(n.Lhs) == 1 && len(n.Rhs) == 1 &&
+							isFloat(pass.TypesInfo.TypeOf(n.Lhs[0])) &&
+							isPersistentTarget(n.Lhs[0]) && t.Tainted(n.Rhs[0]) {
+							accumulates = true
+						}
+					case *ast.CallExpr:
+						fn := analysis.Callee(pass.TypesInfo, n)
+						for _, j := range ff.accumParams(fn) {
+							if j < len(n.Args) && t.Tainted(n.Args[j]) {
+								accumulates = true
+							}
+						}
+					}
+					return true
+				})
+				if accumulates {
+					facts.AccumParams[key] = append(facts.AccumParams[key], i)
+					changed = true
+				}
+			}
+		}
+	}
+	if len(facts.AccumParams) == 0 {
+		facts.AccumParams = nil
+	}
+	return facts
+}
+
+// isPersistentTarget reports whether an assignment target outlives
+// the enclosing call: a field, an element, or a pointer dereference.
+func isPersistentTarget(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// checkFloatfoldFunc reports order-sensitive float folds inside map
+// ranges. Reported positions are deduplicated per function: nested
+// ranges can reach the same assignment twice.
+func checkFloatfoldFunc(pass *analysis.Pass, ff *ffFacts, fi *analysis.FuncInfo) {
+	info := pass.TypesInfo
+	seen := make(map[token.Pos]bool)
+	reportOnce := func(pos token.Pos, format string, args ...any) {
+		if !seen[pos] {
+			seen[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tx := info.TypeOf(rng.X)
+		if tx == nil {
+			return true
+		}
+		if _, ok := tx.Underlying().(*types.Map); !ok {
+			return true
+		}
+		t := analysis.NewTaint(info)
+		for _, e := range []ast.Expr{rng.Key, rng.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				t.Add(info.ObjectOf(id))
+			}
+		}
+		t.Flood(rng.Body)
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+					return true
+				}
+				lhs, rhs := n.Lhs[0], n.Rhs[0]
+				if !isFloat(info.TypeOf(lhs)) || !outlivesIteration(info, lhs, rng.Body) {
+					return true
+				}
+				if isCompoundFold(n.Tok) && t.Tainted(rhs) {
+					reportOnce(n.Pos(),
+						"float accumulation over a map range is order-sensitive (float addition is not associative); "+
+							"iterate sorted keys instead — see maporder's sorted-keys idiom [floatfold]")
+				}
+				// The spelled-out form: x = x + v.
+				if n.Tok == token.ASSIGN {
+					if be, ok := ast.Unparen(rhs).(*ast.BinaryExpr); ok && isFoldOp(be.Op) {
+						lstr := types.ExprString(lhs)
+						for _, operand := range [2]ast.Expr{be.X, be.Y} {
+							other := be.Y
+							if operand == be.Y {
+								other = be.X
+							}
+							if types.ExprString(operand) == lstr && t.Tainted(other) {
+								reportOnce(n.Pos(),
+									"float accumulation over a map range is order-sensitive (float addition is not associative); "+
+										"iterate sorted keys instead — see maporder's sorted-keys idiom [floatfold]")
+							}
+						}
+					}
+				}
+			case *ast.CallExpr:
+				fn := analysis.Callee(info, n)
+				for _, j := range ff.accumParams(fn) {
+					if j < len(n.Args) && t.Tainted(n.Args[j]) {
+						reportOnce(n.Pos(),
+							"%s folds this map-range value into float state; the fold order is nondeterministic — "+
+								"iterate sorted keys instead (see maporder) [floatfold]", fn.Name())
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+func isFoldOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+		return true
+	}
+	return false
+}
+
+// outlivesIteration reports whether the assignment target survives a
+// single loop iteration: persistent storage always does, a local only
+// if it was declared outside the loop body.
+func outlivesIteration(info *types.Info, e ast.Expr, body *ast.BlockStmt) bool {
+	if isPersistentTarget(e) {
+		return true
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.ObjectOf(id)
+	return obj != nil && !analysis.EnclosesPos(body, obj.Pos())
+}

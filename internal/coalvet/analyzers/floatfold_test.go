@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"coalqoe/internal/coalvet/analyzers"
+	"coalqoe/internal/coalvet/vettest"
+)
+
+func TestFloatfold(t *testing.T) {
+	vettest.Run(t, "testdata/src", analyzers.Floatfold,
+		"coalqoe/internal/ffbad", // failing fixture (map-range folds, direct and via helper)
+		"coalqoe/internal/ffok",  // passing fixture (sorted keys, integer folds)
+	)
+}

@@ -1,0 +1,361 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"coalqoe/internal/coalvet/analysis"
+)
+
+// Goroutinebound enforces: never launch one goroutine per data
+// element. A loop sized by the workload (range over a slice/map,
+// counting up to len(...)) that contains a bare `go` statement scales
+// its goroutine count with input size — the PR-6 fleet regression
+// spawned one goroutine per simulated user and gated *inside* the
+// goroutine body, so 50k users meant 50k live stacks before the
+// semaphore ever throttled anything. The fix is to bound creation:
+// a fixed worker pool over a claim counter, or a semaphore acquired
+// in the loop before the spawn. Loops bounded by capacity (a worker
+// count, NumCPU) are fine; so are loops that block on a channel
+// outside the spawned body. The fact chain extends the check through
+// helpers: calling a function that spawns-per-call from a data-sized
+// loop is the same bug one frame down.
+var Goroutinebound = &analysis.Analyzer{
+	Name: "goroutinebound",
+	Doc: "forbid unbounded goroutine creation: no bare `go` (or call to a spawning helper) inside a data-sized loop; " +
+		"bound creation with a worker pool or a semaphore acquired before the spawn",
+	Facts: true,
+	Run:   runGoroutinebound,
+}
+
+// goroutineboundFact lists functions that launch at least one
+// goroutine per call and do not join it before returning, so callers
+// inherit the spawn.
+type goroutineboundFact struct {
+	SpawnsPerCall []string `json:"spawns_per_call,omitempty"`
+}
+
+// gbFacts resolves spawn facts for local and imported callees.
+type gbFacts struct {
+	pass     *analysis.Pass
+	local    map[string]bool
+	imported map[string]map[string]bool
+}
+
+func (gf *gbFacts) spawnsPerCall(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg() == gf.pass.Pkg {
+		return gf.local[analysis.FuncKey(fn)]
+	}
+	path := fn.Pkg().Path()
+	set, ok := gf.imported[path]
+	if !ok {
+		set = make(map[string]bool)
+		var f goroutineboundFact
+		if gf.pass.ImportFact(path, &f) {
+			for _, k := range f.SpawnsPerCall {
+				set[k] = true
+			}
+		}
+		gf.imported[path] = set
+	}
+	return set[analysis.FuncKey(fn)]
+}
+
+func runGoroutinebound(pass *analysis.Pass) error {
+	if !inModule(pass.Pkg) {
+		return nil
+	}
+	cg := analysis.BuildCallGraph(pass.TypesInfo, pass.Files)
+	gf := &gbFacts{pass: pass, local: make(map[string]bool), imported: make(map[string]map[string]bool)}
+	computeSpawnFacts(pass, cg, gf)
+	if len(gf.local) > 0 {
+		fact := goroutineboundFact{SpawnsPerCall: analysis.SortedFactKeys(gf.local)}
+		if err := pass.ExportFact(fact); err != nil {
+			return err
+		}
+	}
+	for _, fi := range cg.Funcs {
+		if pass.InTestFile(fi.Decl.Pos()) {
+			continue
+		}
+		checkGoroutineboundFunc(pass, gf, fi)
+	}
+	return nil
+}
+
+// computeSpawnFacts marks every function that starts a goroutine (or
+// transitively calls something that does) without a join (.Wait) in
+// its own body. Joined spawns return with their goroutines drained,
+// so the caller inherits nothing.
+func computeSpawnFacts(pass *analysis.Pass, cg *analysis.CallGraph, gf *gbFacts) {
+	joins := make(map[*analysis.FuncInfo]bool)
+	for _, fi := range cg.Funcs {
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+					joins[fi] = true
+				}
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range cg.Funcs {
+			if pass.InTestFile(fi.Decl.Pos()) || joins[fi] {
+				continue
+			}
+			key := analysis.FuncKey(fi.Fn)
+			if gf.local[key] {
+				continue
+			}
+			spawns := false
+			ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.GoStmt); ok {
+					spawns = true
+				}
+				return !spawns
+			})
+			if !spawns {
+				for _, call := range fi.Calls {
+					if gf.spawnsPerCall(analysis.Callee(pass.TypesInfo, call)) {
+						spawns = true
+						break
+					}
+				}
+			}
+			if spawns {
+				gf.local[key] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// checkGoroutineboundFunc walks one body with a stack of enclosing
+// loops and reports spawns under a data-sized, unbounded one.
+func checkGoroutineboundFunc(pass *analysis.Pass, gf *gbFacts, fi *analysis.FuncInfo) {
+	type frame struct{ dataSized, bounded bool }
+	var stack []frame
+	unboundedData := func() bool {
+		for _, f := range stack {
+			if f.dataSized && !f.bounded {
+				return true
+			}
+		}
+		return false
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				stack = append(stack, frame{
+					dataSized: forLoopDataSized(pass, fi, n),
+					bounded:   loopHasBound(n.Body),
+				})
+				if n.Init != nil {
+					walk(n.Init)
+				}
+				if n.Cond != nil {
+					walk(n.Cond)
+				}
+				if n.Post != nil {
+					walk(n.Post)
+				}
+				walk(n.Body)
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.RangeStmt:
+				stack = append(stack, frame{
+					dataSized: rangeDataSized(pass, fi, n),
+					bounded:   loopHasBound(n.Body),
+				})
+				walk(n.X)
+				walk(n.Body)
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.GoStmt:
+				if unboundedData() {
+					pass.Reportf(n.Pos(),
+						"goroutine launched per element of a data-sized loop with no bound on creation; "+
+							"gate before spawning (worker pool over a claim counter, or semaphore acquired in the loop) [goroutinebound]")
+				}
+			case *ast.CallExpr:
+				fn := analysis.Callee(pass.TypesInfo, n)
+				if gf.spawnsPerCall(fn) && unboundedData() {
+					pass.Reportf(n.Pos(),
+						"%s launches a goroutine per call and is invoked per element of a data-sized loop; "+
+							"bound creation with a worker pool or semaphore before the call [goroutinebound]", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	walk(fi.Decl.Body)
+}
+
+// rangeDataSized reports whether the range statement iterates once
+// per data element.
+func rangeDataSized(pass *analysis.Pass, fi *analysis.FuncInfo, n *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(n.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Map, *types.Chan:
+		return true
+	case *types.Basic:
+		// range over an integer: sized by whatever the bound is.
+		return boundDataSized(pass, fi, n.X, nil, 0)
+	}
+	return false
+}
+
+// forLoopDataSized reports whether a counting loop's bound is the
+// size of a collection (`i < len(xs)`, `i < n` where n := len(xs))
+// rather than a capacity (a worker count, NumCPU). Unknown shapes are
+// not data-sized: under-approximating here can miss a spawn but never
+// flags a legitimate fixed-width pool.
+func forLoopDataSized(pass *analysis.Pass, fi *analysis.FuncInfo, n *ast.ForStmt) bool {
+	be, ok := ast.Unparen(n.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.LSS, token.LEQ:
+		return boundDataSized(pass, fi, be.Y, nil, 0)
+	}
+	return false
+}
+
+// boundDataSized reports whether the expression measures a data
+// collection. Identifiers are traced through straight-line
+// assignments in the enclosing function; assignments nested under an
+// if are skipped, because the dominant shape there is a min-clamp
+// (`if workers > len(jobs) { workers = len(jobs) }`) that makes the
+// variable capacity-bounded, not data-bounded.
+func boundDataSized(pass *analysis.Pass, fi *analysis.FuncInfo, e ast.Expr, seen map[types.Object]bool, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "len" || fun.Name == "cap" {
+				if _, isBuiltin := pass.TypesInfo.ObjectOf(fun).(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		case *ast.SelectorExpr:
+			switch fun.Sel.Name {
+			case "Len", "Size", "Count":
+				return true
+			}
+		}
+		// A type conversion is transparent.
+		if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return boundDataSized(pass, fi, e.Args[0], seen, depth+1)
+		}
+	case *ast.BinaryExpr:
+		return boundDataSized(pass, fi, e.X, seen, depth+1) ||
+			boundDataSized(pass, fi, e.Y, seen, depth+1)
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(e)
+		if obj == nil || seen[obj] {
+			return false
+		}
+		if seen == nil {
+			seen = make(map[types.Object]bool)
+		}
+		seen[obj] = true
+		found := false
+		var inIf int
+		var scan func(n ast.Node) bool
+		scan = func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.IfStmt:
+				if n.Init != nil {
+					ast.Inspect(n.Init, scan)
+				}
+				inIf++
+				ast.Inspect(n.Body, scan)
+				if n.Else != nil {
+					ast.Inspect(n.Else, scan)
+				}
+				inIf--
+				return false
+			case *ast.AssignStmt:
+				if inIf > 0 || len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+						if boundDataSized(pass, fi, n.Rhs[i], seen, depth+1) {
+							found = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) != len(n.Values) {
+					return true
+				}
+				for i, name := range n.Names {
+					if pass.TypesInfo.ObjectOf(name) == obj {
+						if boundDataSized(pass, fi, n.Values[i], seen, depth+1) {
+							found = true
+						}
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(fi.Decl.Body, scan)
+		return found
+	}
+	return false
+}
+
+// loopHasBound reports whether the loop body itself contains a
+// creation bound: a channel send or receive, or a semaphore Acquire,
+// executed in the loop — not inside the spawned goroutine's body,
+// where it gates execution but not creation (the PR-6 mistake).
+// A .Wait() in the loop serializes it outright.
+func loopHasBound(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // gating inside the goroutine bounds nothing
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Acquire", "Wait":
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,15 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"coalqoe/internal/coalvet/analyzers"
+	"coalqoe/internal/coalvet/vettest"
+)
+
+func TestGoroutinebound(t *testing.T) {
+	vettest.Run(t, "testdata/src", analyzers.Goroutinebound,
+		"coalqoe/internal/gbbad", // failing fixture (incl. the PR-6 spawn-then-gate shape)
+		"coalqoe/internal/gbok",  // passing fixture (worker pool, gate-before-spawn)
+	)
+}

@@ -1,0 +1,366 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"coalqoe/internal/coalvet/analysis"
+)
+
+// Seedlane enforces: per-lane seeds are derived with an FNV mix
+// (study.UserSeed, exp.CellSeed), never by arithmetic on a base seed
+// and a loop index or entity ID. Additive lanes — seed+i, seed+i*7919,
+// seed^id — put every stream on the same low-order orbit of the
+// underlying generator, which is exactly the correlated-fleet bug
+// PR 6 shipped and then had to bisect. The analyzer taints loop
+// indices and ID-carrying range bindings, follows the taint through
+// assignments and arithmetic, and reports when it reaches a seed
+// sink: a rand constructor argument, a Seed struct field, or — via
+// the cross-package fact chain — a parameter of any function that
+// itself feeds a rand constructor. A call is a taint boundary, so
+// hashing an index through an FNV helper sanctions the lane.
+var Seedlane = &analysis.Analyzer{
+	Name: "seedlane",
+	Doc: "forbid seeds derived by arithmetic on a base seed and a loop index or ID; " +
+		"additive lanes are correlated — derive per-lane seeds with an FNV mix (study.UserSeed, exp.CellSeed)",
+	Facts: true,
+	Run:   runSeedlane,
+}
+
+// seedlaneFact summarizes one package's seed plumbing for importers.
+type seedlaneFact struct {
+	// SinkParams maps FuncKey -> indices of integer parameters that
+	// reach a rand constructor (directly or through further calls).
+	SinkParams map[string][]int `json:"sink_params,omitempty"`
+	// ReturnParams maps FuncKey -> indices of integer parameters that
+	// flow into a return value through operators alone — arithmetic
+	// relabeling, not hashing. A caller passing a tainted argument at
+	// such an index gets a tainted result; FNV helpers never appear
+	// here because the hash call breaks the flow.
+	ReturnParams map[string][]int `json:"return_params,omitempty"`
+}
+
+// randSeedCtors are the stdlib constructors whose arguments are seeds.
+var randSeedCtors = map[string]bool{
+	"NewSource":  true, // math/rand
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func isRandSeedCtor(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	return fn != nil && randSeedCtors[fn.Name()] &&
+		(isPkgLevelFunc(fn, "math/rand") || isPkgLevelFunc(fn, "math/rand/v2"))
+}
+
+func integerish(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// slFacts resolves seedlane fact tables for local and imported callees.
+type slFacts struct {
+	pass     *analysis.Pass
+	local    *seedlaneFact
+	imported map[string]*seedlaneFact
+}
+
+func (sf *slFacts) tables(fn *types.Func) *seedlaneFact {
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if fn.Pkg() == sf.pass.Pkg {
+		return sf.local
+	}
+	path := fn.Pkg().Path()
+	if f, ok := sf.imported[path]; ok {
+		return f
+	}
+	f := new(seedlaneFact)
+	if !sf.pass.ImportFact(path, f) {
+		f = &seedlaneFact{}
+	}
+	sf.imported[path] = f
+	return f
+}
+
+func (sf *slFacts) sinkParams(fn *types.Func) []int {
+	if t := sf.tables(fn); t != nil {
+		return t.SinkParams[analysis.FuncKey(fn)]
+	}
+	return nil
+}
+
+func (sf *slFacts) returnParams(fn *types.Func) []int {
+	if t := sf.tables(fn); t != nil {
+		return t.ReturnParams[analysis.FuncKey(fn)]
+	}
+	return nil
+}
+
+// lanedCallSource extends a taint across arithmetic-relabeling
+// helpers: a call whose argument at a ReturnParams index is tainted
+// produces a tainted result.
+func (sf *slFacts) lanedCallSource(t *analysis.Taint) func(ast.Expr) bool {
+	return func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := analysis.Callee(sf.pass.TypesInfo, call)
+		for _, j := range sf.returnParams(fn) {
+			if j < len(call.Args) && t.Tainted(call.Args[j]) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func runSeedlane(pass *analysis.Pass) error {
+	if !inModule(pass.Pkg) {
+		return nil
+	}
+	cg := analysis.BuildCallGraph(pass.TypesInfo, pass.Files)
+	facts := computeSeedlaneFacts(pass, cg)
+	sf := &slFacts{pass: pass, local: facts, imported: make(map[string]*seedlaneFact)}
+	if len(facts.SinkParams) > 0 || len(facts.ReturnParams) > 0 {
+		if err := pass.ExportFact(facts); err != nil {
+			return err
+		}
+	}
+	for _, fi := range cg.Funcs {
+		if pass.InTestFile(fi.Decl.Pos()) {
+			continue
+		}
+		checkSeedlaneFunc(pass, sf, fi)
+	}
+	return nil
+}
+
+// computeSeedlaneFacts runs a per-parameter taint over every declared
+// function to a package-level fixpoint, so helper-through-helper
+// plumbing (Lane calls relane calls NewSource) resolves no matter the
+// declaration order.
+func computeSeedlaneFacts(pass *analysis.Pass, cg *analysis.CallGraph) *seedlaneFact {
+	facts := &seedlaneFact{
+		SinkParams:   make(map[string][]int),
+		ReturnParams: make(map[string][]int),
+	}
+	sf := &slFacts{pass: pass, local: facts, imported: make(map[string]*seedlaneFact)}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range cg.Funcs {
+			if pass.InTestFile(fi.Decl.Pos()) {
+				continue
+			}
+			sig, ok := fi.Fn.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			key := analysis.FuncKey(fi.Fn)
+			for i := 0; i < sig.Params().Len(); i++ {
+				p := sig.Params().At(i)
+				if !integerish(p.Type()) {
+					continue
+				}
+				haveSink := containsInt(facts.SinkParams[key], i)
+				haveRet := containsInt(facts.ReturnParams[key], i)
+				if haveSink && haveRet {
+					continue
+				}
+				t := analysis.NewTaint(pass.TypesInfo)
+				t.Add(p)
+				t.SourceExpr = sf.lanedCallSource(t)
+				t.Flood(fi.Decl.Body)
+				if !haveSink && taintReachesSeedSink(pass, sf, t, fi.Decl.Body) {
+					facts.SinkParams[key] = append(facts.SinkParams[key], i)
+					changed = true
+				}
+				if !haveRet && taintReachesReturn(t, fi.Decl.Body) {
+					facts.ReturnParams[key] = append(facts.ReturnParams[key], i)
+					changed = true
+				}
+			}
+		}
+	}
+	if len(facts.SinkParams) == 0 {
+		facts.SinkParams = nil
+	}
+	if len(facts.ReturnParams) == 0 {
+		facts.ReturnParams = nil
+	}
+	return facts
+}
+
+// taintReachesSeedSink reports whether a tainted value is used as a
+// rand-constructor argument or passed at a sink parameter of a
+// function known (by fact) to feed one. Closure bodies count: the
+// goroutine still seeds per call.
+func taintReachesSeedSink(pass *analysis.Pass, sf *slFacts, t *analysis.Taint, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isRandSeedCtor(pass.TypesInfo, call) {
+			for _, arg := range call.Args {
+				if t.Tainted(arg) {
+					found = true
+				}
+			}
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		for _, j := range sf.sinkParams(fn) {
+			if j < len(call.Args) && t.Tainted(call.Args[j]) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// taintReachesReturn reports whether a tainted value flows into one of
+// the function's own return statements (closure returns excluded).
+func taintReachesReturn(t *analysis.Taint, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its returns are not ours
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if t.Tainted(r) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkSeedlaneFunc reports index-derived seeds inside one function.
+// Loop indices (for-clause variables, range keys) taint strongly; a
+// range value binding taints weakly and only becomes a lane when
+// mixed through arithmetic — ranging over a slice of precomputed
+// seeds and using one verbatim is fine, `seed + u.ID*7919` is not.
+func checkSeedlaneFunc(pass *analysis.Pass, sf *slFacts, fi *analysis.FuncInfo) {
+	info := pass.TypesInfo
+	body := fi.Decl.Body
+	weak := analysis.NewTaint(info)
+	strong := analysis.NewTaint(info)
+	seedLoopTaint := func(e ast.Expr, t *analysis.Taint, needInt bool) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil || (needInt && !integerish(obj.Type())) {
+			return
+		}
+		t.Add(obj)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if a, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range a.Lhs {
+					seedLoopTaint(lhs, strong, true)
+				}
+			}
+		case *ast.RangeStmt:
+			seedLoopTaint(n.Key, strong, true)
+			seedLoopTaint(n.Value, weak, false)
+		}
+		return true
+	})
+	if len(strong.Objs) == 0 && len(weak.Objs) == 0 {
+		return
+	}
+	weak.Flood(body)
+	lanedCall := sf.lanedCallSource(strong)
+	strong.SourceExpr = func(e ast.Expr) bool {
+		if be, ok := e.(*ast.BinaryExpr); ok && isArithOp(be.Op) {
+			if weak.Tainted(be.X) || weak.Tainted(be.Y) {
+				return true
+			}
+		}
+		return lanedCall(e)
+	}
+	strong.Flood(body)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isRandSeedCtor(info, n) {
+				for _, arg := range n.Args {
+					if strong.Tainted(arg) {
+						pass.Reportf(arg.Pos(),
+							"seed derived by arithmetic on a loop index or ID reaches a rand constructor; "+
+								"additive lanes are correlated — derive per-lane seeds with an FNV mix (study.UserSeed, exp.CellSeed) [seedlane]")
+					}
+				}
+				return true
+			}
+			fn := analysis.Callee(info, n)
+			for _, j := range sf.sinkParams(fn) {
+				if j < len(n.Args) && strong.Tainted(n.Args[j]) {
+					pass.Reportf(n.Args[j].Pos(),
+						"loop-index-derived seed flows into %s, which feeds it to a rand constructor; "+
+							"derive per-lane seeds with an FNV mix (study.UserSeed, exp.CellSeed) [seedlane]",
+						fn.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if ok && sel.Sel.Name == "Seed" && strong.Tainted(n.Rhs[i]) {
+					pass.Reportf(n.Pos(),
+						"Seed field is assigned arithmetic on a loop index; additive lanes are correlated — "+
+							"derive per-lane seeds with an FNV mix (study.UserSeed, exp.CellSeed) [seedlane]")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Seed" && strong.Tainted(kv.Value) {
+					pass.Reportf(kv.Value.Pos(),
+						"Seed field is built from arithmetic on a loop index; additive lanes are correlated — "+
+							"derive per-lane seeds with an FNV mix (study.UserSeed, exp.CellSeed) [seedlane]")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isArithOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.XOR, token.OR, token.SHL, token.SHR:
+		return true
+	}
+	return false
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

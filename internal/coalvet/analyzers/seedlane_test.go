@@ -1,0 +1,48 @@
+package analyzers_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"coalqoe/internal/coalvet/analyzers"
+	"coalqoe/internal/coalvet/vettest"
+)
+
+func TestSeedlane(t *testing.T) {
+	vettest.Run(t, "testdata/src", analyzers.Seedlane,
+		"coalqoe/internal/slbad", // failing fixture (incl. the PR-6 additive-lane shape)
+		"coalqoe/internal/slok",  // passing fixture (FNV lanes, precomputed seeds)
+	)
+}
+
+// TestSeedlaneFactExport pins the wire-level fact a dependency
+// exports: sllib's seed plumbing must survive JSON round-tripping
+// exactly, because `go vet` composes these blobs across compilation
+// units sight unseen.
+func TestSeedlaneFactExport(t *testing.T) {
+	store := vettest.DepFacts(t, "testdata/src", analyzers.Seedlane, "coalqoe/internal/slbad")
+	raw, ok := store["coalqoe/internal/sllib"]["seedlane"]
+	if !ok {
+		t.Fatalf("sllib exported no seedlane fact; store: %v", store)
+	}
+	var fact struct {
+		SinkParams   map[string][]int `json:"sink_params"`
+		ReturnParams map[string][]int `json:"return_params"`
+	}
+	if err := json.Unmarshal(raw, &fact); err != nil {
+		t.Fatalf("decoding sllib fact: %v", err)
+	}
+	if got, want := fact.SinkParams["Run"], []int{1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SinkParams[Run] = %v, want %v (Run's seed parameter feeds rand.NewSource)", got, want)
+	}
+	if got, want := fact.ReturnParams["Lane"], []int{0, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ReturnParams[Lane] = %v, want %v (Lane relabels both parameters)", got, want)
+	}
+	if got := fact.ReturnParams["Mix"]; len(got) != 0 {
+		t.Errorf("ReturnParams[Mix] = %v, want none: the FNV hash is a taint boundary", got)
+	}
+	if got := fact.SinkParams["Mix"]; len(got) != 0 {
+		t.Errorf("SinkParams[Mix] = %v, want none", got)
+	}
+}

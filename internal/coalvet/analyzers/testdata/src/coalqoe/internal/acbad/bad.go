@@ -1,0 +1,62 @@
+// Failing fixture for the atomiccounter analyzer, including the PR-6
+// regression shape verbatim: a *telemetry.Counter captured by
+// per-user goroutines and incremented concurrently — plain
+// loads/stores, so increments vanish silently.
+package acbad
+
+import (
+	"sync"
+
+	"coalqoe/internal/aclib"
+	"coalqoe/internal/telemetry"
+)
+
+type user struct {
+	ID int64
+}
+
+func simulate(u user) {
+	_ = u.ID
+}
+
+// The PR-6 cross-goroutine counter bug, verbatim.
+func fleet(users []user, spawned *telemetry.Counter) {
+	var wg sync.WaitGroup
+	for _, u := range users {
+		wg.Add(1)
+		go func(u user) {
+			defer wg.Done()
+			spawned.Inc() // want "telemetry instrument captured from the spawning goroutine"
+			simulate(u)
+		}(u)
+	}
+	wg.Wait()
+}
+
+// Cross-package: aclib.Bump mutates the instrument behind its
+// parameter (fact), so handing it a captured counter is the same race.
+func fleetViaHelper(users []user, spawned *telemetry.Counter) {
+	var wg sync.WaitGroup
+	for _, u := range users {
+		wg.Add(1)
+		go func(u user) {
+			defer wg.Done()
+			aclib.Bump(spawned) // want "Bump mutates a telemetry instrument captured"
+			simulate(u)
+		}(u)
+	}
+	wg.Wait()
+}
+
+// Spawning the helper directly shares the counter just the same.
+func fireAndForget(spawned *telemetry.Counter) {
+	go aclib.Bump(spawned) // want "goroutine mutates the telemetry instrument passed to Bump"
+}
+
+// Cross-package through a receiver: Record mutates instruments
+// reachable from the captured Stats value.
+func recordAsync(s *aclib.Stats) {
+	go func() {
+		s.Record() // want "Record mutates telemetry instruments through a receiver captured"
+	}()
+}

@@ -1,0 +1,21 @@
+// Fixture library for the atomiccounter analyzer's fact chain: Bump
+// mutates the instrument behind its parameter, and (*Stats).Record
+// mutates instruments reachable from its receiver.
+package aclib
+
+import "coalqoe/internal/telemetry"
+
+// Bump increments the counter it is handed (mutates-param fact).
+func Bump(c *telemetry.Counter) {
+	c.Inc()
+}
+
+// Stats owns instruments; Record mutates through the receiver
+// (mutates-recv fact).
+type Stats struct {
+	Done *telemetry.Counter
+}
+
+func (s *Stats) Record() {
+	s.Done.Inc()
+}

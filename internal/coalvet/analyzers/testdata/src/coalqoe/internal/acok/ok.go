@@ -1,0 +1,65 @@
+// Passing fixture for the atomiccounter analyzer: the engine's
+// flush-after-drain discipline (workers accumulate privately, the
+// coordinator folds into shared instruments after wg.Wait), plus a
+// mutex-guarded body and goroutine-local instruments.
+package acok
+
+import (
+	"sync"
+
+	"coalqoe/internal/telemetry"
+)
+
+type user struct {
+	ID int64
+}
+
+func simulate(u user) int64 {
+	return u.ID
+}
+
+// Flush after the drain: the only shared-instrument mutation happens
+// in the spawning goroutine, after every worker has exited.
+func fleet(users []user, spawned *telemetry.Counter) {
+	results := make(chan int64, len(users))
+	var wg sync.WaitGroup
+	for _, u := range users {
+		wg.Add(1)
+		go func(u user) {
+			defer wg.Done()
+			results <- simulate(u)
+		}(u)
+	}
+	wg.Wait()
+	close(results)
+	var total int64
+	for n := range results {
+		total += n
+	}
+	spawned.Add(total)
+}
+
+// A body that takes a mutex has opted into explicit synchronization.
+func guarded(spawned *telemetry.Counter, mu *sync.Mutex) {
+	go func() {
+		mu.Lock()
+		defer mu.Unlock()
+		spawned.Inc()
+	}()
+}
+
+// An instrument declared inside the goroutine body is private to it.
+func private(users []user) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local telemetry.Counter
+			for _, u := range users {
+				local.Add(simulate(u))
+			}
+		}()
+	}
+	wg.Wait()
+}

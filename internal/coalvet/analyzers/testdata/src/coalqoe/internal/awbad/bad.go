@@ -1,0 +1,49 @@
+// Failing fixture for the atomicwrite analyzer: artifacts written in
+// place, directly and through helpers.
+package awbad
+
+import (
+	"os"
+
+	"coalqoe/internal/awlib"
+)
+
+func writeReport(data []byte) error {
+	return os.WriteFile("report.json", data, 0o644) // want "os.WriteFile writes the artifact in place"
+}
+
+func writeSummary(data []byte) error {
+	out := "summary.csv"
+	f, err := os.Create(out) // want "os.Create writes the artifact in place"
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+func appendLog(line []byte) error {
+	f, err := os.OpenFile("run.log", os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644) // want "os.OpenFile writes the artifact in place"
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(line)
+	return err
+}
+
+// Cross-package: awlib.Dump writes at its path parameter (fact), so
+// this call is the write site.
+func writeFinal(data []byte) error {
+	return awlib.Dump("final.json", data) // want "Dump writes the artifact in place"
+}
+
+// In-package helper: same fact machinery, one package deep.
+func save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600)
+}
+
+func writeTrace(data []byte) error {
+	return save("trace.json", data) // want "save writes the artifact in place"
+}

@@ -1,0 +1,11 @@
+// Fixture library for the atomicwrite analyzer's fact chain: Dump
+// writes to the path its caller supplies, so each call site is the
+// real write site (write-param fact).
+package awlib
+
+import "os"
+
+// Dump writes data at path, atomicity left to the caller.
+func Dump(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

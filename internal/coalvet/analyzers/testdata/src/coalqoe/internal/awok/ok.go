@@ -1,0 +1,69 @@
+// Passing fixture for the atomicwrite analyzer: temp-then-rename in
+// all its spellings, scratch files, and read-only opens.
+package awok
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"coalqoe/internal/awlib"
+)
+
+// The canonical idiom (engine.writeCheckpoint's shape).
+func flush(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func writeReport(data []byte) error {
+	return flush("report.json", data)
+}
+
+// Temp-marking survives Sprintf and filepath.Join.
+func writeStaged(dir string, data []byte) error {
+	staged := filepath.Join(dir, fmt.Sprintf("%s.partial", "report.json"))
+	if err := awlib.Dump(staged, data); err != nil {
+		return err
+	}
+	return os.Rename(staged, filepath.Join(dir, "report.json"))
+}
+
+// Scratch files from CreateTemp are not artifacts.
+func scratch(data []byte) error {
+	f, err := os.CreateTemp("", "coalqoe-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(f.Name())
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+// A read-only open is not a write site.
+func read(path string) ([]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+
+// The suffix may be a named constant (atomicio spells it this way);
+// the taint reads the constant's value, not the token.
+const scratchSuffix = ".tmp"
+
+func constSuffix(path string, data []byte) error {
+	tmp := path + scratchSuffix
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,28 @@
+// Fixture for stale-directive detection: a used //coalvet:allow is
+// silent, an unused one for an analyzer that ran is reported, and an
+// unused one for an analyzer that did NOT run is left alone (it may
+// be live under the full suite). The test drives only wallclock.
+package dcstale
+
+import "time"
+
+// A live exemption: the directive suppresses a real wallclock
+// finding, so it is used.
+func stamp() time.Time {
+	return time.Now() //coalvet:allow wallclock fixture exercises a live suppression
+}
+
+// A stale exemption: wallclock runs here and finds nothing on the
+// directive's line, so the directive suppresses nothing.
+func pure() int {
+	// want+1 "stale //coalvet:allow wallclock directive"
+	//coalvet:allow wallclock kept after the timer was refactored away
+	return 42
+}
+
+// Not stale in this run: globalrand is not part of the single-analyzer
+// pass, so the directive's liveness is unknown and it is left alone.
+func quiet() int {
+	//coalvet:allow globalrand jitter is reseeded per cell in this fixture
+	return 7
+}

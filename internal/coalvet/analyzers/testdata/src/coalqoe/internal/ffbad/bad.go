@@ -1,0 +1,43 @@
+// Failing fixture for the floatfold analyzer: float folds fed by map
+// ranges, in compound, spelled-out, derived, and helper forms.
+package ffbad
+
+import "coalqoe/internal/fflib"
+
+func mean(samples map[string]float64) float64 {
+	var sum float64
+	for _, v := range samples {
+		sum += v // want "float accumulation over a map range is order-sensitive"
+	}
+	return sum / float64(len(samples))
+}
+
+func product(samples map[string]float64) float64 {
+	prod := 1.0
+	for _, v := range samples {
+		prod = prod * v // want "float accumulation over a map range is order-sensitive"
+	}
+	return prod
+}
+
+func weighted(samples map[string]float64, w float64) float64 {
+	var sum float64
+	for _, v := range samples {
+		scaled := v * w
+		sum += scaled // want "float accumulation over a map range is order-sensitive"
+	}
+	return sum
+}
+
+// Cross-package: the fold happens one call down, inside fflib.
+func viaHelper(samples map[string]float64, acc *fflib.Acc) {
+	for _, v := range samples {
+		fflib.AddTo(acc, v) // want "AddTo folds this map-range value into float state"
+	}
+}
+
+func viaMethod(samples map[string]float64, acc *fflib.Acc) {
+	for _, v := range samples {
+		acc.Add(v) // want "Add folds this map-range value into float state"
+	}
+}

@@ -1,0 +1,24 @@
+// Fixture library for the floatfold analyzer's fact chain: AddTo and
+// (*Acc).Add fold their float parameter into state that outlives the
+// call (accumulates-param facts).
+package fflib
+
+// Acc is a persistent float accumulator.
+type Acc struct {
+	Total float64
+}
+
+// Add folds v into the accumulator (fact: param 0).
+func (a *Acc) Add(v float64) {
+	a.Total += v
+}
+
+// AddTo folds v into acc (fact: param 1).
+func AddTo(acc *Acc, v float64) {
+	acc.Total += v
+}
+
+// Mean is pure: nothing persists, no fact.
+func Mean(a, b float64) float64 {
+	return (a + b) / 2
+}

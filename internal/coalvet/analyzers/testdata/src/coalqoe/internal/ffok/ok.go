@@ -1,0 +1,41 @@
+// Passing fixture for the floatfold analyzer: the sorted-keys idiom,
+// exact integer accumulation, and per-iteration locals.
+package ffok
+
+import "sort"
+
+// The prescribed fix: collect keys, sort, fold over the slice — the
+// fold order is deterministic and the range is no longer a map range.
+func mean(samples map[string]float64) float64 {
+	keys := make([]string, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += samples[k]
+	}
+	return sum / float64(len(samples))
+}
+
+// Integer accumulation is exact in any order.
+func total(counts map[string]int64) int64 {
+	var n int64
+	for _, v := range counts {
+		n += v
+	}
+	return n
+}
+
+// A float local that dies with the iteration cannot accumulate
+// across orderings.
+func perItem(samples map[string]float64) float64 {
+	var last float64
+	for _, v := range samples {
+		x := v * 2
+		x += 1
+		last = x
+	}
+	return last
+}

@@ -1,0 +1,52 @@
+// Failing fixture for the goroutinebound analyzer, including the
+// PR-6 regression shape verbatim: one goroutine per user with the
+// semaphore acquired inside the goroutine body, which throttles
+// execution but not creation — 50k users meant 50k live stacks.
+package gbbad
+
+import (
+	"sync"
+
+	"coalqoe/internal/gblib"
+)
+
+type user struct {
+	ID int64
+}
+
+func simulate(u user) {
+	_ = u.ID
+}
+
+// The PR-6 spawn-then-gate bug, verbatim.
+func fleet(users []user) {
+	sem := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	for _, u := range users {
+		wg.Add(1)
+		go func(u user) { // want "goroutine launched per element of a data-sized loop"
+			sem <- struct{}{}
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			simulate(u)
+		}(u)
+	}
+	wg.Wait()
+}
+
+// A counting loop sized by the data is the same shape.
+func fleetIndexed(users []user) {
+	for i := 0; i < len(users); i++ {
+		go simulate(users[i]) // want "goroutine launched per element of a data-sized loop"
+	}
+}
+
+// Cross-package: gblib.Spawn launches a goroutine per call, so
+// calling it per element inherits the spawn.
+func fleetViaHelper(users []gblib.User) {
+	for _, u := range users {
+		gblib.Spawn(u) // want "Spawn launches a goroutine per call"
+	}
+}

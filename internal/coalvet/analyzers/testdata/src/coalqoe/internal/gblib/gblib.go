@@ -1,0 +1,31 @@
+// Fixture library for the goroutinebound analyzer's fact chain:
+// Spawn launches a goroutine per call without joining it (a
+// spawns-per-call fact); RunJoined drains its goroutine before
+// returning and so exports nothing.
+package gblib
+
+import "sync"
+
+type User struct {
+	ID int64
+}
+
+func simulate(u User) {
+	_ = u.ID
+}
+
+// Spawn launches one unjoined goroutine per call.
+func Spawn(u User) {
+	go simulate(u)
+}
+
+// RunJoined spawns and waits; callers inherit no goroutine.
+func RunJoined(u User) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		simulate(u)
+	}()
+	wg.Wait()
+}

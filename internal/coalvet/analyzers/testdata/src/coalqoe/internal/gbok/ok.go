@@ -1,0 +1,70 @@
+// Passing fixture for the goroutinebound analyzer: capacity-bounded
+// worker pools, gate-before-spawn semaphores, and joined helpers.
+package gbok
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"coalqoe/internal/gblib"
+)
+
+type user struct {
+	ID int64
+}
+
+func simulate(u user) {
+	_ = u.ID
+}
+
+// The engine's claim-counter worker pool: goroutine count is the
+// worker capacity (min-clamped to the data), never the data size.
+func pool(users []user) {
+	workers := 4
+	if workers > len(users) {
+		workers = len(users)
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&next, 1) - 1
+				if int(i) >= len(users) {
+					return
+				}
+				simulate(users[int(i)])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Gate before the spawn: the send blocks creation, not just
+// execution.
+func gated(users []user) {
+	sem := make(chan struct{}, 8)
+	var wg sync.WaitGroup
+	for _, u := range users {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(u user) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			simulate(u)
+		}(u)
+	}
+	wg.Wait()
+}
+
+// RunJoined drains its goroutine before returning; calling it per
+// element adds no concurrency.
+func serial(users []gblib.User) {
+	for _, u := range users {
+		gblib.RunJoined(u)
+	}
+}

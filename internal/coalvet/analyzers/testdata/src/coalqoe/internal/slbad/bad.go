@@ -1,0 +1,54 @@
+// Failing fixture for the seedlane analyzer, including the PR-6
+// regression shape verbatim: per-user seeds derived as
+// `seed + int64(i)*7919`, which puts every user's generator on the
+// same additive orbit.
+package slbad
+
+import (
+	"math/rand"
+
+	"coalqoe/internal/sllib"
+)
+
+type user struct {
+	ID int64
+}
+
+type cell struct {
+	Seed int64
+}
+
+func fleet(seed int64, users []user) {
+	for i, u := range users {
+		// The PR-6 correlated-lane bug, verbatim.
+		rng := rand.New(rand.NewSource(seed + int64(i)*7919)) // want "seed derived by arithmetic on a loop index"
+		_ = rng.Int63()
+
+		// Cross-package: sllib.Run's seed parameter reaches a rand
+		// constructor (sink fact).
+		sllib.Run(u.ID, seed+int64(i)) // want "loop-index-derived seed flows into Run"
+
+		// Cross-package: sllib.Lane relabels arithmetically (return
+		// fact), so its result is still a lane.
+		_ = rand.NewSource(sllib.Lane(seed, int64(i))) // want "seed derived by arithmetic on a loop index"
+
+		// Mixing an entity ID from a range binding is the same bug.
+		_ = rand.NewSource(seed ^ u.ID) // want "seed derived by arithmetic on a loop index"
+	}
+}
+
+func grid(base int64, cells []cell) {
+	for i := range cells {
+		c := cell{}
+		c.Seed = base + int64(i) + 1 // want "Seed field is assigned arithmetic on a loop index"
+		cells[i] = c
+	}
+}
+
+func build(base int64, n int) []cell {
+	out := make([]cell, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, cell{Seed: base + int64(i)}) // want "Seed field is built from arithmetic on a loop index"
+	}
+	return out
+}

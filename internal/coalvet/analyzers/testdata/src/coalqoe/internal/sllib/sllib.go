@@ -1,0 +1,31 @@
+// Fixture library for the seedlane analyzer's cross-package fact
+// chain: Run feeds its seed parameter to a rand constructor (a sink
+// fact), Lane relabels its parameters arithmetically into its return
+// value (a return fact), and Mix hashes — so taint through Mix dies
+// at the call, exactly like study.UserSeed in the real tree.
+package sllib
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// Run simulates one user with the given seed (sink fact: param 1).
+func Run(id int64, seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	return id + rng.Int63n(16)
+}
+
+// Lane derives a lane additively (return fact: params 0 and 1).
+func Lane(base, i int64) int64 {
+	return base + i*7919
+}
+
+// Mix derives a lane with an FNV hash; the hash call is a taint
+// boundary, so callers may pass loop indices freely.
+func Mix(base, id int64) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d:%d", base, id)
+	return int64(h.Sum64())
+}

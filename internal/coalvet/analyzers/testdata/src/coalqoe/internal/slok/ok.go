@@ -1,0 +1,47 @@
+// Passing fixture for the seedlane analyzer: FNV-derived lanes,
+// precomputed seed slices, and index-free seeding are all clean.
+package slok
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"coalqoe/internal/sllib"
+)
+
+type user struct {
+	ID int64
+}
+
+// mix is the sanctioned lane derivation: the hash call is a taint
+// boundary, so the loop index never reaches the constructor.
+func mix(base, id int64) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d:%d", base, id)
+	return int64(h.Sum64())
+}
+
+func fleet(seed int64, users []user) {
+	for i, u := range users {
+		_ = rand.New(rand.NewSource(mix(seed, int64(i))))
+		sllib.Run(u.ID, sllib.Mix(seed, u.ID))
+	}
+}
+
+// Ranging over precomputed lanes and using one verbatim is fine: the
+// value binding only becomes a lane when mixed arithmetically.
+func replay(seeds []int64) {
+	for _, s := range seeds {
+		_ = rand.New(rand.NewSource(s))
+	}
+}
+
+// A loop that seeds from an invariant base is not a lane bug (it is a
+// different bug, but not this analyzer's).
+func repeat(base int64, n int) {
+	for i := 0; i < n; i++ {
+		_ = rand.NewSource(base)
+		_ = i
+	}
+}

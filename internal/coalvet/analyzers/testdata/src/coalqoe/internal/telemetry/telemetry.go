@@ -1,0 +1,34 @@
+// Fixture stand-in for coalqoe/internal/telemetry: same import path,
+// same non-atomic instrument surface, so the atomiccounter fixtures
+// typecheck against the shapes the real analyzer matches on.
+package telemetry
+
+type Counter struct {
+	v int64
+}
+
+func (c *Counter) Inc() {
+	c.v++
+}
+
+func (c *Counter) Add(n int64) {
+	c.v += n
+}
+
+func (c *Counter) Value() int64 {
+	return c.v
+}
+
+type Gauge struct {
+	v float64
+}
+
+func (g *Gauge) Set(v float64) {
+	g.v = v
+}
+
+func (g *Gauge) Max(v float64) {
+	if v > g.v {
+		g.v = v
+	}
+}

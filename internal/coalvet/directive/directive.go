@@ -27,7 +27,10 @@ const Prefix = "//coalvet:"
 // Targets lists the analyzer names a directive may suppress.
 // directivecheck itself is deliberately absent: directive syntax
 // errors cannot be suppressed.
-var Targets = []string{"globalrand", "maporder", "resultretain", "unitmix", "wallclock"}
+var Targets = []string{
+	"atomiccounter", "atomicwrite", "floatfold", "globalrand", "goroutinebound",
+	"maporder", "resultretain", "seedlane", "unitmix", "wallclock",
+}
 
 // IsTarget reports whether name is a suppressible analyzer.
 func IsTarget(name string) bool {
@@ -85,11 +88,21 @@ func Parse(text string) (Directive, error) {
 	return Directive{Analyzer: name, Reason: reason}, nil
 }
 
+// An entry is one directive occurrence in the index, shared between
+// the lines it covers so a hit on either marks it used.
+type entry struct {
+	d    Directive
+	pos  token.Pos
+	used bool
+}
+
 // An Index records, per file and line, which analyzers are suppressed.
 type Index struct {
 	fset *token.FileSet
-	// byFile maps filename -> line -> set of analyzer names.
-	byFile map[string]map[int]map[string]bool
+	// byFile maps filename -> line -> analyzer name -> directive.
+	byFile map[string]map[int]map[string]*entry
+	// all holds every directive in scan order, for the stale sweep.
+	all []*entry
 }
 
 // NewIndex scans the comments of files and builds the suppression
@@ -97,7 +110,7 @@ type Index struct {
 // ignored here (they never suppress); the directivecheck analyzer
 // reports them.
 func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
-	idx := &Index{fset: fset, byFile: make(map[string]map[int]map[string]bool)}
+	idx := &Index{fset: fset, byFile: make(map[string]map[int]map[string]*entry)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -105,10 +118,12 @@ func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
 				if err != nil {
 					continue
 				}
+				e := &entry{d: d, pos: c.Pos()}
+				idx.all = append(idx.all, e)
 				pos := fset.Position(c.Pos())
 				lines := idx.byFile[pos.Filename]
 				if lines == nil {
-					lines = make(map[int]map[string]bool)
+					lines = make(map[int]map[string]*entry)
 					idx.byFile[pos.Filename] = lines
 				}
 				end := fset.Position(c.End()).Line
@@ -117,10 +132,10 @@ func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
 				for _, line := range []int{pos.Line, end + 1} {
 					set := lines[line]
 					if set == nil {
-						set = make(map[string]bool)
+						set = make(map[string]*entry)
 						lines[line] = set
 					}
-					set[d.Analyzer] = true
+					set[d.Analyzer] = e
 				}
 			}
 		}
@@ -129,14 +144,48 @@ func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
 }
 
 // Allows reports whether a diagnostic from the named analyzer at pos
-// is suppressed by a directive.
+// is suppressed by a directive, marking the directive as used — the
+// bookkeeping behind stale-directive detection.
 func (idx *Index) Allows(analyzer string, pos token.Pos) bool {
 	p := idx.fset.Position(pos)
 	lines, ok := idx.byFile[p.Filename]
 	if !ok {
 		return false
 	}
-	return lines[p.Line][analyzer]
+	e := lines[p.Line][analyzer]
+	if e == nil {
+		return false
+	}
+	e.used = true
+	return true
+}
+
+// A Stale is one directive that suppressed nothing in a run where its
+// target analyzer executed — dead weight that reads like a live
+// exemption.
+type Stale struct {
+	Pos      token.Pos
+	Analyzer string
+	Reason   string
+}
+
+// StaleDirectives returns, in scan order, the directives whose target
+// analyzer is in ran but which no diagnostic hit. Directives in
+// _test.go files are exempt: most analyzers skip test files, so their
+// directives there can never be "used" (they exist as documentation
+// and fixture material).
+func (idx *Index) StaleDirectives(ran map[string]bool) []Stale {
+	var out []Stale
+	for _, e := range idx.all {
+		if e.used || !ran[e.d.Analyzer] {
+			continue
+		}
+		if f := idx.fset.File(e.pos); f != nil && strings.HasSuffix(f.Name(), "_test.go") {
+			continue
+		}
+		out = append(out, Stale{Pos: e.pos, Analyzer: e.d.Analyzer, Reason: e.d.Reason})
+	}
+	return out
 }
 
 // TargetsString returns the known analyzer names joined for help text,

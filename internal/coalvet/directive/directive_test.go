@@ -112,3 +112,93 @@ var c = 3
 		t.Error("reason-less directive must not suppress anything")
 	}
 }
+
+func TestParseGrammarEdgeCases(t *testing.T) {
+	// Only the first word after the verb is the analyzer; a second
+	// analyzer name on the same line folds into the reason, so one
+	// directive never waives two invariants.
+	d, err := Parse("//coalvet:allow wallclock globalrand both waived in one line")
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if d.Analyzer != "wallclock" || d.Reason != "globalrand both waived in one line" {
+		t.Errorf("got %+v, want analyzer wallclock with the rest as reason", d)
+	}
+
+	// Tabs separate like spaces, and trailing whitespace is trimmed.
+	d, err = Parse("//coalvet:allow seedlane\twithin-cell repeat lanes are serial\t ")
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if d.Analyzer != "seedlane" || d.Reason != "within-cell repeat lanes are serial" {
+		t.Errorf("got %+v, want tab-separated seedlane directive", d)
+	}
+
+	// The phase-2 analyzer names are all valid targets.
+	for _, name := range []string{"seedlane", "goroutinebound", "atomiccounter", "atomicwrite", "floatfold"} {
+		if _, err := Parse("//coalvet:allow " + name + " valid justification"); err != nil {
+			t.Errorf("Parse with analyzer %s: %v", name, err)
+		}
+	}
+
+	// A typo'd phase-2 name is rejected with the known list.
+	_, err = Parse("//coalvet:allow seedlanes plural typo")
+	if err == nil || !strings.Contains(err.Error(), "unknown analyzer") {
+		t.Errorf("plural typo: got %v, want unknown-analyzer error", err)
+	}
+}
+
+func TestStaleDirectives(t *testing.T) {
+	src := `package p
+
+var a = 1 //coalvet:allow maporder used by the test below
+
+//coalvet:allow wallclock timer refactored away, directive left behind
+var b = 2
+
+//coalvet:allow globalrand liveness unknown in this run
+var c = 3
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "stale.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewIndex(fset, []*ast.File{f})
+	if !idx.Allows("maporder", fset.File(f.Pos()).LineStart(3)) {
+		t.Fatal("maporder directive should suppress on its own line")
+	}
+	// wallclock and maporder ran; globalrand did not.
+	stale := idx.StaleDirectives(map[string]bool{"maporder": true, "wallclock": true})
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale directives, want 1: %+v", len(stale), stale)
+	}
+	if stale[0].Analyzer != "wallclock" || !strings.Contains(stale[0].Reason, "left behind") {
+		t.Errorf("stale = %+v, want the unused wallclock directive", stale[0])
+	}
+	if got := fset.Position(stale[0].Pos).Line; got != 5 {
+		t.Errorf("stale directive reported at line %d, want 5", got)
+	}
+
+	// A used directive never goes stale, even across repeated sweeps.
+	if more := idx.StaleDirectives(map[string]bool{"maporder": true}); len(more) != 0 {
+		t.Errorf("used maporder directive reported stale: %+v", more)
+	}
+}
+
+func TestStaleDirectivesSkipsTestFiles(t *testing.T) {
+	src := `package p
+
+//coalvet:allow wallclock analyzers skip test files, never usable here
+var a = 1
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p_test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewIndex(fset, []*ast.File{f})
+	if stale := idx.StaleDirectives(map[string]bool{"wallclock": true}); len(stale) != 0 {
+		t.Errorf("directive in _test.go reported stale: %+v", stale)
+	}
+}

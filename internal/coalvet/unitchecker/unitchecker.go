@@ -15,6 +15,16 @@
 //	coalvet [flags] x.cfg  analyze one unit; diagnostics to stderr,
 //	                       non-zero exit if any; always write the
 //	                       facts file named by cfg.VetxOutput
+//
+// Since coalvet grew interprocedural analyzers, the facts file is no
+// longer a placeholder: a unit's vetx holds one JSON fact per
+// (package, analyzer) — its own plus everything it imported — so
+// whole-module properties (a seed parameter three packages away
+// reaching rand.NewSource) compose under cmd/go's ordinary build
+// caching. Dependency units inside the module are typechecked and run
+// in fact-only mode; out-of-module dependencies still short-circuit
+// to an empty facts file, keeping `go vet` fast over the standard
+// library's build graph.
 package unitchecker
 
 import (
@@ -29,6 +39,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"coalqoe/internal/coalvet/analysis"
 	"coalqoe/internal/coalvet/directive"
@@ -50,16 +61,21 @@ type Config struct {
 	ImportMap                 map[string]string // import path -> canonical package path
 	PackageFile               map[string]string // package path -> export data file
 	Standard                  map[string]bool
-	PackageVetx               map[string]string // package path -> facts file (unused: no facts)
+	PackageVetx               map[string]string // package path -> facts file
 	VetxOnly                  bool              // facts-only run for a dependency
 	VetxOutput                string            // where to write this unit's facts
 	SucceedOnTypecheckFailure bool
 }
 
-// vetxPlaceholder is what we write as a facts file: coalvet's
-// analyzers are fact-free, but cmd/go caches the output file, so its
-// content must exist and be deterministic.
-var vetxPlaceholder = []byte("coalvet: no facts\n")
+// inModule reports whether the unit's package path belongs to the
+// module being vetted — the scope within which facts are computed and
+// consumed. Path "" covers the corner where cmd/go omits ModulePath
+// (GOPATH mode); no facts flow there, which only widens what the
+// analyzers must assume.
+func (cfg *Config) inModule(path string) bool {
+	return cfg.ModulePath != "" &&
+		(path == cfg.ModulePath || strings.HasPrefix(path, cfg.ModulePath+"/"))
+}
 
 // Run executes the suite over the unit described by configFile and
 // exits the process: 0 for clean, 1 for diagnostics or errors.
@@ -69,25 +85,32 @@ func Run(configFile string, analyzers []*analysis.Analyzer) {
 		log.Fatal(err)
 	}
 
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, vetxPlaceholder, 0o666); err != nil {
-			log.Fatalf("coalvet: writing facts placeholder: %v", err)
-		}
-	}
-	// Dependencies are analyzed only for facts, of which we have
-	// none; skip the typecheck entirely so `go vet -vettool` stays
-	// fast over the standard library's build graph.
+	// Dependencies are analyzed only for facts. In-module dependencies
+	// get a real fact-only pass; everything else (the standard
+	// library) writes an empty facts file without typechecking.
 	if cfg.VetxOnly {
+		var pkgs map[string]analysis.PackageFacts
+		if cfg.inModule(cfg.ImportPath) {
+			if _, facts, err := analyze(cfg, analyzers, true); err == nil {
+				pkgs = facts
+			}
+			// A dependency that fails to typecheck surfaces through
+			// the compiler; the empty facts file keeps the vet chain
+			// alive either way.
+		}
+		writeFacts(cfg, pkgs)
 		os.Exit(0)
 	}
 
-	diags, err := analyze(cfg, analyzers)
+	diags, facts, err := analyze(cfg, analyzers, false)
 	if err != nil {
+		writeFacts(cfg, nil)
 		if cfg.SucceedOnTypecheckFailure {
 			os.Exit(0)
 		}
 		log.Fatal(err)
 	}
+	writeFacts(cfg, facts)
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s\n", d)
 	}
@@ -112,16 +135,54 @@ func readConfig(filename string) (*Config, error) {
 	return cfg, nil
 }
 
-// analyze parses and typechecks the unit, runs every analyzer, and
-// returns the rendered, position-sorted, directive-filtered
-// diagnostics.
-func analyze(cfg *Config, analyzers []*analysis.Analyzer) ([]string, error) {
+// readImportedFacts loads and merges the facts files of every
+// in-module dependency named by the unit config. Unreadable or
+// unparseable files degrade to "no facts known", never to an error.
+func readImportedFacts(cfg *Config) map[string]analysis.PackageFacts {
+	merged := make(map[string]analysis.PackageFacts)
+	for path, file := range cfg.PackageVetx {
+		if !cfg.inModule(path) {
+			continue
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			continue
+		}
+		for pkg, facts := range analysis.DecodeFacts(data) {
+			if merged[pkg] == nil {
+				merged[pkg] = facts
+			}
+		}
+	}
+	return merged
+}
+
+// writeFacts persists the unit's facts file (imported + own) at
+// cfg.VetxOutput; cmd/go caches the file, so its content must exist
+// and be deterministic even when there is nothing to say.
+func writeFacts(cfg *Config, pkgs map[string]analysis.PackageFacts) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	data, err := analysis.EncodeFacts(pkgs)
+	if err != nil {
+		log.Fatalf("coalvet: encoding facts: %v", err)
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+		log.Fatalf("coalvet: writing facts file: %v", err)
+	}
+}
+
+// analyze parses and typechecks the unit, runs the suite (the whole
+// suite, or only the fact-exporting analyzers when factsOnly), and
+// returns the rendered diagnostics plus the unit's merged fact set.
+func analyze(cfg *Config, analyzers []*analysis.Analyzer, factsOnly bool) ([]string, map[string]analysis.PackageFacts, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		files = append(files, f)
 	}
@@ -156,34 +217,62 @@ func analyze(cfg *Config, analyzers []*analysis.Analyzer) ([]string, error) {
 	}
 	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
-	named := Check(fset, files, pkg, info, analyzers)
+	imported := readImportedFacts(cfg)
+	suite := analyzers
+	if factsOnly {
+		suite = nil
+		for _, a := range analyzers {
+			if a.Facts {
+				suite = append(suite, a)
+			}
+		}
+	}
+	named, own := Check(fset, files, pkg, info, suite, imported)
+	merged := imported
+	if len(own) > 0 {
+		merged[cfg.ImportPath] = own
+	}
+
+	if factsOnly {
+		return nil, merged, nil
+	}
 	out := make([]string, 0, len(named))
 	for _, d := range named {
 		out = append(out, fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message))
 	}
-	return out, nil
+	return out, merged, nil
 }
 
 // Check runs the analyzers over one typechecked package, applies
-// //coalvet:allow suppression, and returns position-sorted findings.
-// It is shared by this driver and the vettest fixture runner.
-func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) []analysis.NamedDiagnostic {
+// //coalvet:allow suppression, reports stale directives, and returns
+// position-sorted findings plus the package's exported facts. It is
+// shared by this driver and the vettest fixture runner; imported may
+// be nil when no fact chain is available.
+func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info,
+	analyzers []*analysis.Analyzer, imported map[string]analysis.PackageFacts) ([]analysis.NamedDiagnostic, analysis.PackageFacts) {
 	idx := directive.NewIndex(fset, files)
+	own := make(analysis.PackageFacts)
 	var diags []analysis.NamedDiagnostic
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      fset,
-			Files:     files,
-			Pkg:       pkg,
-			TypesInfo: info,
+			Analyzer:      a,
+			Fset:          fset,
+			Files:         files,
+			Pkg:           pkg,
+			TypesInfo:     info,
+			ImportedFacts: imported,
 			Report: func(d analysis.Diagnostic) {
 				diags = append(diags, analysis.NamedDiagnostic{Analyzer: a.Name, Diagnostic: d})
 			},
 		}
+		pass.SetFactSink(func(analyzer string, raw []byte) {
+			own[analyzer] = json.RawMessage(raw)
+		})
 		if err := a.Run(pass); err != nil {
 			pass.Reportf(token.NoPos, "analyzer %s failed: %v", a.Name, err)
 		}
@@ -196,8 +285,21 @@ func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *typ
 		}
 		kept = append(kept, d)
 	}
+	// A directive whose target analyzer ran but suppressed nothing is
+	// dead weight masquerading as a live exemption; report it under
+	// directivecheck (and, like syntax findings, unsuppressibly).
+	for _, s := range idx.StaleDirectives(ran) {
+		kept = append(kept, analysis.NamedDiagnostic{
+			Analyzer: "directivecheck",
+			Diagnostic: analysis.Diagnostic{
+				Pos: s.Pos,
+				Message: fmt.Sprintf("stale //coalvet:allow %s directive (%q): it suppresses no diagnostic — remove it [directivecheck]",
+					s.Analyzer, s.Reason),
+			},
+		})
+	}
 	analysis.SortDiagnostics(fset, kept)
-	return kept
+	return kept, own
 }
 
 type importerFunc func(path string) (*types.Package, error)

@@ -21,6 +21,13 @@
 // coalqoe/internal/units and friends), then against the real build's
 // export data via `go list -export`, which works offline from the
 // local build cache.
+//
+// Interprocedural analyzers (Analyzer.Facts) get the same fact chain
+// the real driver provides: every local fixture dependency is run in
+// fact-only mode, in dependency order, and the accumulated facts are
+// handed to the package under test — so a fixture can assert that a
+// seed-sink fact exported by one package triggers a diagnostic in
+// another, exactly as `go vet -vettool` composes vetx files.
 package vettest
 
 import (
@@ -62,9 +69,26 @@ func Run(t *testing.T, root string, a *analysis.Analyzer, pkgPaths ...string) {
 		if err != nil {
 			t.Fatalf("vettest: loading %s: %v", path, err)
 		}
-		diags := unitchecker.Check(ld.fset, pkg.files, pkg.pkg, pkg.info, []*analysis.Analyzer{a})
+		diags, _ := unitchecker.Check(ld.fset, pkg.files, pkg.pkg, pkg.info,
+			[]*analysis.Analyzer{a}, ld.depFacts(a, path))
 		checkWants(t, ld.fset, path, pkg.files, diags)
 	}
+}
+
+// DepFacts exposes the fixture fact chain for direct tests of the
+// fact-export path: it loads path and returns the facts its local
+// dependencies exported for analyzer a, keyed by package path.
+func DepFacts(t *testing.T, root string, a *analysis.Analyzer, path string) map[string]analysis.PackageFacts {
+	t.Helper()
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatalf("vettest: %v", err)
+	}
+	ld := newLoader(absRoot)
+	if _, err := ld.load(path); err != nil {
+		t.Fatalf("vettest: loading %s: %v", path, err)
+	}
+	return ld.depFacts(a, path)
 }
 
 // checkWants matches diagnostics against want expectations.
@@ -175,8 +199,32 @@ type loader struct {
 	root    string
 	fset    *token.FileSet
 	local   map[string]*loadedPkg
+	order   []string          // local packages in dependency-complete order
 	exports map[string]string // external package path -> export data file
 	gcImp   types.ImporterFrom
+}
+
+// depFacts runs the analyzer in fact-only mode over every loaded
+// local package except the one under test, in dependency order, and
+// returns the accumulated fact store — the fixture-tree analogue of
+// cmd/go threading vetx files through import order.
+func (ld *loader) depFacts(a *analysis.Analyzer, exclude string) map[string]analysis.PackageFacts {
+	store := make(map[string]analysis.PackageFacts)
+	if !a.Facts {
+		return store
+	}
+	for _, path := range ld.order {
+		if path == exclude {
+			continue
+		}
+		lp := ld.local[path]
+		_, own := unitchecker.Check(ld.fset, lp.files, lp.pkg, lp.info,
+			[]*analysis.Analyzer{a}, store)
+		if len(own) > 0 {
+			store[path] = own
+		}
+	}
+	return store
 }
 
 func newLoader(root string) *loader {
@@ -352,6 +400,10 @@ func (ld *loader) loadLocal(path string) (*loadedPkg, error) {
 	}
 	lp := &loadedPkg{files: files, pkg: pkg, info: info}
 	ld.local[path] = lp
+	// Imports load recursively through the importer above, so by the
+	// time a package lands here all its local dependencies are already
+	// in order — the property depFacts relies on.
+	ld.order = append(ld.order, path)
 	return lp, nil
 }
 

@@ -139,6 +139,7 @@ func RepeatParallel(o Options, cfg VideoRun, n int, baseSeed int64) []Result {
 	jobs := make([]VideoRun, n)
 	for i := range jobs {
 		c := cfg
+		//coalvet:allow seedlane documented repeat contract: seeds base+1..base+n, byte-identical to serial Repeat, pinned by digest goldens
 		c.Seed = baseSeed + int64(i) + 1
 		jobs[i] = c
 	}
@@ -158,6 +159,7 @@ func RunGrid(o Options, cells []VideoRun) [][]Result {
 		base := CellSeed(o.Seed, cell)
 		for i := 0; i < o.Runs; i++ {
 			c := cell
+			//coalvet:allow seedlane within-cell repeats off an FNV-derived CellSeed base; the serial rule is pinned by digest goldens
 			c.Seed = base + int64(i) + 1
 			jobs = append(jobs, c)
 		}

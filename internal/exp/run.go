@@ -249,6 +249,7 @@ func Repeat(cfg VideoRun, n int, baseSeed int64) []Result {
 	out := make([]Result, 0, n)
 	for i := 0; i < n; i++ {
 		c := cfg
+		//coalvet:allow seedlane the paper's five-run rule seeds base+1..base+n; changing it would invalidate the digest goldens
 		c.Seed = baseSeed + int64(i) + 1
 		out = append(out, Run(c))
 	}

@@ -241,6 +241,7 @@ func VideoRun60s(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := exp.Run(exp.VideoRun{
+			//coalvet:allow seedlane benchmark iterations need distinct seeds, not independent lanes; correlation cannot bias ns/op
 			Seed:       int64(i) + 1,
 			Profile:    device.Nokia1,
 			Video:      video,
