@@ -1,0 +1,100 @@
+// Command dashload is the closed-loop load generator: a fleet of
+// concurrent simulated DASH players hammering one dashserve process,
+// reporting throughput, tail latency (p50/p90/p99/p999 from merged
+// quantile sketches), error rate, and the server's own cache hit rate.
+//
+//	dashserve -addr :8080 -cache-mb 64 -coalesce &
+//	dashload -url http://localhost:8080 -players 1000 -duration 10s
+//
+// The report lands on stdout and, atomically, in -out (default
+// results/loadgen.txt). With -check, the exit status turns the run
+// into a smoke test: nonzero when any request failed or when a cache
+// was configured server-side but served nothing.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"coalqoe/internal/atomicio"
+	"coalqoe/internal/dash"
+	"coalqoe/internal/loadgen"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "dashserve base URL")
+	players := flag.Int("players", 200, "concurrent closed-loop players")
+	duration := flag.Duration("duration", 5*time.Second, "run length (wall time bound)")
+	segments := flag.Int("segments", 0, "max segments per player (0 = duration-bound only)")
+	seed := flag.Int64("seed", 1, "fleet seed (per-player FNV lanes)")
+	safety := flag.Float64("safety", 0.8, "rate-rule safety factor for rung selection")
+	retries := flag.Int("retries", 0, "retry attempts per fetch (0 = single attempt)")
+	out := flag.String("out", "results/loadgen.txt", `report path ("-" = stdout only)`)
+	check := flag.Bool("check", false, "exit nonzero on request errors or a silent cache")
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		BaseURL:     *url,
+		Players:     *players,
+		Duration:    *duration,
+		MaxSegments: *segments,
+		Seed:        *seed,
+		RateSafety:  *safety,
+		Now:         time.Now,
+		Sleep:       time.Sleep,
+	}
+	if *retries > 0 {
+		cfg.Retry = dash.RetryPolicy{Attempts: *retries}
+	}
+
+	fmt.Printf("dashload: %d players against %s for %v\n", *players, *url, *duration)
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dashload:", err)
+		os.Exit(1)
+	}
+	if m, err := loadgen.FetchServerStats(nil, *url); err == nil {
+		res.ServerMetrics = m
+	} else {
+		fmt.Fprintln(os.Stderr, "dashload: server metrics unavailable:", err)
+	}
+
+	var buf bytes.Buffer
+	if err := loadgen.WriteReport(&buf, res); err != nil {
+		fmt.Fprintln(os.Stderr, "dashload:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(buf.Bytes())
+	if *out != "-" {
+		if dir := filepath.Dir(*out); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "dashload:", err)
+				os.Exit(1)
+			}
+		}
+		if err := atomicio.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dashload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nreport written to %s\n", *out)
+	}
+
+	if *check {
+		if res.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "dashload: check failed: %d request errors\n", res.Errors)
+			os.Exit(1)
+		}
+		// A configured cache that served nothing means the cache path
+		// is broken (hit_rate is only exported when a cache exists).
+		if _, ok := res.ServerMetrics["dash.cache.hit_rate"]; ok {
+			if res.ServerMetrics["dash.cache.hits"]+res.ServerMetrics["dash.cache.coalesced"] == 0 {
+				fmt.Fprintln(os.Stderr, "dashload: check failed: cache configured but served nothing")
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,24 +1,54 @@
 // Command dashserve serves a DASH manifest and synthetic segments over
-// real HTTP — the stand-in for the paper's Apache video server (§4.1).
+// real HTTP — the stand-in for the paper's Apache video server (§4.1),
+// now with an optional CDN-model segment cache, request coalescing,
+// and server-side fault injection:
 //
-//	dashserve -addr :8080 -video 0
+//	dashserve -addr :8080 -video 0 -cache-mb 64 -coalesce
+//	dashserve -faults netflaky -faults-seed 42
 //	curl localhost:8080/manifest.json
 //	curl -o seg.mp4 localhost:8080/video/720p30/0
+//	curl localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain in-flight requests (graceful shutdown) and
+// print a final /metrics snapshot to stdout, so a scripted run —
+// start, load, kill -INT, wait — still collects its counters.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
+	"coalqoe/internal/cdn"
 	"coalqoe/internal/dash"
+	"coalqoe/internal/faults"
 )
+
+// planNames lists the fault plans for the -faults usage string.
+func planNames() []string {
+	var names []string
+	for _, sp := range faults.Plans() {
+		names = append(names, sp.Name)
+	}
+	return names
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	videoIdx := flag.Int("video", 0, "test video index 0..4")
+	cacheMB := flag.Int("cache-mb", 0, "segment cache capacity in MiB (0 = no cache)")
+	coalesce := flag.Bool("coalesce", false, "coalesce concurrent fetches of the same segment into one generation")
+	faultsPlan := flag.String("faults", "", "server-side fault plan: "+strings.Join(planNames(), ", "))
+	faultsSeed := flag.Int64("faults-seed", 1, "fault schedule seed")
+	faultsHorizon := flag.Duration("faults-horizon", 10*time.Minute, "fault schedule repeats every horizon")
 	flag.Parse()
 
 	if *videoIdx < 0 || *videoIdx >= len(dash.TestVideos) {
@@ -27,15 +57,67 @@ func main() {
 	}
 	video := dash.TestVideos[*videoIdx]
 	manifest := dash.NewManifest(video, 24, 30, 48, 60)
+
+	var opts dash.ServerOptions
+	if *cacheMB > 0 || *coalesce {
+		opts.Cache = cdn.New(cdn.Config{
+			Capacity: int64(*cacheMB) << 20,
+			Coalesce: *coalesce,
+		})
+	}
+	if *faultsPlan != "" {
+		spec, err := faults.Lookup(*faultsPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dashserve:", err)
+			os.Exit(1)
+		}
+		opts.Chaos = cdn.NewChaos(spec, *faultsSeed, *faultsHorizon, time.Now, time.Sleep)
+	}
+	handler := dash.NewServerOpts(manifest, opts)
+
 	fmt.Printf("serving %q (%s, %v) with %d representations on %s\n",
 		video.Title, video.Genre, video.Duration, len(manifest.Rungs), *addr)
+	if opts.Cache != nil {
+		fmt.Printf("segment cache: %d MiB, coalesce=%v\n", *cacheMB, *coalesce)
+	}
+	if opts.Chaos != nil {
+		fmt.Printf("fault plan: %s (seed %d, horizon %v)\n", *faultsPlan, *faultsSeed, *faultsHorizon)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           dash.NewServer(manifest),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "dashserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Drain in-flight requests, bounded so a wedged connection cannot
+	// hold shutdown hostage.
+	fmt.Fprintln(os.Stderr, "dashserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "dashserve: shutdown:", err)
+	}
+
+	// Final counters to stdout: the same JSON the /metrics endpoint
+	// serves, collectable after the listener is gone.
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(handler.MetricsSnapshot()); err != nil {
 		fmt.Fprintln(os.Stderr, "dashserve:", err)
 		os.Exit(1)
 	}

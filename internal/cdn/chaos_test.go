@@ -1,0 +1,150 @@
+package cdn
+
+import (
+	"testing"
+	"time"
+
+	"coalqoe/internal/faults"
+)
+
+// fakeClock drives a Chaos through its schedule without wall time.
+type fakeClock struct {
+	t     time.Time
+	slept []time.Duration
+}
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) sleep(d time.Duration)   { f.slept = append(f.slept, d) }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func testChaos(windows []faults.Window, seed int64, horizon time.Duration) (*Chaos, *fakeClock) {
+	fc := &fakeClock{t: time.Unix(1700000000, 0)}
+	return NewChaosFromWindows(windows, seed, horizon, fc.now, fc.sleep), fc
+}
+
+func TestChaosOutageIs5xxBurst(t *testing.T) {
+	c, fc := testChaos([]faults.Window{
+		{Kind: faults.NetOutage, Start: 10 * time.Second, Duration: 5 * time.Second},
+	}, 1, time.Minute)
+
+	if e := c.Gate(); e.Status != 0 || e.OriginDelay != 0 {
+		t.Errorf("before window: %+v", e)
+	}
+	fc.advance(12 * time.Second)
+	if e := c.Gate(); e.Status != 503 {
+		t.Errorf("inside outage: status = %d, want 503", e.Status)
+	}
+	fc.advance(4 * time.Second) // t=16s, window [10,15) closed
+	if e := c.Gate(); e.Status != 0 {
+		t.Errorf("after window: status = %d", e.Status)
+	}
+	if s := c.Stats(); s.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", s.Rejected)
+	}
+}
+
+func TestChaosLossRateBoundaries(t *testing.T) {
+	mk := func(rate float64) *Chaos {
+		c, fc := testChaos([]faults.Window{
+			{Kind: faults.NetLoss, Start: 0, Duration: time.Minute, Severity: rate},
+		}, 7, time.Minute)
+		fc.advance(time.Second)
+		return c
+	}
+	c := mk(1.0)
+	for i := 0; i < 50; i++ {
+		if e := c.Gate(); e.Status != 502 {
+			t.Fatalf("loss rate 1.0: request %d passed (status %d)", i, e.Status)
+		}
+	}
+	c = mk(0)
+	for i := 0; i < 50; i++ {
+		if e := c.Gate(); e.Status != 0 {
+			t.Fatalf("loss rate 0: request %d dropped", i)
+		}
+	}
+	// Intermediate rates drop roughly the advertised fraction,
+	// deterministically in arrival order.
+	c = mk(0.3)
+	dropped := 0
+	for i := 0; i < 1000; i++ {
+		if c.Gate().Status == 502 {
+			dropped++
+		}
+	}
+	if dropped < 200 || dropped > 400 {
+		t.Errorf("loss rate 0.3 dropped %d/1000", dropped)
+	}
+	c2 := mk(0.3)
+	dropped2 := 0
+	for i := 0; i < 1000; i++ {
+		if c2.Gate().Status == 502 {
+			dropped2++
+		}
+	}
+	if dropped != dropped2 {
+		t.Errorf("loss decisions not deterministic in arrival order: %d vs %d", dropped, dropped2)
+	}
+}
+
+func TestChaosIOStallIsOriginDelay(t *testing.T) {
+	c, fc := testChaos([]faults.Window{
+		{Kind: faults.IOStall, Start: 0, Duration: time.Minute, Severity: 6},
+	}, 1, time.Minute)
+	fc.advance(time.Second)
+	e := c.Gate()
+	if want := 5 * nominalOriginDelay; e.OriginDelay != want {
+		t.Errorf("origin delay = %v, want %v ((factor-1) x nominal)", e.OriginDelay, want)
+	}
+	if e.Status != 0 {
+		t.Errorf("iostall must not reject: status %d", e.Status)
+	}
+	// Delay goes through the injected sleep.
+	c.Delay(e.OriginDelay)
+	if len(fc.slept) != 1 || fc.slept[0] != e.OriginDelay {
+		t.Errorf("slept %v", fc.slept)
+	}
+	if s := c.Stats(); s.Stalled != 1 {
+		t.Errorf("stalled = %d", s.Stalled)
+	}
+}
+
+func TestChaosMemSpikeIsResponseLatency(t *testing.T) {
+	c, fc := testChaos([]faults.Window{
+		{Kind: faults.MemSpike, Start: 0, Duration: time.Minute, Severity: 400 << 20},
+	}, 1, time.Minute)
+	fc.advance(time.Second)
+	if e := c.Gate(); e.Status != 0 {
+		t.Errorf("memspike must not reject: %+v", e)
+	}
+	// 400 MiB / 32 MiB-per-ms = 12.5ms of injected latency.
+	if len(fc.slept) != 1 || fc.slept[0] != 12500*time.Microsecond {
+		t.Errorf("slept %v, want [12.5ms]", fc.slept)
+	}
+	if s := c.Stats(); s.Delayed != 1 {
+		t.Errorf("delayed = %d", s.Delayed)
+	}
+}
+
+func TestChaosScheduleWraps(t *testing.T) {
+	c, fc := testChaos([]faults.Window{
+		{Kind: faults.NetOutage, Start: 10 * time.Second, Duration: 5 * time.Second},
+	}, 1, time.Minute)
+	// Two horizons later, the same offset reproduces the same storm.
+	fc.advance(2*time.Minute + 12*time.Second)
+	if e := c.Gate(); e.Status != 503 {
+		t.Errorf("wrapped schedule: status = %d, want 503", e.Status)
+	}
+}
+
+func TestChaosFromSpecDeterministic(t *testing.T) {
+	fc := &fakeClock{t: time.Unix(1700000000, 0)}
+	a := NewChaos(faults.NetFlaky(), 42, 10*time.Minute, fc.now, fc.sleep)
+	b := faults.NetFlaky().Windows(42, 10*time.Minute)
+	if got := len(a.outages) + len(a.losses); got != len(b) {
+		t.Errorf("chaos holds %d windows, spec materialized %d", got, len(b))
+	}
+	if len(a.outages) == 0 || len(a.losses) == 0 {
+		t.Error("netflaky should carry both outage and loss windows")
+	}
+}

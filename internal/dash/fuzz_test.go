@@ -1,0 +1,41 @@
+package dash
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzParseRepID holds parseRepID to two properties on arbitrary
+// input: it never panics, and any id it accepts round-trips — the
+// canonical rendering of the parsed (resolution, fps) re-parses to
+// the same pair. (The raw string itself need not survive: "1080p060"
+// parses to the same rung as "1080p60".)
+func FuzzParseRepID(f *testing.F) {
+	seeds := []string{
+		"1080p60", "240p24", "1440p30", "720p",
+		"", "p", "pp", "1080pp60", "720p30p2", "480p 30",
+		"720p9223372036854775808", "720p-1", "1080p0",
+		"999p30", "p60", "1080", "２４０p３０",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, id string) {
+		res, fps, err := parseRepID(id)
+		if err != nil {
+			return
+		}
+		if fps <= 0 {
+			t.Fatalf("parseRepID(%q) accepted fps %d", id, fps)
+		}
+		if w, h := res.Dimensions(); w == 0 || h == 0 {
+			t.Fatalf("parseRepID(%q) accepted unknown resolution %v", id, res)
+		}
+		canon := fmt.Sprintf("%s%d", res, fps)
+		res2, fps2, err := parseRepID(canon)
+		if err != nil || res2 != res || fps2 != fps {
+			t.Fatalf("round-trip %q -> %q -> (%v,%d,%v), want (%v,%d)",
+				id, canon, res2, fps2, err, res, fps)
+		}
+	})
+}

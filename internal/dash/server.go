@@ -3,13 +3,14 @@ package dash
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
-	"coalqoe/internal/telemetry"
+	"coalqoe/internal/cdn"
 	"coalqoe/internal/units"
 )
 
@@ -61,31 +62,74 @@ func (m *Manifest) DTO() ManifestDTO {
 //	GET /metrics                       request counters as JSON
 //
 // Serving metrics lets a load test see what the paper's Apache logs
-// showed: which rungs clients actually fetch under pressure.
+// showed: which rungs clients actually fetch under pressure. With a
+// cdn.Cache attached, segments are served through the cache (and
+// /metrics grows dash.cache.* series); with a cdn.Chaos attached,
+// every segment request passes the chaos gate first (dash.chaos.*
+// series). The request path is lock-free — all counters are atomics —
+// so a thousand concurrent players measure the serving path, not a
+// metrics mutex.
 type Server struct {
 	manifest *Manifest
 	mux      *http.ServeMux
 
-	// The telemetry registry is not thread-safe (the simulator is
-	// single-threaded by design), but this server handles real
-	// concurrent HTTP requests, so every instrument access takes mu.
-	mu       sync.Mutex
-	reg      *telemetry.Registry
-	inflight *telemetry.Gauge
+	metrics  *serverMetrics
+	rungs    map[string]rungCounters // fixed at construction: concurrent reads are safe
+	inflight *atomic.Int64
+
+	cache *cdn.Cache
+	chaos *cdn.Chaos
 }
 
-// NewServer builds the handler for one video.
+// rungCounters are the per-representation hot-path counters, resolved
+// once at construction so a segment request does one map lookup.
+type rungCounters struct {
+	requests *atomic.Int64
+	bytes    *atomic.Int64
+}
+
+// ServerOptions attaches the optional serving subsystems.
+type ServerOptions struct {
+	// Cache serves segment bodies through a cdn.Cache (admission, LRU,
+	// coalescing) instead of regenerating them per request.
+	Cache *cdn.Cache
+	// Chaos gates every segment request through a server-side fault
+	// plan (5xx bursts, injected latency, origin slowdown). Manifest
+	// and /metrics requests bypass the gate: telemetry must stay
+	// reachable mid-storm, like a real CDN's health endpoints.
+	Chaos *cdn.Chaos
+}
+
+// NewServer builds the handler for one video with no cache or chaos.
 func NewServer(m *Manifest) *Server {
-	s := &Server{manifest: m, mux: http.NewServeMux(), reg: telemetry.NewRegistry()}
+	return NewServerOpts(m, ServerOptions{})
+}
+
+// NewServerOpts builds the handler with optional cache and chaos.
+func NewServerOpts(m *Manifest, opts ServerOptions) *Server {
 	// Pre-register every rung's counters so /metrics reports explicit
 	// zeros for rungs nobody requested.
-	s.reg.Counter("dash.manifest_requests")
+	names := []string{"dash.manifest_requests", "dash.inflight_requests"}
 	for _, r := range m.Rungs {
 		id := fmt.Sprintf("%s%d", r.Resolution, r.FPS)
-		s.reg.Counter("dash.segment_requests." + id)
-		s.reg.Counter("dash.segment_bytes." + id)
+		names = append(names, "dash.segment_requests."+id, "dash.segment_bytes."+id)
 	}
-	s.inflight = s.reg.Gauge("dash.inflight_requests")
+	s := &Server{
+		manifest: m,
+		mux:      http.NewServeMux(),
+		metrics:  newServerMetrics(names...),
+		rungs:    make(map[string]rungCounters, len(m.Rungs)),
+		cache:    opts.Cache,
+		chaos:    opts.Chaos,
+	}
+	for _, r := range m.Rungs {
+		id := fmt.Sprintf("%s%d", r.Resolution, r.FPS)
+		s.rungs[id] = rungCounters{
+			requests: s.metrics.counter("dash.segment_requests." + id),
+			bytes:    s.metrics.counter("dash.segment_bytes." + id),
+		}
+	}
+	s.inflight = s.metrics.counter("dash.inflight_requests")
 	s.mux.HandleFunc("GET /manifest.json", s.handleManifest)
 	s.mux.HandleFunc("GET /video/", s.handleSegment)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -94,31 +138,50 @@ func NewServer(m *Manifest) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
 	s.inflight.Add(1)
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		s.inflight.Add(-1)
-		s.mu.Unlock()
-	}()
+	defer s.inflight.Add(-1)
 	s.mux.ServeHTTP(w, r)
 }
 
-func (s *Server) count(name string, delta int64) {
-	s.mu.Lock()
-	s.reg.Counter(name).Add(delta)
-	s.mu.Unlock()
+// MetricsSnapshot returns every metric series as a (name -> value)
+// map: the server counters plus, when attached, the cache and chaos
+// counters. This is the body /metrics serializes, exposed so the
+// binary can flush final numbers after a graceful shutdown.
+func (s *Server) MetricsSnapshot() map[string]float64 {
+	var extras map[string]float64
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		hitRate := 0.0
+		if total := cs.Hits + cs.Misses + cs.Coalesced; total > 0 {
+			hitRate = float64(cs.Hits) / float64(total)
+		}
+		extras = map[string]float64{
+			"dash.cache.hits":      float64(cs.Hits),
+			"dash.cache.misses":    float64(cs.Misses),
+			"dash.cache.coalesced": float64(cs.Coalesced),
+			"dash.cache.fills":     float64(cs.Fills),
+			"dash.cache.admitted":  float64(cs.Admitted),
+			"dash.cache.rejected":  float64(cs.Rejected),
+			"dash.cache.evictions": float64(cs.Evictions),
+			"dash.cache.entries":   float64(cs.Entries),
+			"dash.cache.bytes":     float64(cs.Bytes),
+			"dash.cache.hit_rate":  hitRate,
+		}
+	}
+	if s.chaos != nil {
+		if extras == nil {
+			extras = make(map[string]float64, 3)
+		}
+		hs := s.chaos.Stats()
+		extras["dash.chaos.rejected"] = float64(hs.Rejected)
+		extras["dash.chaos.delayed"] = float64(hs.Delayed)
+		extras["dash.chaos.stalled"] = float64(hs.Stalled)
+	}
+	return s.metrics.snapshot(extras)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	samples := s.reg.Values()
-	s.mu.Unlock()
-	out := make(map[string]float64, len(samples))
-	for _, smp := range samples {
-		out[smp.Name] = smp.Value
-	}
+	out := s.MetricsSnapshot()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -129,7 +192,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleManifest(w http.ResponseWriter, _ *http.Request) {
-	s.count("dash.manifest_requests", 1)
+	s.metrics.add("dash.manifest_requests", 1)
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(s.manifest.DTO()); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -174,33 +237,76 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no such segment", http.StatusNotFound)
 		return
 	}
+	var originDelay time.Duration
+	if s.chaos != nil {
+		effect := s.chaos.Gate()
+		if effect.Status != 0 {
+			http.Error(w, "injected fault", effect.Status)
+			return
+		}
+		originDelay = effect.OriginDelay
+	}
 	size := s.manifest.Video.SegmentBytes(rung, seg)
 	id := fmt.Sprintf("%s%d", rung.Resolution, rung.FPS)
-	s.count("dash.segment_requests."+id, 1)
-	s.count("dash.segment_bytes."+id, int64(size))
+	rc := s.rungs[id]
+	rc.requests.Add(1)
+	rc.bytes.Add(int64(size))
 	w.Header().Set("Content-Type", "video/mp4")
 	w.Header().Set("Content-Length", strconv.FormatInt(int64(size), 10))
+	if s.cache != nil {
+		body, _, _ := s.cache.Get(id+"/"+parts[1], func() ([]byte, error) {
+			if originDelay > 0 {
+				// Coalesced waiters share the leader's stall, like they
+				// share its generation: an origin slowdown is paid once.
+				s.chaos.Delay(originDelay)
+			}
+			return synthBody(size), nil
+		})
+		w.Write(body)
+		return
+	}
+	if originDelay > 0 {
+		s.chaos.Delay(originDelay)
+	}
 	writeSynthetic(w, size)
 }
 
-// writeSynthetic streams size bytes of deterministic filler.
-func writeSynthetic(w http.ResponseWriter, size units.Bytes) {
-	const chunk = 64 * 1024
-	buf := make([]byte, chunk)
+// synthPattern is the immutable 64 KiB filler block every synthetic
+// segment is cut from. Hoisted to package level: the seed server
+// allocated and refilled this buffer on every request, which under
+// load was the allocator benchmarking itself.
+var synthPattern = func() []byte {
+	buf := make([]byte, 64*1024)
 	for i := range buf {
 		buf[i] = byte(i * 31)
 	}
+	return buf
+}()
+
+// writeSynthetic streams size bytes of deterministic filler without
+// allocating: it writes slices of the shared immutable pattern.
+func writeSynthetic(w io.Writer, size units.Bytes) {
 	remaining := int64(size)
 	for remaining > 0 {
-		n := int64(chunk)
+		n := int64(len(synthPattern))
 		if remaining < n {
 			n = remaining
 		}
-		if _, err := w.Write(buf[:n]); err != nil {
+		if _, err := w.Write(synthPattern[:n]); err != nil {
 			return
 		}
 		remaining -= n
 	}
+}
+
+// synthBody materializes a full synthetic segment body — the origin
+// generation the cache stores and coalesces.
+func synthBody(size units.Bytes) []byte {
+	body := make([]byte, int64(size))
+	for off := 0; off < len(body); off += len(synthPattern) {
+		copy(body[off:], synthPattern)
+	}
+	return body
 }
 
 // Client fetches manifests and segments from a dash Server over HTTP.
@@ -348,14 +454,15 @@ func (c *Client) FetchSegment(repID string, seg int) (units.Bytes, time.Duration
 		if resp.StatusCode != http.StatusOK {
 			return resp.StatusCode, fmt.Errorf("dash: fetch segment %s/%d: %s", repID, seg, resp.Status)
 		}
-		total = 0
-		buf := make([]byte, 64*1024)
-		for {
-			n, err := resp.Body.Read(buf)
-			total += int64(n)
-			if err != nil {
-				break
-			}
+		// io.Discard's ReaderFrom drains through a pooled buffer — no
+		// per-fetch 64 KiB allocation (the seed client allocated one
+		// drain buffer per segment).
+		n, err := io.Copy(io.Discard, resp.Body)
+		total = n
+		if err != nil {
+			// A connection that died mid-body is a transport failure:
+			// retryable.
+			return 0, fmt.Errorf("dash: read segment %s/%d: %w", repID, seg, err)
 		}
 		return resp.StatusCode, nil
 	})

@@ -2,11 +2,16 @@ package dash
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strconv"
 	"testing"
 	"time"
+
+	"coalqoe/internal/cdn"
+	"coalqoe/internal/faults"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *Manifest) {
@@ -78,14 +83,199 @@ func TestBadRequests(t *testing.T) {
 }
 
 func TestParseRepID(t *testing.T) {
-	r, fps, err := parseRepID("1080p60")
-	if err != nil || r != R1080p || fps != 60 {
-		t.Errorf("parseRepID = %v, %d, %v", r, fps, err)
+	valid := []struct {
+		id  string
+		res Resolution
+		fps int
+	}{
+		{"1080p60", R1080p, 60},
+		{"240p24", R240p, 24},
+		{"1440p30", R1440p, 30},
 	}
-	for _, bad := range []string{"", "1080", "p60", "1080p", "1080p0", "1080px"} {
+	for _, c := range valid {
+		r, fps, err := parseRepID(c.id)
+		if err != nil || r != c.res || fps != c.fps {
+			t.Errorf("parseRepID(%q) = %v, %d, %v; want %v, %d", c.id, r, fps, err, c.res, c.fps)
+		}
+	}
+	invalid := []string{
+		"",      // empty
+		"1080",  // no p
+		"p60",   // no resolution digits
+		"1080p", // empty fps
+		"1080p0",
+		"1080px",
+		"1080p-60",                // negative fps
+		"1080pp60",                // double p
+		"720p30p2",                // multiple p: trailing junk in fps
+		"720p9223372036854775808", // fps overflows int64
+		"480p 30",                 // embedded space
+		"999p30",                  // unknown resolution
+	}
+	for _, bad := range invalid {
 		if _, _, err := parseRepID(bad); err == nil {
 			t.Errorf("parseRepID(%q) should fail", bad)
 		}
+	}
+}
+
+// TestRetryableBoundaries pins the retry classification at the status
+// class edges: transport errors (0) and 5xx retry, 3xx/4xx do not.
+func TestRetryableBoundaries(t *testing.T) {
+	cases := []struct {
+		status int
+		want   bool
+	}{
+		{0, true},   // transport error
+		{100, true}, // informational: not a rejection
+		{200, true}, // (never consulted on success, but below the 4xx fence)
+		{301, true},
+		{399, true}, // last pre-4xx status
+		{400, false},
+		{404, false},
+		{429, false},
+		{499, false}, // last 4xx
+		{500, true},
+		{503, true},
+		{599, true},
+	}
+	for _, c := range cases {
+		if got := retryable(c.status); got != c.want {
+			t.Errorf("retryable(%d) = %v, want %v", c.status, got, c.want)
+		}
+	}
+}
+
+// TestContentLengthMatchesBody asserts, for every rung in the
+// manifest, that the advertised Content-Length equals both the bytes
+// actually written and the size model.
+func TestContentLengthMatchesBody(t *testing.T) {
+	ts, m := newTestServer(t)
+	for _, rung := range m.Rungs {
+		id := rung.Resolution.String() + strconv.Itoa(rung.FPS)
+		resp, err := http.Get(ts.URL + "/video/" + id + "/0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: read body: %v", id, err)
+		}
+		cl, err := strconv.Atoi(resp.Header.Get("Content-Length"))
+		if err != nil {
+			t.Fatalf("%s: bad Content-Length %q", id, resp.Header.Get("Content-Length"))
+		}
+		if len(body) != cl {
+			t.Errorf("%s: wrote %d bytes, Content-Length says %d", id, len(body), cl)
+		}
+		if want := int(m.Video.SegmentBytes(rung, 0)); len(body) != want {
+			t.Errorf("%s: wrote %d bytes, size model says %d", id, len(body), want)
+		}
+	}
+}
+
+// TestCachedServerMetrics drives a cache-enabled server and asserts
+// the dash.cache.* series appear in /metrics with the right algebra.
+func TestCachedServerMetrics(t *testing.T) {
+	m := NewManifest(TestVideos[0], 24, 30, 48, 60)
+	cache := cdn.New(cdn.Config{Capacity: 64 << 20, AdmitAfter: 1, Coalesce: true})
+	ts := httptest.NewServer(NewServerOpts(m, ServerOptions{Cache: cache}))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, time.Now)
+
+	rung, _ := m.Rung(R480p, 30)
+	want := m.Video.SegmentBytes(rung, 2)
+	for i := 0; i < 3; i++ { // 1 miss (admitted), then 2 hits
+		got, _, err := c.FetchSegment("480p30", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("fetch %d: %d bytes, want %d (cached body must match the model)", i, got, want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]float64{
+		"dash.cache.hits":      2,
+		"dash.cache.misses":    1,
+		"dash.cache.fills":     1,
+		"dash.cache.admitted":  1,
+		"dash.cache.evictions": 0,
+		"dash.cache.entries":   1,
+		"dash.cache.bytes":     float64(want),
+		"dash.cache.hit_rate":  2.0 / 3.0,
+	}
+	keys := make([]string, 0, len(checks))
+	for k := range checks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v, ok := got[k]
+		if !ok {
+			t.Errorf("/metrics missing %s", k)
+			continue
+		}
+		if v != checks[k] {
+			t.Errorf("%s = %v, want %v", k, v, checks[k])
+		}
+	}
+}
+
+// TestChaosServer puts a permanent outage window in front of segments
+// and asserts 5xx on segments while the manifest and /metrics stay up
+// (the chaos gate covers the video path only).
+func TestChaosServer(t *testing.T) {
+	m := NewManifest(TestVideos[0], 30)
+	chaos := cdn.NewChaosFromWindows(
+		[]faults.Window{{Kind: faults.NetOutage, Start: 0, Duration: time.Hour}},
+		1, time.Hour, time.Now, func(time.Duration) {})
+	ts := httptest.NewServer(NewServerOpts(m, ServerOptions{Chaos: chaos}))
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Get(ts.URL + "/video/480p30/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("segment during outage = %d, want 503", resp.StatusCode)
+	}
+	for _, path := range []string{"/manifest.json", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s during outage = %d, want 200 (chaos gates segments only)", path, resp.StatusCode)
+		}
+	}
+	// The injected rejection is visible in /metrics.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got["dash.chaos.rejected"] != 1 {
+		t.Errorf("dash.chaos.rejected = %v, want 1", got["dash.chaos.rejected"])
+	}
+	// And the rejected request did not count as a segment request.
+	if got["dash.segment_requests.480p30"] != 0 {
+		t.Errorf("rejected request counted as segment request: %v", got["dash.segment_requests.480p30"])
 	}
 }
 

@@ -1,0 +1,298 @@
+// Package loadgen is the closed-loop load generator for the streaming
+// backend: thousands of concurrent simulated DASH players walking one
+// manifest against one server process, each choosing rungs with a
+// simple rate rule and recording per-request latency into mergeable
+// stats.QuantileSketches. It is the client-side half the Zoom/Webex/
+// Meet measurement study template asks for — a fleet of instrumented
+// clients whose delivery metrics (throughput, tail latency, error
+// rate) are correlated with what the server's own /metrics reports
+// (hit rate, coalescing, injected faults).
+//
+// Closed-loop means each player issues its next request the moment
+// the previous response completes: offered load follows service
+// capacity, so the measured latency distribution is the server's, not
+// an open-loop queue's. Players reuse dash.Client (including its
+// retry policy, so server-side chaos exercises the same backoff paths
+// the simulated sessions carry).
+//
+// Concurrency discipline (the invariants coalvet enforces): every
+// player owns a private recorder — sketch, counters, per-rung map —
+// indexed by player number; the coordinator merges them only after
+// wg.Wait. Player seeds come from FNV identity lanes (study.UserSeed
+// idiom), never index arithmetic. The wall clock is injected (Now and
+// Sleep in Config), wired from the binary's main package.
+package loadgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/http"
+	"sort"
+	"time"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/stats"
+)
+
+// Latency sketch schema: microseconds over [0, 10s) in 50µs bins,
+// exact below 4096 observations. All player sketches share it so they
+// merge; the merged fleet sketch is exact for small runs and bounded
+// (±50µs) at scale.
+const (
+	sketchLoUS     = 0
+	sketchHiUS     = 10e6
+	sketchBins     = 200000
+	sketchExactCap = 4096
+)
+
+// newLatencySketch builds a sketch of the shared schema.
+func newLatencySketch() *stats.QuantileSketch {
+	return stats.NewQuantileSketch(sketchLoUS, sketchHiUS, sketchBins, sketchExactCap)
+}
+
+// Config shapes one load run.
+type Config struct {
+	// BaseURL is the dashserve process under test.
+	BaseURL string
+	// Players is the number of concurrent closed-loop players.
+	Players int
+	// Duration bounds the run in wall time (default 5s).
+	Duration time.Duration
+	// MaxSegments caps the segments each player fetches; 0 means
+	// duration-bound only. Tests use it for exact request counts.
+	MaxSegments int
+	// Seed feeds the per-player FNV lanes (start offsets).
+	Seed int64
+	// Retry arms each player's dash.Client; zero Attempts leaves the
+	// client single-attempt.
+	Retry dash.RetryPolicy
+	// RateSafety scales the measured throughput before rung selection
+	// (default 0.8): pick the highest rung whose bitrate fits inside
+	// safety x measured rate, the classic rate-based ABR rule.
+	RateSafety float64
+	// Now and Sleep inject the wall clock (time.Now / time.Sleep from
+	// the binary's main package; tests may fake them). Both required.
+	Now   func() time.Time
+	Sleep func(time.Duration)
+}
+
+// Result is the merged outcome of a run.
+type Result struct {
+	Players  int
+	Elapsed  time.Duration
+	Requests int64
+	Errors   int64
+	Bytes    int64
+	// Latency holds every request's wall latency in microseconds
+	// (including retries and backoff — the stall a player felt).
+	Latency *stats.QuantileSketch
+	// PerRung counts successful fetches per representation id.
+	PerRung map[string]int64
+	// ServerMetrics is the server's /metrics snapshot taken after the
+	// run (nil if the caller did not fetch it).
+	ServerMetrics map[string]float64
+}
+
+// RequestsPerSec returns the sustained request throughput.
+func (r *Result) RequestsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// BitsPerSec returns the sustained delivery throughput.
+func (r *Result) BitsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / r.Elapsed.Seconds()
+}
+
+// ErrorRate returns the fraction of requests that failed after
+// exhausting retries.
+func (r *Result) ErrorRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Requests)
+}
+
+// CacheHitRate extracts the server-side cache hit rate from the
+// /metrics snapshot; ok is false when the server ran without a cache
+// (or the snapshot was never fetched).
+func (r *Result) CacheHitRate() (float64, bool) {
+	v, ok := r.ServerMetrics["dash.cache.hit_rate"]
+	return v, ok
+}
+
+// playerSeed derives one player's seed lane from the run seed — an
+// FNV identity hash, the same idiom as study.UserSeed, so lanes are
+// independent (index arithmetic would correlate neighbors).
+func playerSeed(seed int64, player int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "loadgen|player|%d", player)
+	return seed + int64(h.Sum64()&0x7fffffff)
+}
+
+// recorder is one player's private metrics — written only by that
+// player's goroutine, merged by the coordinator after the drain.
+type recorder struct {
+	requests int64
+	errors   int64
+	bytes    int64
+	latency  *stats.QuantileSketch
+	perRung  map[string]int64
+}
+
+// pickRung returns the highest-bitrate representation whose bitrate
+// fits the budget, falling back to the lowest rung. reps must be
+// sorted by ascending bitrate.
+func pickRung(reps []dash.RungDTO, budgetBPS float64) dash.RungDTO {
+	best := reps[0]
+	for _, rep := range reps[1:] {
+		if rep.Bitrate <= budgetBPS {
+			best = rep
+		}
+	}
+	return best
+}
+
+// Run executes the load: fetches the manifest once, spawns
+// Config.Players closed-loop players, and merges their recorders.
+// The player count is a configured capacity, not a data size, so
+// goroutine creation is bounded by construction.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Now == nil || cfg.Sleep == nil {
+		panic("loadgen: Config needs Now and Sleep; pass time.Now/time.Sleep from the binary's main package")
+	}
+	if cfg.Players <= 0 {
+		cfg.Players = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.RateSafety <= 0 {
+		cfg.RateSafety = 0.8
+	}
+
+	// One shared transport sized for the fleet: the default transport
+	// keeps 2 idle conns per host, which at 1000 players would churn
+	// a connection (and an ephemeral port) per request.
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Players + 16,
+		MaxIdleConnsPerHost: cfg.Players + 16,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	defer transport.CloseIdleConnections()
+
+	newClient := func() *dash.Client {
+		c := dash.NewClient(cfg.BaseURL, cfg.Now)
+		c.HTTP = &http.Client{Transport: transport, Timeout: 30 * time.Second}
+		if cfg.Retry.Attempts > 0 {
+			c.SetRetry(cfg.Retry, cfg.Sleep)
+		}
+		return c
+	}
+
+	manifest, err := newClient().FetchManifest()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	if len(manifest.Representations) == 0 {
+		return nil, fmt.Errorf("loadgen: manifest has no representations")
+	}
+	reps := append([]dash.RungDTO(nil), manifest.Representations...)
+	sort.Slice(reps, func(i, j int) bool {
+		if reps[i].Bitrate != reps[j].Bitrate {
+			return reps[i].Bitrate < reps[j].Bitrate
+		}
+		return reps[i].ID < reps[j].ID
+	})
+	nsegs := int(manifest.DurationSec / manifest.SegmentDuration)
+	if nsegs <= 0 {
+		nsegs = 1
+	}
+
+	recorders := make([]recorder, cfg.Players)
+	for i := range recorders {
+		recorders[i] = recorder{latency: newLatencySketch(), perRung: make(map[string]int64)}
+	}
+
+	start := cfg.Now()
+	deadline := start.Add(cfg.Duration)
+	done := make(chan int, cfg.Players)
+	for i := 0; i < cfg.Players; i++ {
+		go func(i int) {
+			defer func() { done <- i }()
+			runPlayer(&cfg, newClient(), reps, nsegs, i, deadline, &recorders[i])
+		}(i)
+	}
+	for i := 0; i < cfg.Players; i++ {
+		<-done
+	}
+	elapsed := cfg.Now().Sub(start)
+
+	res := &Result{
+		Players: cfg.Players,
+		Elapsed: elapsed,
+		Latency: newLatencySketch(),
+		PerRung: make(map[string]int64),
+	}
+	for i := range recorders {
+		rec := &recorders[i]
+		res.Requests += rec.requests
+		res.Errors += rec.errors
+		res.Bytes += rec.bytes
+		res.Latency.Merge(rec.latency)
+		for _, rep := range reps {
+			if n := rec.perRung[rep.ID]; n > 0 {
+				res.PerRung[rep.ID] += n
+			}
+		}
+	}
+	return res, nil
+}
+
+// runPlayer is one closed-loop player: walk segments from a seeded
+// start offset, measure each fetch, adapt the rung to the measured
+// rate, stop at the deadline (or segment cap).
+func runPlayer(cfg *Config, client *dash.Client, reps []dash.RungDTO, nsegs, player int, deadline time.Time, rec *recorder) {
+	rng := rand.New(rand.NewSource(playerSeed(cfg.Seed, player)))
+	seg := rng.Intn(nsegs)
+	rep := reps[0] // start conservative, like a cold player
+	ewmaBPS := 0.0
+	for n := 0; cfg.MaxSegments == 0 || n < cfg.MaxSegments; n++ {
+		if !cfg.Now().Before(deadline) {
+			return
+		}
+		size, dur, err := client.FetchSegment(rep.ID, seg)
+		rec.requests++
+		if dur > 0 {
+			rec.latency.Add(float64(dur.Microseconds()))
+		} else if err == nil {
+			rec.latency.Add(0)
+		}
+		if err != nil {
+			rec.errors++
+			// Back to the bottom rung after a failure, like the player
+			// model's cold restart.
+			rep = reps[0]
+			ewmaBPS = 0
+			continue
+		}
+		rec.bytes += int64(size)
+		rec.perRung[rep.ID]++
+		if dur > 0 {
+			rate := float64(size) * 8 / dur.Seconds()
+			if ewmaBPS == 0 {
+				ewmaBPS = rate
+			} else {
+				ewmaBPS = 0.5*ewmaBPS + 0.5*rate
+			}
+			rep = pickRung(reps, cfg.RateSafety*ewmaBPS)
+		}
+		seg = (seg + 1) % nsegs
+	}
+}

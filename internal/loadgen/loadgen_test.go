@@ -1,0 +1,233 @@
+package loadgen
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"coalqoe/internal/cdn"
+	"coalqoe/internal/dash"
+	"coalqoe/internal/units"
+)
+
+// TestMain raises the fd soft limit toward the hard limit: a
+// 1000-player fleet holds ~2000 sockets (both ends of each loopback
+// connection live in this process), which overflows a stock 1024
+// soft limit.
+func TestMain(m *testing.M) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err == nil && lim.Cur < lim.Max {
+		lim.Cur = lim.Max
+		_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+	}
+	os.Exit(m.Run())
+}
+
+// tinyManifest is a one-rung ladder with ~50 KiB segments — small
+// enough that thousands of fetches stay cheap under -race.
+func tinyManifest() *dash.Manifest {
+	return &dash.Manifest{
+		Video: dash.Video{
+			Title:           "loadgen fixture",
+			Duration:        40 * time.Second,
+			SegmentDuration: 4 * time.Second,
+		},
+		Rungs: []dash.Rung{
+			{Resolution: dash.R240p, FPS: 30, Bitrate: 100 * units.Kbps},
+		},
+	}
+}
+
+func TestPickRung(t *testing.T) {
+	reps := []dash.RungDTO{
+		{ID: "240p30", Bitrate: 1e5},
+		{ID: "480p30", Bitrate: 1e6},
+		{ID: "1080p60", Bitrate: 1e7},
+	}
+	cases := []struct {
+		budget float64
+		want   string
+	}{
+		{0, "240p30"},     // nothing fits: lowest rung
+		{5e4, "240p30"},   // below the ladder floor
+		{1e5, "240p30"},   // exact fit is a fit
+		{9.9e5, "240p30"}, // just under the next rung
+		{1e6, "480p30"},   //
+		{5e6, "480p30"},   //
+		{1e7, "1080p60"},  // exact top
+		{1e12, "1080p60"}, // above the ceiling
+	}
+	for _, c := range cases {
+		if got := pickRung(reps, c.budget); got.ID != c.want {
+			t.Errorf("pickRung(budget=%g) = %s, want %s", c.budget, got.ID, c.want)
+		}
+	}
+}
+
+// TestPlayerSeedLanes pins the seed-lane properties: lanes are
+// distinct across players, deterministic per player, and not the
+// seed+i arithmetic that correlates neighboring streams.
+func TestPlayerSeedLanes(t *testing.T) {
+	const base = 42
+	seen := make(map[int64]int)
+	arithmetic := 0
+	for i := 0; i < 1000; i++ {
+		s := playerSeed(base, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("players %d and %d share seed %d", prev, i, s)
+		}
+		seen[s] = i
+		if s == base+int64(i) {
+			arithmetic++
+		}
+		if s2 := playerSeed(base, i); s2 != s {
+			t.Fatalf("player %d seed not deterministic: %d vs %d", i, s, s2)
+		}
+	}
+	if arithmetic > 2 {
+		t.Errorf("%d/1000 lanes collide with seed+i arithmetic", arithmetic)
+	}
+}
+
+// TestRunThousandPlayers is the acceptance run: 1000 concurrent
+// closed-loop players against one cached, coalescing server, zero
+// errors, exact request accounting, and a visible cache hit rate.
+// CI runs this under -race.
+func TestRunThousandPlayers(t *testing.T) {
+	cache := cdn.New(cdn.Config{Capacity: 64 << 20, AdmitAfter: 1, Coalesce: true})
+	srv := dash.NewServerOpts(tinyManifest(), dash.ServerOptions{Cache: cache})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const players = 1000
+	const segsEach = 3
+	res, err := Run(Config{
+		BaseURL:     ts.URL,
+		Players:     players,
+		Duration:    5 * time.Minute, // deadline far away; MaxSegments bounds the run
+		MaxSegments: segsEach,
+		Seed:        42,
+		Now:         time.Now,
+		Sleep:       time.Sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 (rate %.4f)", res.Errors, res.ErrorRate())
+	}
+	if want := int64(players * segsEach); res.Requests != want {
+		t.Errorf("requests = %d, want %d", res.Requests, want)
+	}
+	if res.Latency.N() != res.Requests {
+		t.Errorf("latency sketch holds %d samples, want %d", res.Latency.N(), res.Requests)
+	}
+	if res.Bytes == 0 {
+		t.Error("no bytes recorded")
+	}
+	if p99 := res.Latency.Quantile(99); p99 < res.Latency.Quantile(50) {
+		t.Errorf("p99 %.0fµs below p50 %.0fµs", p99, res.Latency.Quantile(50))
+	}
+
+	m, err := FetchServerStats(nil, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.ServerMetrics = m
+	// 3000 fetches cover ≤10 unique segments: almost everything must
+	// be served from cache (or coalesced into an in-flight fill).
+	served := m["dash.cache.hits"] + m["dash.cache.coalesced"]
+	if served == 0 {
+		t.Error("cache served nothing: hits+coalesced = 0")
+	}
+	if hr, ok := res.CacheHitRate(); !ok || hr <= 0 {
+		t.Errorf("cache hit rate = %v, %v; want > 0", hr, ok)
+	}
+	if fills, misses := m["dash.cache.fills"], m["dash.cache.misses"]; fills > misses {
+		t.Errorf("fills %g > misses %g", fills, misses)
+	}
+	if got := m["dash.segment_requests.240p30"]; got != float64(res.Requests) {
+		t.Errorf("server saw %g segment requests, clients sent %d", got, res.Requests)
+	}
+}
+
+// TestRunAdaptsRungs checks the rate rule climbs the ladder: on a
+// loopback link every measured rate is enormous, so warmed-up players
+// must fetch from the top rung.
+func TestRunAdaptsRungs(t *testing.T) {
+	m := &dash.Manifest{
+		Video: dash.Video{Title: "ladder", Duration: 40 * time.Second, SegmentDuration: 4 * time.Second},
+		Rungs: []dash.Rung{
+			{Resolution: dash.R240p, FPS: 30, Bitrate: 100 * units.Kbps},
+			{Resolution: dash.R480p, FPS: 30, Bitrate: 400 * units.Kbps},
+		},
+	}
+	ts := httptest.NewServer(dash.NewServer(m))
+	defer ts.Close()
+
+	res, err := Run(Config{
+		BaseURL:     ts.URL,
+		Players:     4,
+		Duration:    time.Minute,
+		MaxSegments: 5,
+		Seed:        1,
+		Now:         time.Now,
+		Sleep:       time.Sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.PerRung["240p30"] != 4 {
+		t.Errorf("each player should fetch exactly one cold-start segment at the bottom rung; got %d", res.PerRung["240p30"])
+	}
+	if res.PerRung["480p30"] != 16 {
+		t.Errorf("warmed players should climb to the top rung; got %d of 20", res.PerRung["480p30"])
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	lat := newLatencySketch()
+	for i := 1; i <= 100; i++ {
+		lat.Add(float64(i) * 1000) // 1ms..100ms
+	}
+	res := &Result{
+		Players:  2,
+		Elapsed:  2 * time.Second,
+		Requests: 100,
+		Errors:   1,
+		Bytes:    1 << 20,
+		Latency:  lat,
+		PerRung:  map[string]int64{"240p30": 60, "480p30": 39},
+		ServerMetrics: map[string]float64{
+			"dash.cache.hit_rate": 0.5,
+			"dash.cache.hits":     50,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"players            2",
+		"requests           100",
+		"errors             1 (1.0000%)",
+		"p50=50.50", // rank 49.5 interpolated between 50ms and 51ms
+		"p99=99.01",
+		"server hit rate    0.5000",
+		"240p30       60",
+		"dash.cache.hits",
+		"50.0 req/s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// FetchServerStats grabs the server's /metrics snapshot so the report
+// can put client-observed and server-reported numbers side by side.
+func FetchServerStats(httpClient *http.Client, baseURL string) (map[string]float64, error) {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	resp, err := httpClient.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: fetch metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: fetch metrics: %s", resp.Status)
+	}
+	var m map[string]float64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, fmt.Errorf("loadgen: decode metrics: %w", err)
+	}
+	return m, nil
+}
+
+// WriteReport renders the run's results in the fixed text layout the
+// results/loadgen.txt artifact uses. Deterministic given a Result:
+// rung and metric keys are sorted, floats have fixed precision.
+func WriteReport(w io.Writer, res *Result) error {
+	ms := func(us float64) float64 { return us / 1000 }
+	q := res.Latency.Quantile
+	fmt.Fprintf(w, "loadgen report\n")
+	fmt.Fprintf(w, "==============\n")
+	fmt.Fprintf(w, "players            %d\n", res.Players)
+	fmt.Fprintf(w, "elapsed            %.2fs\n", res.Elapsed.Seconds())
+	fmt.Fprintf(w, "requests           %d\n", res.Requests)
+	fmt.Fprintf(w, "errors             %d (%.4f%%)\n", res.Errors, 100*res.ErrorRate())
+	fmt.Fprintf(w, "bytes              %d\n", res.Bytes)
+	fmt.Fprintf(w, "throughput         %.1f req/s, %.1f Mbit/s\n",
+		res.RequestsPerSec(), res.BitsPerSec()/1e6)
+	if res.Latency.N() > 0 {
+		fmt.Fprintf(w, "latency (ms)       mean=%.2f p50=%.2f p90=%.2f p99=%.2f p999=%.2f max=%.2f\n",
+			ms(res.Latency.Mean()), ms(q(50)), ms(q(90)), ms(q(99)), ms(q(99.9)), ms(res.Latency.Max()))
+	}
+	if hr, ok := res.CacheHitRate(); ok {
+		fmt.Fprintf(w, "server hit rate    %.4f\n", hr)
+	}
+
+	rungs := make([]string, 0, len(res.PerRung))
+	for id := range res.PerRung {
+		rungs = append(rungs, id)
+	}
+	sort.Strings(rungs)
+	if len(rungs) > 0 {
+		fmt.Fprintf(w, "\nsegments per rung\n")
+		for _, id := range rungs {
+			fmt.Fprintf(w, "  %-12s %d\n", id, res.PerRung[id])
+		}
+	}
+
+	if len(res.ServerMetrics) > 0 {
+		keys := make([]string, 0, len(res.ServerMetrics))
+		for k := range res.ServerMetrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "\nserver /metrics\n")
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-28s %g\n", k, res.ServerMetrics[k])
+		}
+	}
+	return nil
+}
