@@ -6,6 +6,12 @@
 //	dashserve -addr :8080 -cache-mb 64 -coalesce &
 //	dashload -url http://localhost:8080 -players 1000 -duration 10s
 //
+// The client-side resilience layer is opt-in per flag: -retry-budget
+// meters retries, -breaker arms per-player circuit breakers, -jitter
+// decorrelates backoff, -hedge races a duplicate request against a
+// slow first, and -tenants spreads the fleet across tenant identities
+// the server's governor can meter (-quota on dashserve).
+//
 // The report lands on stdout and, atomically, in -out (default
 // results/loadgen.txt). With -check, the exit status turns the run
 // into a smoke test: nonzero when any request failed or when a cache
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"coalqoe/internal/atomicio"
@@ -33,22 +40,40 @@ func main() {
 	seed := flag.Int64("seed", 1, "fleet seed (per-player FNV lanes)")
 	safety := flag.Float64("safety", 0.8, "rate-rule safety factor for rung selection")
 	retries := flag.Int("retries", 0, "retry attempts per fetch (0 = single attempt)")
+	tenants := flag.String("tenants", "", "comma-separated tenant names, assigned to players round-robin (X-Tenant header)")
+	retryBudget := flag.Float64("retry-budget", 0, "per-player retry budget in tokens (0 = unmetered retries)")
+	breaker := flag.Int("breaker", 0, "per-player circuit breaker: consecutive failures before opening (0 = off)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "open-circuit cooldown before half-open probing")
+	jitter := flag.Bool("jitter", false, "jitter retry backoff ×[0.5,1.5) on per-player seed lanes")
+	hedge := flag.Duration("hedge", 0, "launch a duplicate request after this delay (0 = no hedging)")
+	errorPause := flag.Duration("error-pause", 0, "rebuffer sit-out after a failed fetch (0 = immediate continue)")
 	out := flag.String("out", "results/loadgen.txt", `report path ("-" = stdout only)`)
 	check := flag.Bool("check", false, "exit nonzero on request errors or a silent cache")
 	flag.Parse()
 
 	cfg := loadgen.Config{
-		BaseURL:     *url,
-		Players:     *players,
-		Duration:    *duration,
-		MaxSegments: *segments,
-		Seed:        *seed,
-		RateSafety:  *safety,
-		Now:         time.Now,
-		Sleep:       time.Sleep,
+		BaseURL:          *url,
+		Players:          *players,
+		Duration:         *duration,
+		MaxSegments:      *segments,
+		Seed:             *seed,
+		RateSafety:       *safety,
+		RetryBudget:      *retryBudget,
+		BreakerThreshold: *breaker,
+		BreakerCooldown:  *breakerCooldown,
+		Jitter:           *jitter,
+		Hedge:            *hedge,
+		ErrorPause:       *errorPause,
+		Now:              time.Now,
+		Sleep:            time.Sleep,
 	}
 	if *retries > 0 {
 		cfg.Retry = dash.RetryPolicy{Attempts: *retries}
+	}
+	for _, name := range strings.Split(*tenants, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			cfg.Tenants = append(cfg.Tenants, name)
+		}
 	}
 
 	fmt.Printf("dashload: %d players against %s for %v\n", *players, *url, *duration)

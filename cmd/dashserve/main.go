@@ -1,10 +1,12 @@
 // Command dashserve serves a DASH manifest and synthetic segments over
 // real HTTP — the stand-in for the paper's Apache video server (§4.1),
 // now with an optional CDN-model segment cache, request coalescing,
-// and server-side fault injection:
+// server-side fault injection, and an overload governor (admission
+// control, per-tenant quotas, brownout demotion):
 //
 //	dashserve -addr :8080 -video 0 -cache-mb 64 -coalesce
 //	dashserve -faults netflaky -faults-seed 42
+//	dashserve -admit-limit 16 -tenants gold,bronze -quota 140 -brownout 0.1
 //	curl localhost:8080/manifest.json
 //	curl -o seg.mp4 localhost:8080/video/720p30/0
 //	curl localhost:8080/metrics
@@ -49,6 +51,11 @@ func main() {
 	faultsPlan := flag.String("faults", "", "server-side fault plan: "+strings.Join(planNames(), ", "))
 	faultsSeed := flag.Int64("faults-seed", 1, "fault schedule seed")
 	faultsHorizon := flag.Duration("faults-horizon", 10*time.Minute, "fault schedule repeats every horizon")
+	admitLimit := flag.Int("admit-limit", 0, "max in-flight segment requests (0 = no admission control)")
+	admitQueue := flag.Int("admit-queue", 0, "max queued segment requests (default 4x -admit-limit)")
+	tenants := flag.String("tenants", "", "comma-separated tenant names to meter (with -quota)")
+	quota := flag.Float64("quota", 0, "per-tenant request quota in req/s (0 = unmetered)")
+	brownout := flag.Float64("brownout", 0, "shed-rate EWMA that triggers brownout demotion (0 = off)")
 	flag.Parse()
 
 	if *videoIdx < 0 || *videoIdx >= len(dash.TestVideos) {
@@ -73,6 +80,25 @@ func main() {
 		}
 		opts.Chaos = cdn.NewChaos(spec, *faultsSeed, *faultsHorizon, time.Now, time.Sleep)
 	}
+	if *admitLimit > 0 || *quota > 0 || *brownout > 0 {
+		gcfg := cdn.GovernorConfig{
+			MaxInflight:   *admitLimit,
+			MaxQueue:      *admitQueue,
+			BrownoutEnter: *brownout,
+		}
+		if *quota > 0 {
+			for _, name := range strings.Split(*tenants, ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					gcfg.Quotas = append(gcfg.Quotas, cdn.TenantQuota{Name: name, Rate: *quota})
+				}
+			}
+			if len(gcfg.Quotas) == 0 {
+				fmt.Fprintln(os.Stderr, "dashserve: -quota needs -tenants to meter")
+				os.Exit(1)
+			}
+		}
+		opts.Governor = cdn.NewGovernor(gcfg, time.Now)
+	}
 	handler := dash.NewServerOpts(manifest, opts)
 
 	fmt.Printf("serving %q (%s, %v) with %d representations on %s\n",
@@ -82,6 +108,10 @@ func main() {
 	}
 	if opts.Chaos != nil {
 		fmt.Printf("fault plan: %s (seed %d, horizon %v)\n", *faultsPlan, *faultsSeed, *faultsHorizon)
+	}
+	if opts.Governor != nil {
+		fmt.Printf("admission: limit=%d queue=%d quota=%g req/s (%s) brownout=%g\n",
+			*admitLimit, *admitQueue, *quota, *tenants, *brownout)
 	}
 
 	srv := &http.Server{

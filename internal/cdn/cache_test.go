@@ -280,3 +280,121 @@ func TestConcurrentInvariants(t *testing.T) {
 		t.Errorf("entries %d != len(keys) %d", s.Entries, len(c.Keys()))
 	}
 }
+
+// TestCoalescedFillSurvivesRejectedAdmission: waiters on a singleflight
+// fill read the flight's captured body, not the cache map — so a fill
+// whose entry never makes it into the cache (oversize rejection is the
+// deterministic way to force that) must still deliver the bytes to
+// every waiter, with exactly one origin generation.
+func TestCoalescedFillSurvivesRejectedAdmission(t *testing.T) {
+	c := New(Config{Capacity: 100, AdmitAfter: 1, Coalesce: true})
+	want := body('Z', 150) // bigger than capacity: admission must reject
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	var fills atomic.Int64
+	var wg sync.WaitGroup
+
+	const followers = 4
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got, hit, err := c.Get("big", func() ([]byte, error) {
+			fills.Add(1)
+			close(leaderIn)
+			<-release
+			return want, nil
+		})
+		if err != nil || hit || !reflect.DeepEqual(got, want) {
+			t.Errorf("leader: hit=%v err=%v len=%d", hit, err, len(got))
+		}
+	}()
+	<-leaderIn
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, hit, err := c.Get("big", func() ([]byte, error) {
+				fills.Add(1)
+				return body('X', 1), nil
+			})
+			if err != nil || hit || !reflect.DeepEqual(got, want) {
+				t.Errorf("waiter: hit=%v err=%v len=%d", hit, err, len(got))
+			}
+		}()
+	}
+	for c.Waiters("big") != followers {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("origin generations = %d, want exactly 1", n)
+	}
+	s := c.Stats()
+	if s.Fills != 1 || s.Coalesced != followers {
+		t.Errorf("stats = %+v, want fills=1 coalesced=%d", s, followers)
+	}
+	if s.Rejected == 0 || s.Entries != 0 {
+		t.Errorf("oversize entry should have been rejected, not cached: %+v", s)
+	}
+}
+
+// TestCoalescedFillSurvivesConcurrentEviction: while a coalesced fill
+// is blocked, competing traffic churns the LRU so the cache state the
+// flight started from is long gone by the time it completes. The
+// waiters still get the flight's bytes and the counter algebra holds.
+func TestCoalescedFillSurvivesConcurrentEviction(t *testing.T) {
+	c := New(Config{Capacity: 200, AdmitAfter: 1, Coalesce: true})
+	want := body('s', 120)
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got, _, err := c.Get("seg", func() ([]byte, error) {
+			close(leaderIn)
+			<-release
+			return want, nil
+		})
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Errorf("leader: err=%v len=%d", err, len(got))
+		}
+	}()
+	<-leaderIn
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got, _, err := c.Get("seg", func() ([]byte, error) { return body('X', 1), nil })
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Errorf("waiter: err=%v len=%d", err, len(got))
+		}
+	}()
+	for c.Waiters("seg") != 1 {
+		runtime.Gosched()
+	}
+	// Churn: admit competing entries that consume the capacity the
+	// blocked flight will want, forcing evictions when it lands.
+	for i := 0; i < 6; i++ {
+		k := fmt.Sprintf("churn%d", i)
+		if _, _, err := c.Get(k, func() ([]byte, error) { return body('c', 60), nil }); err != nil {
+			t.Fatalf("churn fill: %v", err)
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	s := c.Stats()
+	if s.Bytes > 200 {
+		t.Errorf("resident bytes %d exceed capacity after eviction race", s.Bytes)
+	}
+	if s.Entries != int64(len(c.Keys())) {
+		t.Errorf("entries counter %d disagrees with key count %d", s.Entries, len(c.Keys()))
+	}
+	// One generation for seg, one per churn key.
+	if s.Fills != 7 {
+		t.Errorf("fills = %d, want 7", s.Fills)
+	}
+}

@@ -27,6 +27,7 @@
 package cdn
 
 import (
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -101,9 +102,16 @@ func NewChaos(spec faults.Spec, seed int64, horizon time.Duration, now func() ti
 // the constructor tests use to pin exact storm positions. Windows of
 // one kind must not overlap (faults.Spec.Windows never produces
 // overlaps; hand-built schedules must honor the same invariant).
+//
+// The schedule repeats every horizon, so a window straddling the
+// boundary is split into its tail ([Start, horizon)) and the wrapped
+// head ([0, End-horizon)): Gate evaluates `elapsed % horizon`, and
+// without the split the head portion would fire on the first pass but
+// silently vanish on every subsequent wrap — the schedule would not
+// replay identically.
 func NewChaosFromWindows(windows []faults.Window, seed int64, horizon time.Duration, now func() time.Time, sleep func(time.Duration)) *Chaos {
 	c := &Chaos{horizon: horizon, start: now(), now: now, sleep: sleep, seed: seed}
-	for _, w := range windows {
+	add := func(w faults.Window) {
 		switch w.Kind {
 		case faults.NetOutage:
 			c.outages = append(c.outages, w)
@@ -114,6 +122,37 @@ func NewChaosFromWindows(windows []faults.Window, seed int64, horizon time.Durat
 		case faults.MemSpike:
 			c.spikes = append(c.spikes, w)
 		}
+	}
+	for _, w := range windows {
+		if w.Duration <= 0 {
+			continue
+		}
+		if w.Start >= horizon {
+			// Entirely past the boundary: place it where the repeating
+			// schedule will actually observe it.
+			w.Start %= horizon
+		}
+		if over := w.End() - horizon; over > 0 {
+			tail := w
+			tail.Duration = horizon - tail.Start
+			add(tail)
+			head := w
+			head.Start = 0
+			// A window longer than the horizon covers it completely;
+			// cap the head at the tail's start so the pieces never
+			// overlap themselves.
+			if head.Duration = over; head.Duration > w.Start {
+				head.Duration = w.Start
+			}
+			add(head)
+			continue
+		}
+		add(w)
+	}
+	// activeSeverity binary-searches by start; the head pieces above
+	// (and hand-built schedules) may arrive out of order.
+	for _, ws := range [][]faults.Window{c.outages, c.losses, c.stalls, c.spikes} {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
 	}
 	return c
 }

@@ -148,3 +148,74 @@ func TestChaosFromSpecDeterministic(t *testing.T) {
 		t.Error("netflaky should carry both outage and loss windows")
 	}
 }
+
+// TestChaosHorizonStraddleReplaysAcrossWraps: a window crossing the
+// horizon boundary must fire identically on every pass. Gate reduces
+// time to `elapsed % horizon`, so the wrapped-past-the-boundary part
+// of the window only exists if the constructor splits it into a tail
+// piece and a head piece (regression: it used to fire on the first
+// pass only via End() > horizon, then vanish forever after).
+func TestChaosHorizonStraddleReplaysAcrossWraps(t *testing.T) {
+	const horizon = 10 * time.Second
+	c, fc := testChaos([]faults.Window{
+		// [8s, 12s) against a 10s horizon: tail [8,10) + head [0,2).
+		{Kind: faults.NetOutage, Start: 8 * time.Second, Duration: 4 * time.Second},
+		// An IOStall straddler too: [9s, 11s) -> tail [9,10) + head [0,1).
+		{Kind: faults.IOStall, Start: 9 * time.Second, Duration: 2 * time.Second, Severity: 3},
+	}, 1, horizon)
+
+	probe := func(off time.Duration) Effect {
+		fc.t = time.Unix(1700000000, 0).Add(off)
+		return c.Gate()
+	}
+	// Offsets probed on every pass: inside the head, in the clear
+	// middle, and inside the tail.
+	offsets := []time.Duration{
+		500 * time.Millisecond,  // head: outage + stall
+		1500 * time.Millisecond, // head: outage only
+		5 * time.Second,         // clear
+		8500 * time.Millisecond, // tail: outage only
+		9500 * time.Millisecond, // tail: outage + stall
+	}
+	var first []Effect
+	for pass := 0; pass < 3; pass++ {
+		for i, off := range offsets {
+			e := probe(time.Duration(pass)*horizon + off)
+			if pass == 0 {
+				first = append(first, e)
+				continue
+			}
+			if e != first[i] {
+				t.Errorf("pass %d offset %v: effect %+v != first-pass %+v", pass, off, e, first[i])
+			}
+		}
+	}
+	// And the verdicts themselves are the straddle semantics: the head
+	// offsets are inside the wrapped window.
+	if first[0].Status != 503 || first[1].Status != 503 {
+		t.Errorf("head of straddling outage not active: %+v %+v", first[0], first[1])
+	}
+	if first[2].Status != 0 || first[2].OriginDelay != 0 {
+		t.Errorf("clear middle not clear: %+v", first[2])
+	}
+	if first[3].Status != 503 || first[4].Status != 503 {
+		t.Errorf("tail of straddling outage not active: %+v %+v", first[3], first[4])
+	}
+}
+
+// TestChaosWindowBeyondHorizonIsNormalized: a hand-built window placed
+// entirely past the horizon is folded to where the repeating schedule
+// observes it, not silently dead.
+func TestChaosWindowBeyondHorizonIsNormalized(t *testing.T) {
+	c, fc := testChaos([]faults.Window{
+		{Kind: faults.NetOutage, Start: 13 * time.Second, Duration: 2 * time.Second},
+	}, 1, 10*time.Second)
+	fc.advance(4 * time.Second) // 13s % 10s = 3s -> window [3s, 5s)
+	if e := c.Gate(); e.Status != 503 {
+		t.Errorf("normalized window inactive: %+v", e)
+	}
+	fc.advance(2 * time.Second) // 6s: outside
+	if e := c.Gate(); e.Status != 0 {
+		t.Errorf("outside normalized window: %+v", e)
+	}
+}

@@ -1,0 +1,264 @@
+package dash
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"coalqoe/internal/resilience"
+)
+
+// backpressureHandler rejects the first `fail` requests with status
+// and a Retry-After hint, then serves normally.
+type backpressureHandler struct {
+	inner      http.Handler
+	failures   int
+	status     int
+	retryAfter string
+	seen       atomic.Int64
+}
+
+func (h *backpressureHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if int(h.seen.Add(1)) <= h.failures {
+		if h.retryAfter != "" {
+			w.Header().Set("Retry-After", h.retryAfter)
+		}
+		http.Error(w, http.StatusText(h.status), h.status)
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// resClient builds a client against a backpressure front with a fake
+// clock and sleep recorder.
+func resClient(t *testing.T, h *backpressureHandler, p RetryPolicy) (*Client, *[]time.Duration) {
+	t.Helper()
+	h.inner = NewServer(NewManifest(TestVideos[0], 24, 30, 48, 60))
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	fake := time.Unix(1700000000, 0)
+	var slept []time.Duration
+	c := NewClient(ts.URL, func() time.Time { return fake })
+	c.SetRetry(p, func(d time.Duration) { slept = append(slept, d) })
+	return c, &slept
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"abc", 0},
+		{"-1", 0},
+		{"0", 0},
+		{"2", 2 * time.Second},
+		{"10", 10 * time.Second},
+		{"9999", maxRetryAfter}, // capped: a bad hint must not park a player
+		{"2.5", 0},              // HTTP allows integer seconds only
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	// 503 + Retry-After: 3 with a 100ms base backoff: the server's
+	// hint dominates the exponential schedule.
+	c, slept := resClient(t,
+		&backpressureHandler{failures: 1, status: http.StatusServiceUnavailable, retryAfter: "3"},
+		RetryPolicy{Attempts: 3, Backoff: 100 * time.Millisecond})
+	if _, err := c.FetchManifest(); err != nil {
+		t.Fatalf("manifest after backpressure: %v", err)
+	}
+	if len(*slept) != 1 || (*slept)[0] != 3*time.Second {
+		t.Errorf("slept %v, want [3s] (server hint over base backoff)", *slept)
+	}
+	if s := c.ResilienceStats(); s.Waited != 1 {
+		t.Errorf("Waited = %d, want 1", s.Waited)
+	}
+}
+
+func TestClientRetries429Throttle(t *testing.T) {
+	c, slept := resClient(t,
+		&backpressureHandler{failures: 1, status: http.StatusTooManyRequests, retryAfter: "2"},
+		RetryPolicy{Attempts: 3, Backoff: 100 * time.Millisecond})
+	if _, _, err := c.FetchSegment("480p30", 0); err != nil {
+		t.Fatalf("segment after throttle: %v", err)
+	}
+	if len(*slept) != 1 || (*slept)[0] != 2*time.Second {
+		t.Errorf("slept %v, want [2s]", *slept)
+	}
+}
+
+func TestClientJittersBackoff(t *testing.T) {
+	c, slept := resClient(t,
+		&backpressureHandler{failures: 2, status: http.StatusServiceUnavailable},
+		RetryPolicy{Attempts: 3, Backoff: time.Second, BackoffCap: 8 * time.Second})
+	c.SetResilience(Resilience{Jitter: rand.New(rand.NewSource(7))})
+	if _, err := c.FetchManifest(); err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("slept %v, want 2 jittered backoffs", *slept)
+	}
+	for i, base := range []time.Duration{time.Second, 2 * time.Second} {
+		if d := (*slept)[i]; d < base/2 || d >= base+base/2 {
+			t.Errorf("backoff[%d] = %v outside jitter range [%v, %v)", i, d, base/2, base+base/2)
+		}
+		if (*slept)[i] == 0 || (*slept)[i] == time.Second || (*slept)[i] == 2*time.Second {
+			t.Errorf("backoff[%d] = %v looks unjittered", i, (*slept)[i])
+		}
+	}
+	// Same seed lane, same jitter sequence.
+	c2, slept2 := resClient(t,
+		&backpressureHandler{failures: 2, status: http.StatusServiceUnavailable},
+		RetryPolicy{Attempts: 3, Backoff: time.Second, BackoffCap: 8 * time.Second})
+	c2.SetResilience(Resilience{Jitter: rand.New(rand.NewSource(7))})
+	if _, err := c2.FetchManifest(); err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	for i := range *slept {
+		if (*slept)[i] != (*slept2)[i] {
+			t.Errorf("jitter not deterministic on the seed lane: %v vs %v", *slept, *slept2)
+		}
+	}
+}
+
+func TestClientRetryBudgetExhaustion(t *testing.T) {
+	h := &backpressureHandler{failures: 100, status: http.StatusServiceUnavailable}
+	c, _ := resClient(t, h, RetryPolicy{Attempts: 10, Backoff: time.Millisecond})
+	c.SetResilience(Resilience{Budget: resilience.NewRetryBudget(resilience.BudgetConfig{Capacity: 2})})
+	_, err := c.FetchManifest()
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+	// 1 first attempt + 2 budgeted retries; the other 7 were refused.
+	if n := h.seen.Load(); n != 3 {
+		t.Errorf("server saw %d requests, want 3 (budget must bound retries)", n)
+	}
+	if s := c.ResilienceStats(); s.Budget.Spent != 2 || s.Budget.Denied != 1 {
+		t.Errorf("budget stats = %+v", s.Budget)
+	}
+	// The original failure survives in the chain for classification.
+	if got := Classify(err); got != ClassBreaker && got != ClassHTTP5xx {
+		// A budget refusal wraps the prior attempt's error; 503 without
+		// a hint classifies as http5xx.
+		t.Errorf("Classify(%v) = %q", err, got)
+	}
+}
+
+func TestClientBreakerFailsFast(t *testing.T) {
+	h := &backpressureHandler{failures: 1000, status: http.StatusInternalServerError}
+	c, _ := resClient(t, h, RetryPolicy{Attempts: 2, Backoff: time.Millisecond})
+	c.SetResilience(Resilience{Breaker: resilience.NewBreaker(resilience.BreakerConfig{
+		FailThreshold: 3, Cooldown: time.Hour,
+	})})
+	// First two fetches burn 2 attempts each; the 3rd failure trips
+	// the breaker mid-second-fetch.
+	c.FetchManifest()
+	c.FetchManifest()
+	before := h.seen.Load()
+	_, err := c.FetchManifest()
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want circuit open", err)
+	}
+	if got := Classify(err); got != ClassBreaker {
+		t.Errorf("Classify = %q, want %q", got, ClassBreaker)
+	}
+	if h.seen.Load() != before {
+		t.Error("open circuit still hit the network")
+	}
+	if s := c.ResilienceStats(); s.Breaker.Opens != 1 || s.Breaker.FastFails == 0 {
+		t.Errorf("breaker stats = %+v", s.Breaker)
+	}
+}
+
+func TestClientHedgedSegmentFetch(t *testing.T) {
+	// The first request stalls until a second (hedged) request has been
+	// seen; with the recorded sleep returning instantly the hedge fires
+	// immediately and wins the race.
+	var seen atomic.Int64
+	release := make(chan struct{})
+	m := NewManifest(TestVideos[0], 24, 30, 48, 60)
+	inner := NewServer(m)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if seen.Add(1) == 1 {
+			<-release
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { close(release) })
+
+	fake := time.Unix(1700000000, 0)
+	c := NewClient(ts.URL, func() time.Time { return fake })
+	c.SetRetry(RetryPolicy{Attempts: 1}, func(time.Duration) {})
+	c.SetResilience(Resilience{Hedge: 50 * time.Millisecond})
+	rung, _ := m.Rung(R480p, 30)
+	got, _, err := c.FetchSegment("480p30", 5)
+	if err != nil {
+		t.Fatalf("hedged fetch: %v", err)
+	}
+	if want := m.Video.SegmentBytes(rung, 5); got != want {
+		t.Errorf("bytes = %d, want %d", got, want)
+	}
+	if s := c.ResilienceStats(); s.Hedges != 1 {
+		t.Errorf("hedges = %d, want 1", s.Hedges)
+	}
+}
+
+func TestClientSendsTenantHeader(t *testing.T) {
+	var gotTenant atomic.Value
+	m := NewManifest(TestVideos[0], 24, 30, 48, 60)
+	inner := NewServer(m)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotTenant.Store(r.Header.Get(TenantHeader))
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL, func() time.Time { return time.Unix(1700000000, 0) })
+	c.SetResilience(Resilience{Tenant: "acme"})
+	if _, err := c.FetchManifest(); err != nil {
+		t.Fatal(err)
+	}
+	if gotTenant.Load() != "acme" {
+		t.Errorf("tenant header = %q, want acme", gotTenant.Load())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{&StatusError{Status: 429, Msg: "throttled"}, ClassShed},
+		{&StatusError{Status: 503, RetryAfter: time.Second, Msg: "shed"}, ClassShed},
+		{&StatusError{Status: 503, Msg: "chaos"}, ClassHTTP5xx},
+		{&StatusError{Status: 502, Msg: "chaos"}, ClassHTTP5xx},
+		{&StatusError{Status: 404, Msg: "gone"}, ClassHTTP4xx},
+		{fmt.Errorf("wrap: %w", ErrCircuitOpen), ClassBreaker},
+		{fmt.Errorf("wrap: %w", &StatusError{Status: 500, Msg: "x"}), ClassHTTP5xx},
+		{errors.New("connection refused"), ClassTransport},
+		{fakeTimeout{}, ClassTimeout},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+// fakeTimeout implements net.Error's timeout surface.
+type fakeTimeout struct{}
+
+func (fakeTimeout) Error() string   { return "deadline exceeded" }
+func (fakeTimeout) Timeout() bool   { return true }
+func (fakeTimeout) Temporary() bool { return false }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -77,8 +78,15 @@ type Server struct {
 	rungs    map[string]rungCounters // fixed at construction: concurrent reads are safe
 	inflight *atomic.Int64
 
-	cache *cdn.Cache
-	chaos *cdn.Chaos
+	// ladder is the manifest's rungs sorted by ascending bitrate, with
+	// ladderIdx mapping rep id -> ladder position; fixed at
+	// construction so brownout demotion is two lookups on the hot path.
+	ladder    []Rung
+	ladderIdx map[string]int
+
+	cache    *cdn.Cache
+	chaos    *cdn.Chaos
+	governor *cdn.Governor
 }
 
 // rungCounters are the per-representation hot-path counters, resolved
@@ -98,6 +106,11 @@ type ServerOptions struct {
 	// and /metrics requests bypass the gate: telemetry must stay
 	// reachable mid-storm, like a real CDN's health endpoints.
 	Chaos *cdn.Chaos
+	// Governor puts an admission controller in front of the segment
+	// path: concurrency/queue limits with fast 503 shedding,
+	// per-tenant quotas (429), and brownout rung demotion. Manifest
+	// and /metrics bypass it, like the chaos gate.
+	Governor *cdn.Governor
 }
 
 // NewServer builds the handler for one video with no cache or chaos.
@@ -121,6 +134,18 @@ func NewServerOpts(m *Manifest, opts ServerOptions) *Server {
 		rungs:    make(map[string]rungCounters, len(m.Rungs)),
 		cache:    opts.Cache,
 		chaos:    opts.Chaos,
+		governor: opts.Governor,
+	}
+	s.ladder = append(s.ladder, m.Rungs...)
+	sort.Slice(s.ladder, func(i, j int) bool {
+		if s.ladder[i].Bitrate != s.ladder[j].Bitrate {
+			return s.ladder[i].Bitrate < s.ladder[j].Bitrate
+		}
+		return s.ladder[i].FPS < s.ladder[j].FPS
+	})
+	s.ladderIdx = make(map[string]int, len(s.ladder))
+	for i, r := range s.ladder {
+		s.ladderIdx[fmt.Sprintf("%s%d", r.Resolution, r.FPS)] = i
 	}
 	for _, r := range m.Rungs {
 		id := fmt.Sprintf("%s%d", r.Resolution, r.FPS)
@@ -176,6 +201,16 @@ func (s *Server) MetricsSnapshot() map[string]float64 {
 		extras["dash.chaos.rejected"] = float64(hs.Rejected)
 		extras["dash.chaos.delayed"] = float64(hs.Delayed)
 		extras["dash.chaos.stalled"] = float64(hs.Stalled)
+	}
+	if s.governor != nil {
+		gm := s.governor.MetricsExtras()
+		if extras == nil {
+			extras = gm
+		} else {
+			for k, v := range gm { //coalvet:allow maporder merged into a map; /metrics sorts keys on marshal
+				extras[k] = v
+			}
+		}
 	}
 	return s.metrics.snapshot(extras)
 }
@@ -237,6 +272,41 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no such segment", http.StatusNotFound)
 		return
 	}
+	// Admission happens after request validation (malformed requests
+	// must not consume capacity) and before the chaos gate and any
+	// serving work: a shed request costs the server one decision and
+	// one tiny response.
+	demote := 0
+	if s.governor != nil {
+		tenant := r.Header.Get(TenantHeader)
+		if tenant == "" {
+			tenant = "anon"
+		}
+		d := s.governor.Admit(tenant)
+		switch d.Kind {
+		case cdn.Shed:
+			w.Header().Set("Retry-After", retryAfterSeconds(d.RetryAfter))
+			http.Error(w, "overloaded", d.Status)
+			return
+		case cdn.Queued:
+			select {
+			case g := <-d.Ticket.C:
+				demote = g.Demote
+			case <-r.Context().Done():
+				if !s.governor.Cancel(d.Ticket) {
+					// The grant raced the disconnect: consume it and give
+					// the slot back, or it leaks forever.
+					<-d.Ticket.C
+					s.governor.Release()
+				}
+				return
+			}
+			defer s.governor.Release()
+		default: // Admitted
+			demote = d.Demote
+			defer s.governor.Release()
+		}
+	}
 	var originDelay time.Duration
 	if s.chaos != nil {
 		effect := s.chaos.Gate()
@@ -246,7 +316,19 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		}
 		originDelay = effect.OriginDelay
 	}
+	// Brownout: serve a lower ladder rung than requested — degrade
+	// quality, not availability. The response advertises the served
+	// rung so clients account honestly.
+	if demote > 0 {
+		served := s.demoteRung(rung, demote)
+		if served != rung {
+			rung = served
+			w.Header().Set(ServedRungHeader, fmt.Sprintf("%s%d", rung.Resolution, rung.FPS))
+		}
+	}
 	size := s.manifest.Video.SegmentBytes(rung, seg)
+	// Metrics count the rung actually served: under brownout the
+	// /metrics rung mix shifts visibly toward the ladder's floor.
 	id := fmt.Sprintf("%s%d", rung.Resolution, rung.FPS)
 	rc := s.rungs[id]
 	rc.requests.Add(1)
@@ -269,6 +351,29 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		s.chaos.Delay(originDelay)
 	}
 	writeSynthetic(w, size)
+}
+
+// demoteRung steps down the bitrate ladder, clamping at the floor —
+// brownout never promotes and never falls off the ladder.
+func (s *Server) demoteRung(rung Rung, steps int) Rung {
+	idx, ok := s.ladderIdx[fmt.Sprintf("%s%d", rung.Resolution, rung.FPS)]
+	if !ok {
+		return rung
+	}
+	if idx -= steps; idx < 0 {
+		idx = 0
+	}
+	return s.ladder[idx]
+}
+
+// retryAfterSeconds renders a backoff hint as the integer-seconds
+// Retry-After form (minimum 1 — "0" would invite an immediate retry).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // synthPattern is the immutable 64 KiB filler block every synthetic
@@ -322,6 +427,10 @@ type Client struct {
 
 	retry RetryPolicy
 	sleep func(time.Duration)
+	res   Resilience
+
+	hedges atomic.Int64
+	waited atomic.Int64
 }
 
 // RetryPolicy bounds a fetch: Timeout caps one attempt, Attempts caps
@@ -381,90 +490,78 @@ func (c *Client) SetRetry(p RetryPolicy, sleep func(time.Duration)) {
 }
 
 // retryable reports whether a failed attempt is worth retrying:
-// transport errors (status 0) and server-side (5xx) statuses are;
-// client errors (4xx) are not — re-sending a request the server
-// rejected outright only burns the backoff budget.
+// transport errors (status 0), server-side (5xx) statuses, and 429
+// throttles are; other client errors (4xx) are not — re-sending a
+// request the server rejected outright only burns the backoff budget.
 func retryable(status int) bool {
-	return status < 400 || status >= 500
-}
-
-// withRetry runs attempt up to the policy's budget, backing off
-// between tries. attempt returns the HTTP status it saw (0 on
-// transport error) so withRetry can distinguish 4xx from 5xx.
-func (c *Client) withRetry(attempt func() (int, error)) error {
-	attempts := c.retry.Attempts
-	if attempts <= 0 {
-		attempts = 1
-	}
-	backoff := c.retry.Backoff
-	var err error
-	for i := 0; i < attempts; i++ {
-		if i > 0 {
-			c.sleep(backoff)
-			if backoff *= 2; backoff > c.retry.BackoffCap {
-				backoff = c.retry.BackoffCap
-			}
-		}
-		var status int
-		status, err = attempt()
-		if err == nil || !retryable(status) {
-			return err
-		}
-	}
-	return err
+	return status < 400 || status >= 500 || status == http.StatusTooManyRequests
 }
 
 // FetchManifest downloads and decodes the manifest, retrying per the
 // client's RetryPolicy (a single attempt unless SetRetry armed one).
 func (c *Client) FetchManifest() (ManifestDTO, error) {
 	var dto ManifestDTO
-	err := c.withRetry(func() (int, error) {
-		resp, err := c.HTTP.Get(c.BaseURL + "/manifest.json")
+	err := c.withRetry(func() error {
+		resp, err := c.get(c.BaseURL + "/manifest.json")
 		if err != nil {
-			return 0, fmt.Errorf("dash: fetch manifest: %w", err)
+			return fmt.Errorf("dash: fetch manifest: %w", err)
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			return resp.StatusCode, fmt.Errorf("dash: fetch manifest: %s", resp.Status)
+			return statusError(resp, "dash: fetch manifest: "+resp.Status)
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&dto); err != nil {
 			// A truncated or corrupt body is a transport-level failure:
 			// retryable.
-			return 0, fmt.Errorf("dash: decode manifest: %w", err)
+			return fmt.Errorf("dash: decode manifest: %w", err)
 		}
-		return resp.StatusCode, nil
+		return nil
 	})
 	return dto, err
 }
 
 // FetchSegment downloads one segment, discarding the body, and returns
 // its size and transfer duration. With a RetryPolicy armed (SetRetry),
-// failed attempts are retried with capped exponential backoff; the
-// returned duration spans all attempts including backoff — the stall
-// the player actually experienced.
+// failed attempts are retried with capped exponential backoff paced by
+// any server Retry-After hint and jittered on the player's seed lane;
+// the returned duration spans all attempts including backoff — the
+// stall the player actually experienced. With Resilience.Hedge armed,
+// each attempt races a delayed duplicate and takes the first finisher.
 func (c *Client) FetchSegment(repID string, seg int) (units.Bytes, time.Duration, error) {
 	start := c.Now()
 	var total int64
-	err := c.withRetry(func() (int, error) {
-		resp, err := c.HTTP.Get(fmt.Sprintf("%s/video/%s/%d", c.BaseURL, repID, seg))
+	fetchOnce := func() hedgeResult {
+		resp, err := c.get(fmt.Sprintf("%s/video/%s/%d", c.BaseURL, repID, seg))
 		if err != nil {
-			return 0, fmt.Errorf("dash: fetch segment: %w", err)
+			return hedgeResult{err: fmt.Errorf("dash: fetch segment: %w", err)}
 		}
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			return resp.StatusCode, fmt.Errorf("dash: fetch segment %s/%d: %s", repID, seg, resp.Status)
+			return hedgeResult{err: statusError(resp, fmt.Sprintf("dash: fetch segment %s/%d: %s", repID, seg, resp.Status))}
 		}
 		// io.Discard's ReaderFrom drains through a pooled buffer — no
 		// per-fetch 64 KiB allocation (the seed client allocated one
 		// drain buffer per segment).
 		n, err := io.Copy(io.Discard, resp.Body)
-		total = n
 		if err != nil {
 			// A connection that died mid-body is a transport failure:
 			// retryable.
-			return 0, fmt.Errorf("dash: read segment %s/%d: %w", repID, seg, err)
+			return hedgeResult{err: fmt.Errorf("dash: read segment %s/%d: %w", repID, seg, err)}
 		}
-		return resp.StatusCode, nil
+		return hedgeResult{n: n, rung: resp.Header.Get(ServedRungHeader)}
+	}
+	err := c.withRetry(func() error {
+		var r hedgeResult
+		if c.res.Hedge > 0 {
+			r = c.hedged(fetchOnce)
+		} else {
+			r = fetchOnce()
+		}
+		if r.err != nil {
+			return r.err
+		}
+		total = r.n
+		return nil
 	})
 	if err != nil {
 		return 0, 0, err

@@ -120,7 +120,9 @@ func TestParseRepID(t *testing.T) {
 }
 
 // TestRetryableBoundaries pins the retry classification at the status
-// class edges: transport errors (0) and 5xx retry, 3xx/4xx do not.
+// class edges: transport errors (0), 5xx, and 429 throttles retry
+// (the governor's quota shed is an invitation to come back after the
+// Retry-After hint, not a permanent rejection); other 3xx/4xx do not.
 func TestRetryableBoundaries(t *testing.T) {
 	cases := []struct {
 		status int
@@ -133,7 +135,7 @@ func TestRetryableBoundaries(t *testing.T) {
 		{399, true}, // last pre-4xx status
 		{400, false},
 		{404, false},
-		{429, false},
+		{429, true},  // quota throttle: retry after the hint
 		{499, false}, // last 4xx
 		{500, true},
 		{503, true},

@@ -138,8 +138,20 @@ func Mixed() Spec {
 	}
 }
 
+// RetryStorm is the overload A/B's trigger shape: short, frequent
+// total outages whose recovery edge releases the whole fleet's retry
+// wave at once. Against an unprotected server the synchronized wave
+// drives queue wait past client timeouts and the system goes
+// metastable; against the governor it sheds, degrades, and recovers.
+func RetryStorm() Spec {
+	return Spec{
+		Name:        "retrystorm",
+		OutageEvery: 8 * time.Second, OutageDur: 3 * time.Second,
+	}
+}
+
 // Plans returns every named plan, in stable order.
-func Plans() []Spec { return []Spec{NetFlaky(), IOStorm(), MemStorm(), Mixed()} }
+func Plans() []Spec { return []Spec{NetFlaky(), IOStorm(), MemStorm(), Mixed(), RetryStorm()} }
 
 // Lookup resolves a plan by name (the coalctl -faults argument).
 func Lookup(name string) (Spec, error) {

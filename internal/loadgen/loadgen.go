@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"coalqoe/internal/dash"
+	"coalqoe/internal/resilience"
 	"coalqoe/internal/stats"
 )
 
@@ -71,10 +72,59 @@ type Config struct {
 	// (default 0.8): pick the highest rung whose bitrate fits inside
 	// safety x measured rate, the classic rate-based ABR rule.
 	RateSafety float64
+
+	// Tenants assigns players to tenants round-robin (player i gets
+	// Tenants[i%len]), sent as the X-Tenant header so the server's
+	// governor can meter them. Empty means no tenant identity.
+	Tenants []string
+	// RetryBudget arms a per-player retry budget of this many tokens
+	// (refilled by successes); 0 leaves retries unmetered.
+	RetryBudget float64
+	// BreakerThreshold arms a per-player circuit breaker opening after
+	// this many consecutive failures; 0 disables breaking.
+	BreakerThreshold int
+	// BreakerCooldown is the open-circuit cooldown (default 2s when a
+	// breaker is armed).
+	BreakerCooldown time.Duration
+	// Jitter spreads each player's retry backoff ×[0.5,1.5) on its own
+	// seed lane, decorrelating the fleet's retry waves.
+	Jitter bool
+	// Hedge launches a duplicate segment request when the first has
+	// not finished after this delay; 0 disables hedging.
+	Hedge time.Duration
+	// ErrorPause is how long a player sits out after a failed fetch
+	// (jittered on its lane). A closed loop with no error pause
+	// busy-spins rejections at network speed — the exact retry-storm
+	// shape the resilience layer exists to stop; a pause models the
+	// rebuffer wait a real player would take. 0 keeps the old
+	// immediate-continue behavior.
+	ErrorPause time.Duration
+
 	// Now and Sleep inject the wall clock (time.Now / time.Sleep from
 	// the binary's main package; tests may fake them). Both required.
 	Now   func() time.Time
 	Sleep func(time.Duration)
+}
+
+// TenantResult is one tenant's slice of the run.
+type TenantResult struct {
+	Players  int
+	Requests int64
+	Errors   int64
+	Bytes    int64
+}
+
+// ClientResilience aggregates the fleet's client-side defense
+// counters — the client.retrybudget.* / client.breaker.* /
+// client.hedge.* families of the report.
+type ClientResilience struct {
+	BudgetSpent  int64 // retries paid for by the budget
+	BudgetDenied int64 // retries refused on empty budgets
+	Opens        int64 // circuit-breaker trips
+	FastFails    int64 // requests refused locally while open
+	Probes       int64 // half-open probes
+	Hedges       int64 // hedged duplicates launched
+	Waited       int64 // retries paced by a server Retry-After hint
 }
 
 // Result is the merged outcome of a run.
@@ -89,6 +139,15 @@ type Result struct {
 	Latency *stats.QuantileSketch
 	// PerRung counts successful fetches per representation id.
 	PerRung map[string]int64
+	// ErrorsByClass splits Errors by dash.Classify: "server protected
+	// itself" (shed) reads very differently from "server fell over"
+	// (http5xx) in an overload experiment.
+	ErrorsByClass map[string]int64
+	// PerTenant slices the run by tenant (nil when Config.Tenants was
+	// empty).
+	PerTenant map[string]TenantResult
+	// Resilience aggregates the players' client-side defense counters.
+	Resilience ClientResilience
 	// ServerMetrics is the server's /metrics snapshot taken after the
 	// run (nil if the caller did not fetch it).
 	ServerMetrics map[string]float64
@@ -144,6 +203,23 @@ type recorder struct {
 	bytes    int64
 	latency  *stats.QuantileSketch
 	perRung  map[string]int64
+	// errClasses counts failures by dash.ErrorClasses position — a
+	// fixed-order slice, so merging needs no map iteration.
+	errClasses []int64
+}
+
+// classIndex maps a dash error class to its errClasses slot.
+var classIndex = func() map[string]int {
+	m := make(map[string]int, len(dash.ErrorClasses))
+	for i, c := range dash.ErrorClasses {
+		m[c] = i
+	}
+	return m
+}()
+
+// tenantOf returns player i's tenant ("" without a tenant model).
+func tenantOf(cfg *Config, player int) string {
+	return tenantAt(cfg.Tenants, player)
 }
 
 // pickRung returns the highest-bitrate representation whose bitrate
@@ -192,6 +268,9 @@ func Run(cfg Config) (*Result, error) {
 		c.HTTP = &http.Client{Transport: transport, Timeout: 30 * time.Second}
 		if cfg.Retry.Attempts > 0 {
 			c.SetRetry(cfg.Retry, cfg.Sleep)
+		} else if cfg.Hedge > 0 {
+			// Hedging needs the injected sleep even without retries.
+			c.SetRetry(dash.RetryPolicy{Attempts: 1}, cfg.Sleep)
 		}
 		return c
 	}
@@ -217,7 +296,18 @@ func Run(cfg Config) (*Result, error) {
 
 	recorders := make([]recorder, cfg.Players)
 	for i := range recorders {
-		recorders[i] = recorder{latency: newLatencySketch(), perRung: make(map[string]int64)}
+		recorders[i] = recorder{
+			latency:    newLatencySketch(),
+			perRung:    make(map[string]int64),
+			errClasses: make([]int64, len(dash.ErrorClasses)),
+		}
+	}
+	// Clients live in a coordinator-owned slice (bounded by Players, a
+	// configured capacity) so their resilience counters survive the
+	// players and merge after the drain.
+	clients := make([]*dash.Client, cfg.Players)
+	for i := range clients {
+		clients[i] = newClient()
 	}
 
 	start := cfg.Now()
@@ -226,7 +316,7 @@ func Run(cfg Config) (*Result, error) {
 	for i := 0; i < cfg.Players; i++ {
 		go func(i int) {
 			defer func() { done <- i }()
-			runPlayer(&cfg, newClient(), reps, nsegs, i, deadline, &recorders[i])
+			runPlayer(&cfg, clients[i], reps, nsegs, i, deadline, &recorders[i])
 		}(i)
 	}
 	for i := 0; i < cfg.Players; i++ {
@@ -235,10 +325,14 @@ func Run(cfg Config) (*Result, error) {
 	elapsed := cfg.Now().Sub(start)
 
 	res := &Result{
-		Players: cfg.Players,
-		Elapsed: elapsed,
-		Latency: newLatencySketch(),
-		PerRung: make(map[string]int64),
+		Players:       cfg.Players,
+		Elapsed:       elapsed,
+		Latency:       newLatencySketch(),
+		PerRung:       make(map[string]int64),
+		ErrorsByClass: make(map[string]int64),
+	}
+	if len(cfg.Tenants) > 0 {
+		res.PerTenant = make(map[string]TenantResult, len(cfg.Tenants))
 	}
 	for i := range recorders {
 		rec := &recorders[i]
@@ -251,15 +345,53 @@ func Run(cfg Config) (*Result, error) {
 				res.PerRung[rep.ID] += n
 			}
 		}
+		for ci, class := range dash.ErrorClasses {
+			if n := rec.errClasses[ci]; n > 0 {
+				res.ErrorsByClass[class] += n
+			}
+		}
+		if res.PerTenant != nil {
+			tr := res.PerTenant[tenantOf(&cfg, i)]
+			tr.Players++
+			tr.Requests += rec.requests
+			tr.Errors += rec.errors
+			tr.Bytes += rec.bytes
+			res.PerTenant[tenantOf(&cfg, i)] = tr
+		}
+		cs := clients[i].ResilienceStats()
+		res.Resilience.BudgetSpent += cs.Budget.Spent
+		res.Resilience.BudgetDenied += cs.Budget.Denied
+		res.Resilience.Opens += cs.Breaker.Opens
+		res.Resilience.FastFails += cs.Breaker.FastFails
+		res.Resilience.Probes += cs.Breaker.Probes
+		res.Resilience.Hedges += cs.Hedges
+		res.Resilience.Waited += cs.Waited
 	}
 	return res, nil
 }
 
 // runPlayer is one closed-loop player: walk segments from a seeded
 // start offset, measure each fetch, adapt the rung to the measured
-// rate, stop at the deadline (or segment cap).
+// rate, stop at the deadline (or segment cap). The player's retry
+// budget, breaker, and jitter all ride its own FNV seed lane.
 func runPlayer(cfg *Config, client *dash.Client, reps []dash.RungDTO, nsegs, player int, deadline time.Time, rec *recorder) {
 	rng := rand.New(rand.NewSource(playerSeed(cfg.Seed, player)))
+	res := dash.Resilience{Tenant: tenantOf(cfg, player), Hedge: cfg.Hedge}
+	if cfg.RetryBudget > 0 {
+		res.Budget = resilience.NewRetryBudget(resilience.BudgetConfig{Capacity: cfg.RetryBudget})
+	}
+	if cfg.BreakerThreshold > 0 {
+		res.Breaker = resilience.NewBreaker(resilience.BreakerConfig{
+			FailThreshold: cfg.BreakerThreshold,
+			Cooldown:      cfg.BreakerCooldown,
+		})
+	}
+	if cfg.Jitter {
+		// A separate rand stream on the same lane: backoff jitter draws
+		// must not perturb the start-offset draw sequence.
+		res.Jitter = rand.New(rand.NewSource(playerSeed(cfg.Seed, player) ^ 0x6a09e667))
+	}
+	client.SetResilience(res)
 	seg := rng.Intn(nsegs)
 	rep := reps[0] // start conservative, like a cold player
 	ewmaBPS := 0.0
@@ -276,10 +408,16 @@ func runPlayer(cfg *Config, client *dash.Client, reps []dash.RungDTO, nsegs, pla
 		}
 		if err != nil {
 			rec.errors++
+			rec.errClasses[classIndex[dash.Classify(err)]]++
 			// Back to the bottom rung after a failure, like the player
 			// model's cold restart.
 			rep = reps[0]
 			ewmaBPS = 0
+			if cfg.ErrorPause > 0 {
+				// Sit out the rebuffer, jittered so the fleet's failed
+				// players don't come back as one wave.
+				cfg.Sleep(resilience.Jitter(res.Jitter, cfg.ErrorPause))
+			}
 			continue
 		}
 		rec.bytes += int64(size)

@@ -11,6 +11,7 @@ import (
 
 	"coalqoe/internal/cdn"
 	"coalqoe/internal/dash"
+	"coalqoe/internal/faults"
 	"coalqoe/internal/units"
 )
 
@@ -229,5 +230,143 @@ func TestWriteReport(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRunClassifiesErrors drives a fleet against a governed server
+// whose quota throttles one tenant: the report must file those
+// failures under "shed" (server protected itself), with per-tenant
+// accounting splitting the hot tenant from the healthy one.
+func TestRunClassifiesErrors(t *testing.T) {
+	g := cdn.NewGovernor(cdn.GovernorConfig{
+		Quotas: []cdn.TenantQuota{{Name: "hot", Rate: 0.001, Burst: 1}},
+	}, time.Now)
+	srv := dash.NewServerOpts(tinyManifest(), dash.ServerOptions{Governor: g})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	res, err := Run(Config{
+		BaseURL:     ts.URL,
+		Players:     4,
+		Duration:    time.Minute,
+		MaxSegments: 5,
+		Seed:        7,
+		Tenants:     []string{"hot", "cold"},
+		ErrorPause:  time.Millisecond,
+		Now:         time.Now,
+		Sleep:       time.Sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("quota throttle produced no client errors")
+	}
+	if res.ErrorsByClass[dash.ClassShed] != res.Errors {
+		t.Errorf("errors by class = %v, want all %d under %q", res.ErrorsByClass, res.Errors, dash.ClassShed)
+	}
+	hot, cold := res.PerTenant["hot"], res.PerTenant["cold"]
+	if hot.Players != 2 || cold.Players != 2 {
+		t.Errorf("tenant split = hot:%d cold:%d players, want 2/2", hot.Players, cold.Players)
+	}
+	if cold.Errors != 0 {
+		t.Errorf("cold tenant saw %d errors; the hot tenant's throttle must not leak", cold.Errors)
+	}
+	if hot.Errors != res.Errors {
+		t.Errorf("hot tenant errors = %d, total = %d", hot.Errors, res.Errors)
+	}
+	// Quota sheds are invisible to players without quota pressure.
+	if hot.Requests <= int64(hot.Errors) {
+		t.Errorf("hot tenant made %d requests with %d errors: burst should have served some", hot.Requests, hot.Errors)
+	}
+}
+
+// TestRunAggregatesResilience: with retries armed and a budget small
+// enough to exhaust against an always-503 server, the fleet's budget
+// and breaker counters surface in the result, and the budget bounds
+// total retry volume.
+func TestRunAggregatesResilience(t *testing.T) {
+	chaos := cdn.NewChaosFromWindows([]faults.Window{
+		{Kind: faults.NetOutage, Start: 0, Duration: time.Hour},
+	}, 1, time.Hour, time.Now, time.Sleep)
+	srv := dash.NewServerOpts(tinyManifest(), dash.ServerOptions{Chaos: chaos})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const players = 4
+	res, err := Run(Config{
+		BaseURL:          ts.URL,
+		Players:          players,
+		Duration:         time.Minute,
+		MaxSegments:      6,
+		Seed:             3,
+		Retry:            dash.RetryPolicy{Attempts: 5, Backoff: time.Millisecond, BackoffCap: 2 * time.Millisecond},
+		RetryBudget:      2,
+		BreakerThreshold: 50, // high enough to stay out of the way here
+		Jitter:           true,
+		Now:              time.Now,
+		Sleep:            time.Sleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != players*6 {
+		t.Errorf("errors = %d, want %d (outage covers the whole run)", res.Errors, players*6)
+	}
+	if res.ErrorsByClass[dash.ClassHTTP5xx] == 0 {
+		t.Errorf("chaos 503s should classify as http5xx: %v", res.ErrorsByClass)
+	}
+	// Each player banks 2 retry tokens and nothing refills them: the
+	// fleet spends exactly 2 per player, then budgets deny.
+	if res.Resilience.BudgetSpent != players*2 {
+		t.Errorf("budget spent = %d, want %d", res.Resilience.BudgetSpent, players*2)
+	}
+	if res.Resilience.BudgetDenied == 0 {
+		t.Error("exhausted budgets should record denials")
+	}
+}
+
+// TestReportResilienceSections pins the new report sections.
+func TestReportResilienceSections(t *testing.T) {
+	lat := newLatencySketch()
+	lat.Add(1000)
+	res := &Result{
+		Players: 2, Elapsed: time.Second, Requests: 10, Errors: 4, Bytes: 100,
+		Latency: lat,
+		PerRung: map[string]int64{"240p30": 6},
+		ErrorsByClass: map[string]int64{
+			dash.ClassShed:    3,
+			dash.ClassHTTP5xx: 1,
+		},
+		PerTenant: map[string]TenantResult{
+			"beta":  {Players: 1, Requests: 5, Errors: 4, Bytes: 40},
+			"alpha": {Players: 1, Requests: 5, Errors: 0, Bytes: 60},
+		},
+		Resilience: ClientResilience{BudgetSpent: 7, BudgetDenied: 2, Opens: 1, FastFails: 3, Hedges: 5, Waited: 4},
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"errors by class",
+		"shed         3",
+		"http5xx      1",
+		"client.retrybudget.spent",
+		"client.breaker.opens",
+		"client.hedge.launched",
+		"client.retryafter.honored",
+		"per tenant",
+		"alpha        players=1 requests=5 errors=0 bytes=60",
+		"beta         players=1 requests=5 errors=4 bytes=40",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Tenant order is sorted: alpha before beta.
+	if strings.Index(out, "alpha") > strings.Index(out, "beta") {
+		t.Error("tenants not sorted in report")
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"sort"
+
+	"coalqoe/internal/dash"
 )
 
 // FetchServerStats grabs the server's /metrics snapshot so the report
@@ -50,6 +52,43 @@ func WriteReport(w io.Writer, res *Result) error {
 	}
 	if hr, ok := res.CacheHitRate(); ok {
 		fmt.Fprintf(w, "server hit rate    %.4f\n", hr)
+	}
+
+	if res.Errors > 0 && len(res.ErrorsByClass) > 0 {
+		fmt.Fprintf(w, "\nerrors by class\n")
+		// Fixed class order, zero classes omitted: shed means the
+		// server protected itself; http5xx means it fell over.
+		for _, class := range dash.ErrorClasses {
+			if n := res.ErrorsByClass[class]; n > 0 {
+				fmt.Fprintf(w, "  %-12s %d\n", class, n)
+			}
+		}
+	}
+
+	cr := res.Resilience
+	if cr != (ClientResilience{}) {
+		fmt.Fprintf(w, "\nclient resilience\n")
+		fmt.Fprintf(w, "  %-28s %d\n", "client.retrybudget.spent", cr.BudgetSpent)
+		fmt.Fprintf(w, "  %-28s %d\n", "client.retrybudget.denied", cr.BudgetDenied)
+		fmt.Fprintf(w, "  %-28s %d\n", "client.breaker.opens", cr.Opens)
+		fmt.Fprintf(w, "  %-28s %d\n", "client.breaker.fastfails", cr.FastFails)
+		fmt.Fprintf(w, "  %-28s %d\n", "client.breaker.probes", cr.Probes)
+		fmt.Fprintf(w, "  %-28s %d\n", "client.hedge.launched", cr.Hedges)
+		fmt.Fprintf(w, "  %-28s %d\n", "client.retryafter.honored", cr.Waited)
+	}
+
+	if len(res.PerTenant) > 0 {
+		tenants := make([]string, 0, len(res.PerTenant))
+		for name := range res.PerTenant {
+			tenants = append(tenants, name)
+		}
+		sort.Strings(tenants)
+		fmt.Fprintf(w, "\nper tenant\n")
+		for _, name := range tenants {
+			tr := res.PerTenant[name]
+			fmt.Fprintf(w, "  %-12s players=%d requests=%d errors=%d bytes=%d\n",
+				name, tr.Players, tr.Requests, tr.Errors, tr.Bytes)
+		}
 	}
 
 	rungs := make([]string, 0, len(res.PerRung))

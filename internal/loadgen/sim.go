@@ -1,0 +1,727 @@
+// Virtual-time fleet simulator: the deterministic half of the overload
+// experiment. The HTTP loadgen (loadgen.go) measures a real serving
+// path, so its latencies carry scheduler and network noise; the
+// simulator replays the same player model — closed-loop segment
+// fetches, retry budgets, breakers, jittered backoff, Retry-After
+// honoring — against the same real server-side defenses (cdn.Governor
+// admission/quota/brownout, cdn.Chaos fault windows) on a discrete
+// event heap instead of goroutines and sockets. Time is a counter, not
+// a clock: the whole 1000-player minute runs in milliseconds, and the
+// same SimConfig produces byte-identical reports on every run at any
+// Workers count.
+//
+// The A/B this engine exists to stage is the metastable collapse the
+// overload literature (and the paper's memory-pressure story) warns
+// about. Unprotected (Protect == nil), the server keeps an unbounded
+// FIFO in front of its service slots and never notices abandoned
+// clients: after a fault window the retry wave drives queue wait past
+// the client timeout, every completed service is for a caller that
+// already gave up (doomed work), and goodput pins to zero even though
+// the server is saturated with effort — coal, not diamonds. Protected,
+// the governor sheds the excess fast with a Retry-After hint, cancels
+// abandoned waiters, brownout trades bitrate for capacity, and client
+// budgets/jitter decorrelate the wave: the fleet recovers.
+//
+// Determinism contract (LINTING.md): the event heap orders by
+// (virtual time, sequence number); all player state machines run on
+// the single event-loop goroutine; Workers parallelizes only the final
+// recorder merge, which is commutative integer addition over fixed
+// schemas and therefore identical for every partition.
+package loadgen
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"coalqoe/internal/cdn"
+	"coalqoe/internal/dash"
+	"coalqoe/internal/faults"
+	"coalqoe/internal/resilience"
+)
+
+// simEpoch anchors the virtual clock. Any fixed instant works — the
+// governor, chaos gate, and breakers only ever subtract times.
+var simEpoch = time.Unix(1700000000, 0)
+
+// SimRung is one ladder entry in the simulated manifest: an id for the
+// report and a segment size that sets its service cost.
+type SimRung struct {
+	ID    string
+	Bytes int64
+}
+
+// SimProtections is the "B" arm of the experiment: the server- and
+// client-side defenses under test. A nil *SimProtections in SimConfig
+// runs the unprotected baseline — unbounded queue, oblivious server,
+// bare retries.
+type SimProtections struct {
+	// MaxQueue bounds the admission queue (0 picks the governor default
+	// of 4x capacity). The unprotected arm's queue is effectively
+	// unbounded instead.
+	MaxQueue int
+	// RetryAfter is the shed hint (governor default 1s when zero).
+	RetryAfter time.Duration
+	// Quotas meters tenants (cdn.Governor semantics).
+	Quotas []cdn.TenantQuota
+	// BrownoutEnter/BrownoutDemote arm quality-for-capacity degradation
+	// (cdn.Governor semantics; zero Enter disables).
+	BrownoutEnter  float64
+	BrownoutDemote int
+	// CancelOnTimeout withdraws a queued request when its client times
+	// out, instead of letting the server serve it to nobody.
+	CancelOnTimeout bool
+
+	// RetryBudget arms a per-player success-refilled retry budget.
+	RetryBudget float64
+	// BreakerThreshold/BreakerCooldown arm a per-player circuit breaker.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Jitter spreads retry backoff x[0.5,1.5) on each player's lane.
+	Jitter bool
+}
+
+// SimConfig shapes one virtual-time run.
+type SimConfig struct {
+	// Players is the fleet size; Tenants assigns them round-robin
+	// (player i gets Tenants[i%len]); Seed feeds the FNV lanes.
+	Players int
+	Tenants []string
+	Seed    int64
+
+	// Duration is the virtual run length (default 30s): players start
+	// no new fetches after it, in-flight work drains. SegDur is the
+	// per-player request cadence (default 4s). Timeout is the client's
+	// per-attempt deadline (default 2s). RTT is the modeled network
+	// round trip (default 1ms; must stay positive so virtual time
+	// always advances). ErrorPause is the jittered sit-out after a
+	// failed fetch (default RTT).
+	Duration   time.Duration
+	SegDur     time.Duration
+	Timeout    time.Duration
+	RTT        time.Duration
+	ErrorPause time.Duration
+
+	// Retry is the capped-exponential policy (dash.Client semantics:
+	// Attempts total tries, Backoff doubling to BackoffCap).
+	Retry dash.RetryPolicy
+
+	// Ladder is the bitrate ladder, ascending; players request the top
+	// rung and brownout demotes down it. Empty picks a 3-rung default.
+	Ladder []SimRung
+
+	// Capacity is the server's concurrent service slots (default 16).
+	// Each slot serves a segment in ServiceFloor + Bytes/ServiceBytesPerSec
+	// (defaults 25ms + bytes/40MB/s).
+	Capacity           int
+	ServiceFloor       time.Duration
+	ServiceBytesPerSec float64
+
+	// Faults is the chaos schedule on the virtual clock (cdn.Chaos
+	// semantics; the horizon is the run duration, so windows do not
+	// repeat within a run).
+	Faults []faults.Window
+
+	// Protect arms the defenses; nil runs the unprotected baseline.
+	Protect *SimProtections
+
+	// Workers parallelizes the final recorder merge (default 1). Any
+	// value yields byte-identical results; it exists so the race
+	// detector exercises the merge and so huge fleets merge faster.
+	Workers int
+}
+
+// SimResult is a Result plus the simulator-only observables the A/B
+// assertions need.
+type SimResult struct {
+	*Result
+	// Attempts counts server-touching tries (retries included) — the
+	// retry-amplification numerator.
+	Attempts int64
+	// Doomed counts services completed for clients that had already
+	// timed out: work the server paid for that helped nobody.
+	Doomed int64
+	// Served counts services delivered to a live client.
+	Served int64
+	// Tail* cover the last quarter of the run — the recovery window.
+	// A fleet that recovered has TailBytes flowing; one stuck in
+	// metastable collapse has tail errors and nothing else.
+	TailRequests int64
+	TailErrors   int64
+	TailBytes    int64
+	// Governor snapshots the admission controller's ledger.
+	Governor cdn.GovernorStats
+}
+
+// simTimeoutError is the virtual attempt deadline. It implements
+// net.Error so dash.Classify files it as a timeout, exactly like a
+// real http.Client deadline.
+type simTimeoutError struct{}
+
+func (simTimeoutError) Error() string   { return "sim: attempt deadline exceeded" }
+func (simTimeoutError) Timeout() bool   { return true }
+func (simTimeoutError) Temporary() bool { return true }
+
+// Event kinds. Outcome delivery is its own event so failures pay the
+// RTT before the player reacts.
+const (
+	evAttempt     = iota // a player fires (or retries) a fetch attempt
+	evFail               // a failed attempt's response reaches the player
+	evServiceDone        // the server finishes one admitted service
+	evTimeout            // a client's per-attempt deadline fires
+)
+
+// simEvent is one heap entry. seq breaks time ties in schedule order,
+// making the pop sequence a deterministic total order.
+type simEvent struct {
+	at     time.Duration
+	seq    int64
+	kind   int
+	player int
+	req    *simReq
+	err    error
+}
+
+type eventHeap []simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(simEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// simReq is one server-touching attempt: queued, in service, or done.
+type simReq struct {
+	player      int
+	ticket      *cdn.Ticket
+	originDelay time.Duration
+	abandoned   bool // client timed out; any service is doomed
+	done        bool // finished, canceled, or delivered
+	servedRung  int
+	bytes       int64
+}
+
+// simPlayer is one player's state machine.
+type simPlayer struct {
+	tenant  string
+	jitter  *rand.Rand
+	budget  *resilience.RetryBudget
+	breaker *resilience.Breaker
+	waited  int64
+
+	dueAt   time.Duration // when the next segment is wanted
+	opStart time.Duration // first attempt of the current fetch
+	attempt int           // attempts used by the current fetch
+	backoff time.Duration // next retry's base delay
+	done    bool
+}
+
+// sim is the engine. Everything below runs on one goroutine until the
+// final merge.
+type sim struct {
+	cfg   SimConfig
+	now   time.Duration
+	seq   int64
+	heap  eventHeap
+	gov   *cdn.Governor
+	chaos *cdn.Chaos
+	// chaosDelay captures injected latency from the chaos gate's sleep
+	// hook (MemSpike windows) for the attempt being evaluated.
+	chaosDelay time.Duration
+
+	tickets   map[*cdn.Ticket]*simReq
+	players   []simPlayer
+	recorders []recorder
+
+	attempts  int64
+	doomed    int64
+	served    int64
+	tailReqs  int64
+	tailErrs  int64
+	tailBytes int64
+}
+
+// RunSim executes one virtual-time run and returns its merged result.
+// Deterministic: the same config (including Workers) and seed produce
+// a byte-identical WriteReport rendering, and changing Workers alone
+// changes nothing but merge parallelism.
+func RunSim(cfg SimConfig) (*SimResult, error) {
+	if cfg.Players <= 0 {
+		return nil, fmt.Errorf("loadgen: sim needs at least one player")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30 * time.Second
+	}
+	if cfg.SegDur <= 0 {
+		cfg.SegDur = 4 * time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.RTT <= 0 {
+		cfg.RTT = time.Millisecond
+	}
+	if cfg.ErrorPause <= 0 {
+		cfg.ErrorPause = cfg.RTT
+	}
+	if cfg.Retry.Attempts <= 0 {
+		cfg.Retry.Attempts = 1
+	}
+	if cfg.Retry.Backoff <= 0 {
+		cfg.Retry.Backoff = 100 * time.Millisecond
+	}
+	if cfg.Retry.BackoffCap <= 0 {
+		cfg.Retry.BackoffCap = 2 * time.Second
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 16
+	}
+	if cfg.ServiceFloor <= 0 {
+		cfg.ServiceFloor = 25 * time.Millisecond
+	}
+	if cfg.ServiceBytesPerSec <= 0 {
+		cfg.ServiceBytesPerSec = 40 << 20
+	}
+	if len(cfg.Ladder) == 0 {
+		cfg.Ladder = []SimRung{
+			{ID: "240p30", Bytes: 250_000},
+			{ID: "480p30", Bytes: 500_000},
+			{ID: "1080p60", Bytes: 1_000_000},
+		}
+	}
+	ladder := append([]SimRung(nil), cfg.Ladder...)
+	sort.SliceStable(ladder, func(i, j int) bool { return ladder[i].Bytes < ladder[j].Bytes })
+	cfg.Ladder = ladder
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+
+	s := &sim{cfg: cfg, tickets: make(map[*cdn.Ticket]*simReq)}
+	vnow := func() time.Time { return simEpoch.Add(s.now) }
+
+	gcfg := cdn.GovernorConfig{MaxInflight: cfg.Capacity}
+	if p := cfg.Protect; p != nil {
+		gcfg.MaxQueue = p.MaxQueue
+		gcfg.RetryAfter = p.RetryAfter
+		gcfg.Quotas = p.Quotas
+		gcfg.BrownoutEnter = p.BrownoutEnter
+		gcfg.BrownoutDemote = p.BrownoutDemote
+	} else {
+		// The unprotected baseline: a queue deep enough that nothing is
+		// ever shed — every player can park many abandoned requests.
+		gcfg.MaxQueue = cfg.Players * 64
+	}
+	s.gov = cdn.NewGovernor(gcfg, vnow)
+	s.chaos = cdn.NewChaosFromWindows(cfg.Faults, cfg.Seed, cfg.Duration,
+		vnow, func(d time.Duration) { s.chaosDelay += d })
+
+	s.players = make([]simPlayer, cfg.Players)
+	s.recorders = make([]recorder, cfg.Players)
+	for i := range s.players {
+		p := &s.players[i]
+		p.tenant = tenantAt(cfg.Tenants, i)
+		p.backoff = cfg.Retry.Backoff
+		rng := rand.New(rand.NewSource(playerSeed(cfg.Seed, i)))
+		if pr := cfg.Protect; pr != nil {
+			if pr.RetryBudget > 0 {
+				p.budget = resilience.NewRetryBudget(resilience.BudgetConfig{Capacity: pr.RetryBudget})
+			}
+			if pr.BreakerThreshold > 0 {
+				p.breaker = resilience.NewBreaker(resilience.BreakerConfig{
+					FailThreshold: pr.BreakerThreshold,
+					Cooldown:      pr.BreakerCooldown,
+				})
+			}
+			if pr.Jitter {
+				// The same two-stream lane discipline as runPlayer: the
+				// jitter stream must not perturb the start-offset draw.
+				p.jitter = rand.New(rand.NewSource(playerSeed(cfg.Seed, i) ^ 0x6a09e667))
+			}
+		}
+		s.recorders[i] = recorder{
+			latency:    newLatencySketch(),
+			perRung:    make(map[string]int64),
+			errClasses: make([]int64, len(dash.ErrorClasses)),
+		}
+		p.dueAt = time.Duration(rng.Int63n(int64(cfg.SegDur)))
+		s.schedule(p.dueAt, simEvent{kind: evAttempt, player: i})
+	}
+
+	for len(s.heap) > 0 {
+		ev := heap.Pop(&s.heap).(simEvent)
+		s.now = ev.at
+		switch ev.kind {
+		case evAttempt:
+			s.fireAttempt(ev.player)
+		case evFail:
+			s.attemptFailed(ev.player, ev.err)
+		case evServiceDone:
+			s.serviceDone(ev.req)
+		case evTimeout:
+			s.timeoutFired(ev.req)
+		}
+	}
+	return s.merge(), nil
+}
+
+// schedule pushes an event at the given virtual instant.
+func (s *sim) schedule(at time.Duration, ev simEvent) {
+	s.seq++
+	ev.at, ev.seq = at, s.seq
+	heap.Push(&s.heap, ev)
+}
+
+// tenantAt assigns tenants round-robin ("" without a tenant model).
+func tenantAt(tenants []string, player int) string {
+	if len(tenants) == 0 {
+		return ""
+	}
+	return tenants[player%len(tenants)]
+}
+
+// vtime is the current virtual instant as a time.Time (for the breaker
+// API, which takes explicit nows).
+func (s *sim) vtime() time.Time { return simEpoch.Add(s.now) }
+
+// inTail reports whether the current instant is in the recovery window
+// (the last quarter of the configured run).
+func (s *sim) inTail() bool { return 4*s.now >= 3*s.cfg.Duration }
+
+// fireAttempt runs one fetch attempt: breaker gate, chaos gate,
+// admission, then service or a scheduled failure.
+func (s *sim) fireAttempt(player int) {
+	p := &s.players[player]
+	if p.attempt == 0 {
+		if s.now >= s.cfg.Duration {
+			p.done = true
+			return
+		}
+		p.opStart = s.now
+	}
+	p.attempt++
+	// The breaker gates every attempt; a fast-fail ends the whole
+	// fetch without touching the network and without feeding the
+	// breaker (mirroring dash.Client.withRetry).
+	if !p.breaker.Allow(s.vtime()) {
+		s.opFailed(player, fmt.Errorf("%w (attempt %d)", dash.ErrCircuitOpen, p.attempt))
+		return
+	}
+	s.attempts++
+
+	s.chaosDelay = 0
+	eff := s.chaos.Gate()
+	rtt := s.cfg.RTT + s.chaosDelay
+	if eff.Status != 0 {
+		s.schedule(s.now+rtt, simEvent{kind: evFail, player: player,
+			err: &dash.StatusError{Status: eff.Status, Msg: fmt.Sprintf("sim: chaos %d", eff.Status)}})
+		return
+	}
+
+	d := s.gov.Admit(p.tenant)
+	switch d.Kind {
+	case cdn.Shed:
+		s.schedule(s.now+rtt, simEvent{kind: evFail, player: player,
+			err: &dash.StatusError{Status: d.Status, RetryAfter: wireRetryAfter(d.RetryAfter),
+				Msg: fmt.Sprintf("sim: shed %d", d.Status)}})
+	case cdn.Admitted:
+		req := &simReq{player: player, originDelay: eff.OriginDelay}
+		s.startService(req, d.Demote)
+		s.schedule(s.now+s.cfg.Timeout, simEvent{kind: evTimeout, req: req})
+	case cdn.Queued:
+		req := &simReq{player: player, ticket: d.Ticket, originDelay: eff.OriginDelay}
+		s.tickets[d.Ticket] = req
+		s.schedule(s.now+s.cfg.Timeout, simEvent{kind: evTimeout, req: req})
+	}
+}
+
+// wireRetryAfter mirrors the header round trip: the server advertises
+// ceil-seconds (dash.retryAfterSeconds), the client parses integer
+// seconds capped at its maximum (dash.parseRetryAfter).
+func wireRetryAfter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	hint := time.Duration(secs) * time.Second
+	if hint > 10*time.Second {
+		hint = 10 * time.Second
+	}
+	return hint
+}
+
+// startService begins serving req on the slot the governor granted,
+// applying any brownout demotion to the served rung.
+func (s *sim) startService(req *simReq, demote int) {
+	idx := len(s.cfg.Ladder) - 1 - demote
+	if idx < 0 {
+		idx = 0
+	}
+	req.servedRung = idx
+	req.bytes = s.cfg.Ladder[idx].Bytes
+	dur := s.cfg.ServiceFloor + req.originDelay +
+		time.Duration(float64(req.bytes)/s.cfg.ServiceBytesPerSec*float64(time.Second))
+	s.schedule(s.now+s.cfg.RTT+dur, simEvent{kind: evServiceDone, req: req})
+}
+
+// serviceDone completes one service: hand the freed slot to the DRR
+// queue, then deliver the bytes — unless the client already gave up,
+// in which case the work was doomed.
+func (s *sim) serviceDone(req *simReq) {
+	req.done = true
+	if t := s.gov.Release(); t != nil {
+		g := <-t.C // buffered; Release already sent the grant
+		next := s.tickets[t]
+		delete(s.tickets, t)
+		if next != nil {
+			next.ticket = nil
+			s.startService(next, g.Demote)
+		}
+	}
+	if req.abandoned {
+		s.doomed++
+		return
+	}
+	s.served++
+	s.opSucceeded(req.player, req)
+}
+
+// timeoutFired abandons an attempt whose deadline passed. Protected
+// servers cancel queued waiters; the unprotected baseline leaves them
+// to be served to nobody.
+func (s *sim) timeoutFired(req *simReq) {
+	if req.done || req.abandoned {
+		return
+	}
+	req.abandoned = true
+	if req.ticket != nil && s.cfg.Protect != nil && s.cfg.Protect.CancelOnTimeout {
+		if s.gov.Cancel(req.ticket) {
+			delete(s.tickets, req.ticket)
+			req.done = true
+		}
+	}
+	s.attemptFailed(req.player, simTimeoutError{})
+}
+
+// attemptFailed delivers one failed attempt to its player and decides
+// the retry: policy attempts, then the budget, then the paced delay
+// (Retry-After hint over capped-exponential backoff, jittered) — the
+// same priority order as dash.Client.withRetry.
+func (s *sim) attemptFailed(player int, err error) {
+	p := &s.players[player]
+	p.breaker.OnFailure(s.vtime())
+	var se *dash.StatusError
+	if errors.As(err, &se) && se.Status >= 400 && se.Status < 500 && se.Status != 429 {
+		s.opFailed(player, err) // non-retryable client error
+		return
+	}
+	if p.attempt >= s.cfg.Retry.Attempts {
+		s.opFailed(player, err)
+		return
+	}
+	if !p.budget.Allow() {
+		s.opFailed(player, fmt.Errorf("%w after %w", dash.ErrBudgetExhausted, err))
+		return
+	}
+	delay := p.backoff
+	if p.backoff *= 2; p.backoff > s.cfg.Retry.BackoffCap {
+		p.backoff = s.cfg.Retry.BackoffCap
+	}
+	if se != nil && se.RetryAfter > delay {
+		delay = se.RetryAfter
+		p.waited++
+	}
+	s.schedule(s.now+resilience.Jitter(p.jitter, delay), simEvent{kind: evAttempt, player: player})
+}
+
+// opFailed finishes a fetch in failure: record it, sit out the error
+// pause, then want the next segment.
+func (s *sim) opFailed(player int, err error) {
+	p := &s.players[player]
+	rec := &s.recorders[player]
+	rec.requests++
+	rec.errors++
+	rec.errClasses[classIndex[dash.Classify(err)]]++
+	rec.latency.Add(float64((s.now - p.opStart).Microseconds()))
+	if s.inTail() {
+		s.tailReqs++
+		s.tailErrs++
+	}
+	p.attempt = 0
+	p.backoff = s.cfg.Retry.Backoff
+	pause := resilience.Jitter(p.jitter, s.cfg.ErrorPause)
+	if pause <= 0 {
+		pause = s.cfg.RTT // virtual time must advance
+	}
+	p.dueAt = s.now + pause
+	s.nextOp(player)
+}
+
+// opSucceeded finishes a fetch in success and schedules the next one
+// on the segment cadence (immediately when the fetch overran it — the
+// player is rebuffering).
+func (s *sim) opSucceeded(player int, req *simReq) {
+	p := &s.players[player]
+	p.breaker.OnSuccess(s.vtime())
+	p.budget.OnSuccess()
+	rec := &s.recorders[player]
+	rec.requests++
+	rec.bytes += req.bytes
+	rec.perRung[s.cfg.Ladder[req.servedRung].ID]++
+	rec.latency.Add(float64((s.now - p.opStart).Microseconds()))
+	if s.inTail() {
+		s.tailReqs++
+		s.tailBytes += req.bytes
+	}
+	p.attempt = 0
+	p.backoff = s.cfg.Retry.Backoff
+	if p.dueAt += s.cfg.SegDur; p.dueAt < s.now {
+		p.dueAt = s.now
+	}
+	s.nextOp(player)
+}
+
+// nextOp schedules the player's next fetch, or retires the player when
+// the run is over.
+func (s *sim) nextOp(player int) {
+	p := &s.players[player]
+	if p.dueAt >= s.cfg.Duration {
+		p.done = true
+		return
+	}
+	s.schedule(p.dueAt, simEvent{kind: evAttempt, player: player})
+}
+
+// merge folds the per-player recorders into one Result. Workers each
+// merge a contiguous player range into a partial, and the partials
+// fold in index order: integer addition over fixed schemas, so the
+// outcome is identical for every worker count.
+func (s *sim) merge() *SimResult {
+	cfg := &s.cfg
+	workers := cfg.Workers
+	if workers > cfg.Players {
+		workers = cfg.Players
+	}
+	partials := make([]recorder, workers)
+	var wg sync.WaitGroup
+	// Goroutine count is bounded by Workers, a configured capacity.
+	for w := 0; w < workers; w++ {
+		partials[w] = recorder{
+			latency:    newLatencySketch(),
+			perRung:    make(map[string]int64),
+			errClasses: make([]int64, len(dash.ErrorClasses)),
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			part := &partials[w]
+			lo, hi := w*cfg.Players/workers, (w+1)*cfg.Players/workers
+			for i := lo; i < hi; i++ {
+				rec := &s.recorders[i]
+				part.requests += rec.requests
+				part.errors += rec.errors
+				part.bytes += rec.bytes
+				part.latency.Merge(rec.latency)
+				for _, rung := range cfg.Ladder {
+					if n := rec.perRung[rung.ID]; n > 0 {
+						part.perRung[rung.ID] += n
+					}
+				}
+				for ci := range rec.errClasses {
+					part.errClasses[ci] += rec.errClasses[ci]
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res := &Result{
+		Players:       cfg.Players,
+		Elapsed:       cfg.Duration,
+		Latency:       newLatencySketch(),
+		PerRung:       make(map[string]int64),
+		ErrorsByClass: make(map[string]int64),
+	}
+	for w := range partials {
+		part := &partials[w]
+		res.Requests += part.requests
+		res.Errors += part.errors
+		res.Bytes += part.bytes
+		res.Latency.Merge(part.latency)
+		for _, rung := range cfg.Ladder {
+			if n := part.perRung[rung.ID]; n > 0 {
+				res.PerRung[rung.ID] += n
+			}
+		}
+		for ci, class := range dash.ErrorClasses {
+			if n := part.errClasses[ci]; n > 0 {
+				res.ErrorsByClass[class] += n
+			}
+		}
+	}
+	if len(cfg.Tenants) > 0 {
+		res.PerTenant = make(map[string]TenantResult, len(cfg.Tenants))
+		for i := range s.recorders {
+			rec := &s.recorders[i]
+			tr := res.PerTenant[tenantAt(cfg.Tenants, i)]
+			tr.Players++
+			tr.Requests += rec.requests
+			tr.Errors += rec.errors
+			tr.Bytes += rec.bytes
+			res.PerTenant[tenantAt(cfg.Tenants, i)] = tr
+		}
+	}
+	for i := range s.players {
+		p := &s.players[i]
+		bs, ks := p.budget.Stats(), p.breaker.Stats()
+		res.Resilience.BudgetSpent += bs.Spent
+		res.Resilience.BudgetDenied += bs.Denied
+		res.Resilience.Opens += ks.Opens
+		res.Resilience.FastFails += ks.FastFails
+		res.Resilience.Probes += ks.Probes
+		res.Resilience.Waited += p.waited
+	}
+
+	gs := s.gov.Stats()
+	sm := s.gov.MetricsExtras()
+	cs := s.chaos.Stats()
+	sm["dash.chaos.rejected"] = float64(cs.Rejected)
+	sm["dash.chaos.delayed"] = float64(cs.Delayed)
+	sm["dash.chaos.stalled"] = float64(cs.Stalled)
+	sm["sim.attempts"] = float64(s.attempts)
+	sm["sim.server.served"] = float64(s.served)
+	sm["sim.server.doomed"] = float64(s.doomed)
+	sm["sim.tail.requests"] = float64(s.tailReqs)
+	sm["sim.tail.errors"] = float64(s.tailErrs)
+	sm["sim.tail.bytes"] = float64(s.tailBytes)
+	res.ServerMetrics = sm
+
+	return &SimResult{
+		Result:       res,
+		Attempts:     s.attempts,
+		Doomed:       s.doomed,
+		Served:       s.served,
+		TailRequests: s.tailReqs,
+		TailErrors:   s.tailErrs,
+		TailBytes:    s.tailBytes,
+		Governor:     gs,
+	}
+}
