@@ -8,6 +8,8 @@
 //	coalctl -quick run tab5          # fast pass
 //	coalctl -parallel 8 run fig9     # explicit worker count (0 = GOMAXPROCS)
 //	coalctl -faults memstorm run tab2  # inject a fault plan into every run
+//	coalctl -arena                   # ABR tournament -> leaderboard on stdout
+//	coalctl -quick -arena -out results  # fast pass; also writes results/arena.txt
 //	coalctl run all
 package main
 
@@ -19,9 +21,11 @@ import (
 	"strings"
 	"time"
 
+	"coalqoe/internal/arena"
 	"coalqoe/internal/atomicio"
 	"coalqoe/internal/exp"
 	"coalqoe/internal/faults"
+	"coalqoe/internal/proc"
 	"coalqoe/internal/telemetry"
 )
 
@@ -34,8 +38,16 @@ func main() {
 	outDir := flag.String("out", "", "also write each report to <dir>/<id>.txt")
 	telemetryDir := flag.String("telemetry", "", "sample device metrics every 3s and write one CSV per run to <dir>/<id>-runNNN.csv")
 	faultPlan := flag.String("faults", "", "inject a fault plan into every run ("+planNames()+")")
+	runArena := flag.Bool("arena", false, "run the ABR tournament and print the leaderboard")
+	arenaTrace := flag.String("arena-trace", "", "with -arena: also export one instrumented run's decision trace (chrome://tracing JSON) to this file")
 	flag.Parse()
 	args := flag.Args()
+	if *runArena {
+		doArena(arena.Config{
+			Quick: *quick, Seed: *seed, Runs: *runs, Parallel: *parallel,
+		}, *outDir, *arenaTrace, !*noProgress)
+		return
+	}
 	if len(args) == 0 {
 		usage()
 	}
@@ -142,6 +154,58 @@ func runOne(e exp.Experiment, opts exp.Options, outDir, telemetryDir string, pro
 	if outDir != "" {
 		path := filepath.Join(outDir, e.ID+".txt")
 		if err := atomicio.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// doArena runs the ABR tournament: leaderboard to stdout, and to
+// <outDir>/arena.txt when -out is set.
+func doArena(cfg arena.Config, outDir, tracePath string, progress bool) {
+	start := time.Now()
+	if progress {
+		cfg.Progress = func(ev exp.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "\rarena %d/%d runs (%d in flight, %v elapsed)\x1b[K",
+				ev.Done, ev.Total, ev.Started-ev.Done, time.Since(start).Round(time.Second))
+		}
+	}
+	res := arena.Run(cfg)
+	if progress {
+		fmt.Fprintf(os.Stderr, "\r\x1b[K")
+	}
+	if err := res.WriteLeaderboard(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("(arena completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		f, err := atomicio.Create(filepath.Join(outDir, "arena.txt"))
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteLeaderboard(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Commit(); err != nil {
+			fatal(err)
+		}
+	}
+	if tracePath != "" {
+		f, err := atomicio.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		// The showcase: the objective-optimizing entrant under the
+		// paper's pressure storm, on the weakest device.
+		err = arena.WriteDecisionTrace(cfg, "memopt", proc.Moderate, "memstorm", f)
+		if err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Commit(); err != nil {
 			fatal(err)
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"coalqoe/internal/device"
 	"coalqoe/internal/player"
 	"coalqoe/internal/proc"
+	"coalqoe/internal/telemetry"
 	"coalqoe/internal/units"
 )
 
@@ -245,29 +246,34 @@ func (a *MemoryAware) applySteps(ctx Context, want dash.Rung) dash.Rung {
 }
 
 // degradationPath lists rungs from want downward: fps steps first,
-// then resolution steps at minimal fps.
+// then resolution steps, each lower resolution at its own lowest
+// available fps.
 func degradationPath(ladder []dash.Rung, want dash.Rung) []dash.Rung {
 	var sameRes []dash.Rung
-	fpsSet := map[int]bool{}
 	for _, r := range ladder {
 		if r.Resolution == want.Resolution && r.FPS <= want.FPS {
 			sameRes = append(sameRes, r)
 		}
-		fpsSet[r.FPS] = true
 	}
 	sort.Slice(sameRes, func(i, j int) bool { return sameRes[i].FPS > sameRes[j].FPS })
 	path := append([]dash.Rung{}, sameRes...)
-	// Then lower resolutions at the lowest fps available.
-	minFPS := want.FPS
-	//coalvet:allow maporder min over int keys, order-insensitive
-	for f := range fpsSet {
-		if f < minFPS {
-			minFPS = f
+	// Then lower resolutions. Each resolution steps to its OWN minimum
+	// fps, not the ladder-wide minimum: on a ragged ladder (say
+	// 1080p60/1080p30/720p30/480p24) the 720p tier has no 24 fps
+	// encoding, and filtering on the global minimum used to skip it
+	// entirely, jumping 1080p30 → 480p24.
+	lowFPS := map[dash.Resolution]int{}
+	for _, r := range ladder {
+		if r.Resolution >= want.Resolution {
+			continue
+		}
+		if f, ok := lowFPS[r.Resolution]; !ok || r.FPS < f {
+			lowFPS[r.Resolution] = r.FPS
 		}
 	}
 	var lower []dash.Rung
 	for _, r := range ladder {
-		if r.Resolution < want.Resolution && r.FPS == minFPS {
+		if r.Resolution < want.Resolution && r.FPS == lowFPS[r.Resolution] {
 			lower = append(lower, r)
 		}
 	}
@@ -279,6 +285,19 @@ func degradationPath(ladder []dash.Rung, want dash.Rung) []dash.Rung {
 	return path
 }
 
+// Decision is one recorded ABR decision — the observation the
+// algorithm saw and the rung it chose. The arena exports these as
+// chrome://tracing instants so a run's adaptation behavior can be
+// scrubbed alongside its fault windows.
+type Decision struct {
+	At         time.Duration
+	From, To   dash.Rung
+	Buffer     time.Duration
+	Throughput units.BitsPerSecond
+	Signal     proc.Level
+	DropRate   float64
+}
+
 // Controller drives an algorithm against a live session.
 type Controller struct {
 	sess *player.Session
@@ -288,6 +307,17 @@ type Controller struct {
 	lastSignalAt time.Duration
 	// Switches counts applied quality changes.
 	Switches int
+
+	// RecordDecisions enables the Decisions log (off by default: the
+	// fleet engine runs millions of decisions and must not hold them).
+	// Set it between Attach and the first clock advance.
+	RecordDecisions bool
+	// Decisions holds every decision taken while RecordDecisions was
+	// set, in decision order.
+	Decisions []Decision
+
+	decisionCtr *telemetry.Counter
+	switchCtr   *telemetry.Counter
 }
 
 // Attach wires the algorithm to the session: decisions run every
@@ -298,6 +328,10 @@ func Attach(sess *player.Session, dev *device.Device, algo Algorithm, interval t
 		interval = 2 * time.Second
 	}
 	c := &Controller{sess: sess, algo: algo, lastSignalAt: -time.Hour}
+	// Counter() is nil-safe: with telemetry off both stay nil and the
+	// Inc calls below are free no-ops.
+	c.decisionCtr = dev.Telem.Counter("abr.decisions")
+	c.switchCtr = dev.Telem.Counter("abr.switches")
 	decide := func() {
 		if !sess.Active() {
 			return
@@ -316,8 +350,17 @@ func Attach(sess *player.Session, dev *device.Device, algo Algorithm, interval t
 			RecentDropRate: sess.RecentDropRate(3),
 		}
 		want := c.algo.Decide(ctx)
+		c.decisionCtr.Inc()
+		if c.RecordDecisions {
+			c.Decisions = append(c.Decisions, Decision{
+				At: ctx.Now, From: ctx.Current, To: want,
+				Buffer: ctx.Buffer, Throughput: ctx.Throughput,
+				Signal: ctx.Signal, DropRate: ctx.RecentDropRate,
+			})
+		}
 		if want != ctx.Current {
 			c.Switches++
+			c.switchCtr.Inc()
 			sess.SwitchRung(want)
 		}
 	}

@@ -1,0 +1,247 @@
+package abr
+
+import (
+	"testing"
+	"time"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/proc"
+	"coalqoe/internal/units"
+)
+
+func TestDegradationPathSingleRung(t *testing.T) {
+	only := dash.Rung{Resolution: dash.R720p, FPS: 30, Bitrate: 5 * units.Mbps}
+	path := degradationPath([]dash.Rung{only}, only)
+	if len(path) != 1 || path[0] != only {
+		t.Fatalf("single-rung path = %v, want [%v]", path, only)
+	}
+	// A wanted rung absent from the ladder must still yield a
+	// non-empty path.
+	stranger := dash.Rung{Resolution: dash.R240p, FPS: 24, Bitrate: 0.5 * units.Mbps}
+	path = degradationPath([]dash.Rung{only}, stranger)
+	if len(path) == 0 {
+		t.Fatal("off-ladder want produced an empty path")
+	}
+}
+
+func TestDegradationPathUnsortedLadder(t *testing.T) {
+	// Same rung set as the standard ladder but deliberately shuffled:
+	// the path must come out in the same degradation order.
+	sorted := ladder()
+	shuffled := append([]dash.Rung(nil), sorted...)
+	for i := range shuffled {
+		j := (i*7 + 3) % len(shuffled)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	want, _ := dash.FindRung(sorted, dash.R1080p, 60)
+	a := degradationPath(sorted, want)
+	b := degradationPath(shuffled, want)
+	if len(a) != len(b) {
+		t.Fatalf("path length differs: sorted %d vs shuffled %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("path[%d] differs: sorted %v vs shuffled %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDegradationPathRaggedLadder(t *testing.T) {
+	// Regression for the global-min-fps bug: 720p has no 24 fps
+	// encoding, and the old path filter skipped the whole 720p tier,
+	// jumping 1080p straight to 480p24.
+	lad := []dash.Rung{
+		{Resolution: dash.R1080p, FPS: 60, Bitrate: 12 * units.Mbps},
+		{Resolution: dash.R1080p, FPS: 30, Bitrate: 8 * units.Mbps},
+		{Resolution: dash.R720p, FPS: 30, Bitrate: 5 * units.Mbps},
+		{Resolution: dash.R480p, FPS: 24, Bitrate: 2.3 * units.Mbps},
+	}
+	path := degradationPath(lad, lad[0])
+	want := []dash.Rung{lad[0], lad[1], lad[2], lad[3]}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Errorf("path[%d] = %v, want %v", i, path[i], want[i])
+		}
+	}
+}
+
+// feed primes an MPC with n identical throughput samples.
+func feed(a *MPC, c Context, n int) {
+	for i := 0; i < n; i++ {
+		a.Decide(c)
+	}
+}
+
+func TestMPCHoldsWithoutSamples(t *testing.T) {
+	a := &MPC{}
+	c := ctxWith(func(c *Context) { c.Throughput = 0 })
+	if got := a.Decide(c); got != c.Current {
+		t.Errorf("MPC with no samples picked %v, want hold at %v", got, c.Current)
+	}
+	// An off-ladder current rung must clamp onto the ladder.
+	c2 := ctxWith(func(c *Context) {
+		c.Throughput = 0
+		c.Current = dash.Rung{Resolution: dash.R1440p, FPS: 120, Bitrate: 99 * units.Mbps}
+	})
+	got := (&MPC{}).Decide(c2)
+	if _, ok := dash.FindRung(c2.Ladder, got.Resolution, got.FPS); !ok {
+		t.Errorf("MPC returned off-ladder rung %v", got)
+	}
+}
+
+func TestMPCEmptyLadderHolds(t *testing.T) {
+	a := &MPC{}
+	c := ctxWith(func(c *Context) { c.Ladder = nil })
+	if got := a.Decide(c); got != c.Current {
+		t.Errorf("MPC with empty ladder picked %v, want current", got)
+	}
+}
+
+func TestMPCTracksThroughput(t *testing.T) {
+	// Ample bandwidth and a full buffer: MPC should sit high on the
+	// ladder. Starved bandwidth: it must move well down.
+	rich := ctxWith(func(c *Context) { c.Throughput = 100 * units.Mbps })
+	a := &MPC{}
+	feed(a, rich, 5)
+	high := a.Decide(rich)
+	poor := ctxWith(func(c *Context) {
+		c.Throughput = 2 * units.Mbps
+		c.Buffer = 4 * time.Second
+	})
+	b := &MPC{}
+	feed(b, poor, 5)
+	low := b.Decide(poor)
+	if high.Bitrate <= low.Bitrate {
+		t.Errorf("MPC rich pick %v not above starved pick %v", high, low)
+	}
+	if low.Bitrate > 2*units.Mbps {
+		t.Errorf("MPC starved pick %v exceeds the 2Mbps link", low)
+	}
+}
+
+func TestMPCHarmonicMeanIsPessimistic(t *testing.T) {
+	a := &MPC{}
+	fast := ctxWith(func(c *Context) { c.Throughput = 100 * units.Mbps })
+	feed(a, fast, 4)
+	// One deep dip caps the forecast well below the arithmetic mean.
+	dip := ctxWith(func(c *Context) { c.Throughput = 1 * units.Mbps })
+	a.Decide(dip)
+	f := a.forecast()
+	if f > float64(5*units.Mbps) {
+		t.Errorf("forecast after dip = %v bps, want harmonic-mean-capped < 5Mbps", f)
+	}
+}
+
+func TestMPCStepsDownUnderPressure(t *testing.T) {
+	calm := ctxWith(func(c *Context) { c.Throughput = 100 * units.Mbps })
+	a := &MPC{}
+	feed(a, calm, 5)
+	base := a.Decide(calm)
+	pressured := ctxWith(func(c *Context) {
+		c.Throughput = 100 * units.Mbps
+		c.Signal = proc.Critical
+		c.SignalAge = 0
+	})
+	got := a.Decide(pressured)
+	if decodeLoad(got) >= decodeLoad(base) {
+		t.Errorf("Critical signal: MPC kept decode load %v >= calm %v (%v vs %v)",
+			decodeLoad(got), decodeLoad(base), got, base)
+	}
+}
+
+func TestQoEAwareCalmPicksHigh(t *testing.T) {
+	a := &QoEAware{}
+	c := ctxWith(func(c *Context) { c.Throughput = 100 * units.Mbps })
+	got := a.Decide(c)
+	// With ample bandwidth, full buffer and no pressure the argmax
+	// should sit in the upper half of the ladder (energy keeps it off
+	// the very top at times, but not in the basement).
+	if got.Bitrate < 5*units.Mbps {
+		t.Errorf("calm QoEAware picked %v, want an upper-ladder rung", got)
+	}
+}
+
+func TestQoEAwareStepsDownOnSignal(t *testing.T) {
+	a := &QoEAware{}
+	calm := ctxWith(func(c *Context) { c.Throughput = 100 * units.Mbps })
+	base := a.Decide(calm)
+	hot := ctxWith(func(c *Context) {
+		c.Throughput = 100 * units.Mbps
+		c.Signal = proc.Critical
+		c.SignalAge = 0
+	})
+	got := a.Decide(hot)
+	if decodeLoad(got) >= decodeLoad(base) {
+		t.Errorf("Critical signal: QoEAware kept decode load (%v vs %v)", got, base)
+	}
+	// Recovery: after the hold-down quiet period the pick returns up.
+	later := ctxWith(func(c *Context) {
+		c.Throughput = 100 * units.Mbps
+		c.Now = calm.Now + 5*time.Minute
+	})
+	if rec := a.Decide(later); decodeLoad(rec) <= decodeLoad(got) {
+		t.Errorf("after quiet period QoEAware stayed at %v (pressure pick %v)", rec, got)
+	}
+}
+
+func TestQoEAwarePrefersFPSDropFirst(t *testing.T) {
+	// The §6 behavior the tuning targets: under moderate pressure the
+	// argmax sheds encoded frame rate before resolution.
+	a := &QoEAware{}
+	calm := ctxWith(func(c *Context) { c.Throughput = 100 * units.Mbps })
+	base := a.Decide(calm)
+	warm := ctxWith(func(c *Context) {
+		c.Throughput = 100 * units.Mbps
+		c.Signal = proc.Moderate
+		c.SignalAge = 0
+	})
+	got := a.Decide(warm)
+	if got.Resolution < base.Resolution-1 {
+		t.Errorf("moderate pressure dropped resolution %v -> %v before fps", base, got)
+	}
+	if decodeLoad(got) >= decodeLoad(base) {
+		t.Errorf("moderate pressure did not reduce decode load (%v vs %v)", got, base)
+	}
+}
+
+func TestRiskTrackerDecay(t *testing.T) {
+	tr := &riskTracker{}
+	// A saturated drop rate is the full-severity observation; a fresh
+	// signal alone is only a floor (the device may decode fine).
+	hot := ctxWith(func(c *Context) { c.Signal = proc.Critical; c.SignalAge = 0; c.RecentDropRate = 90 })
+	if r := tr.update(hot); r != 1 {
+		t.Fatalf("saturated-drop risk = %v, want 1", r)
+	}
+	mid := ctxWith(func(c *Context) { c.Now = hot.Now + 6*time.Second })
+	r1 := tr.update(mid)
+	if r1 <= 0 || r1 >= 1 {
+		t.Errorf("mid-decay risk = %v, want in (0,1)", r1)
+	}
+	cold := ctxWith(func(c *Context) { c.Now = hot.Now + time.Minute })
+	if r := tr.update(cold); r != 0 {
+		t.Errorf("post-hold risk = %v, want 0", r)
+	}
+}
+
+func TestRiskTrackerPeakNotLatchedByStandingSignal(t *testing.T) {
+	tr := &riskTracker{}
+	// Transient 100% drop spike pins risk at 1...
+	spike := ctxWith(func(c *Context) { c.RecentDropRate = 100 })
+	if r := tr.update(spike); r != 1 {
+		t.Fatalf("spike risk = %v, want 1", r)
+	}
+	// ...but a standing Moderate signal afterwards must NOT hold it
+	// there: the envelope decays from the spike, and the signal floor
+	// (0.1) is all that remains once the hold-down elapses.
+	late := ctxWith(func(c *Context) {
+		c.Now = spike.Now + 30*time.Second
+		c.Signal = proc.Moderate
+		c.SignalAge = 0
+	})
+	if r := tr.update(late); r != 0.1 {
+		t.Errorf("risk 30s after spike under standing Moderate = %v, want the 0.1 signal floor", r)
+	}
+}

@@ -26,17 +26,28 @@ type metricsDTO struct {
 	FaultStalls      int            `json:"fault_stalls,omitempty"`
 	Stalls           int            `json:"stalls"`
 	StallSec         float64        `json:"stall_sec"`
+	StartupDelaySec  float64        `json:"startup_delay_sec"`
 	FPSTimeline      []float64      `json:"fps_timeline"`
 	MeanPSSMiB       float64        `json:"mean_pss_mib"`
 	PeakPSSMiB       float64        `json:"peak_pss_mib"`
 	Signals          map[string]int `json:"signals"`
 	Switches         []switchDTO    `json:"switches,omitempty"`
+	Chunks           []chunkDTO     `json:"chunks,omitempty"`
 }
 
 type switchDTO struct {
 	AtSec float64 `json:"at_sec"`
 	From  string  `json:"from"`
 	To    string  `json:"to"`
+}
+
+type chunkDTO struct {
+	Index       int     `json:"index"`
+	Rung        string  `json:"rung"`
+	DurationSec float64 `json:"duration_sec"`
+	RebufferSec float64 `json:"rebuffer_sec"`
+	Rendered    int     `json:"rendered"`
+	Dropped     int     `json:"dropped"`
 }
 
 // MarshalJSON implements json.Marshaler for Metrics.
@@ -53,6 +64,7 @@ func (m Metrics) MarshalJSON() ([]byte, error) {
 		Crashed:          m.Crashed,
 		Stalls:           m.Stalls,
 		StallSec:         m.StallTime.Seconds(),
+		StartupDelaySec:  m.StartupDelay.Seconds(),
 		FPSTimeline:      m.FPSTimeline,
 		MeanPSSMiB:       m.MeanPSS.MiBf(),
 		PeakPSSMiB:       m.PeakPSS.MiBf(),
@@ -76,6 +88,13 @@ func (m Metrics) MarshalJSON() ([]byte, error) {
 	for _, sw := range m.Switches {
 		dto.Switches = append(dto.Switches, switchDTO{
 			AtSec: time.Duration(sw.At).Seconds(), From: sw.From.String(), To: sw.To.String(),
+		})
+	}
+	for _, c := range m.Chunks {
+		dto.Chunks = append(dto.Chunks, chunkDTO{
+			Index: c.Index, Rung: c.Rung.String(),
+			DurationSec: c.Duration.Seconds(), RebufferSec: c.Rebuffer.Seconds(),
+			Rendered: c.Rendered, Dropped: c.Dropped,
 		})
 	}
 	return json.Marshal(dto)

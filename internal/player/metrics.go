@@ -53,6 +53,17 @@ type Metrics struct {
 	Stalls    int
 	StallTime time.Duration
 
+	// StartupDelay is the time from session launch to first
+	// presentation — the startup-penalty input of the QoE objective.
+	// Zero when playback never began.
+	StartupDelay time.Duration
+
+	// Chunks is the per-segment player trace: one record per fully
+	// played chunk (see ChunkRecord). A crashed session's partial
+	// final chunk is not recorded; the QoE objective accounts the
+	// unplayed remainder from the expected chunk count.
+	Chunks []ChunkRecord
+
 	// FPSTimeline is the rendered frames per second, one entry per
 	// playback second.
 	FPSTimeline []float64
@@ -86,6 +97,10 @@ func (s *Session) Metrics() Metrics {
 		StallTime:      s.stallTime,
 		Signals:        make(map[proc.Level]int, len(s.signals)),
 		Switches:       append([]SwitchEvent(nil), s.switches...),
+		Chunks:         append([]ChunkRecord(nil), s.chunks...),
+	}
+	if s.everStarted {
+		m.StartupDelay = s.startedAt - s.launchedAt
 	}
 	if s.recovering {
 		// A snapshot taken mid-recovery still accounts the gap so far.

@@ -422,3 +422,98 @@ func TestMetricsJSON(t *testing.T) {
 		t.Errorf("device = %v", back["device"])
 	}
 }
+
+func TestChunkTraceCleanSession(t *testing.T) {
+	dev := device.New(14, device.Nexus6P, device.Options{})
+	dev.Settle(2 * time.Second)
+	s := startSession(t, dev, dash.R240p, 30, 32*time.Second, nil)
+	dev.Settle(70 * time.Second)
+	if s.Active() {
+		t.Fatal("session still active")
+	}
+	m := s.Metrics()
+	segs := int(32 * time.Second / shortVideo(0).SegmentDuration)
+	if len(m.Chunks) != segs {
+		t.Fatalf("recorded %d chunks, want %d", len(m.Chunks), segs)
+	}
+	if m.StartupDelay <= 0 {
+		t.Errorf("StartupDelay = %v, want > 0 (buffer fill takes time)", m.StartupDelay)
+	}
+	var rebuf time.Duration
+	rendered, dropped := 0, 0
+	for i, c := range m.Chunks {
+		if c.Index != i {
+			t.Errorf("chunk %d has index %d (no recovery happened)", i, c.Index)
+		}
+		if c.Duration != shortVideo(0).SegmentDuration {
+			t.Errorf("chunk %d duration %v", i, c.Duration)
+		}
+		if c.Rung != m.Rung {
+			t.Errorf("chunk %d rung %v, want %v (no switches)", i, c.Rung, m.Rung)
+		}
+		if c.Rebuffer < 0 || c.Rendered < 0 || c.Dropped < 0 {
+			t.Errorf("chunk %d has negative fields: %+v", i, c)
+		}
+		rebuf += c.Rebuffer
+		rendered += c.Rendered
+		dropped += c.Dropped
+	}
+	if rebuf > m.StallTime {
+		t.Errorf("chunk rebuffer sum %v exceeds session StallTime %v", rebuf, m.StallTime)
+	}
+	// Every presented frame belongs to some chunk (the final vsync that
+	// ends playback may present at most one frame past the last record).
+	if rendered+dropped < m.FramesRendered+m.FramesDropped-1 {
+		t.Errorf("chunks account %d frames, session presented %d",
+			rendered+dropped, m.FramesRendered+m.FramesDropped)
+	}
+}
+
+func TestChunkTraceSkipsLostSegmentOnRecovery(t *testing.T) {
+	// Force a mid-playback kill with recovery: the partial segment at
+	// the playhead is lost, so the chunk indices must show a gap, not a
+	// renumbering, and post-recovery records must not inherit the lost
+	// chunk's counters.
+	dev := device.New(15, device.Nexus6P, device.Options{})
+	dev.Settle(2 * time.Second)
+	s := startSession(t, dev, dash.R240p, 30, 40*time.Second, func(c *Config) {
+		c.Recovery = &RecoveryPolicy{MaxRestarts: 3}
+	})
+	killed := false
+	dev.Clock.Schedule(10*time.Second, func() {
+		if s.Active() {
+			killed = true
+			dev.Table.Kill(dev.Table.Find(Firefox.Name), "test kill")
+		}
+	})
+	deadline := dev.Clock.Now() + 3*time.Minute
+	for s.Active() && dev.Clock.Now() < deadline {
+		dev.Settle(time.Second)
+	}
+	if !killed {
+		t.Skip("session ended before the kill fired")
+	}
+	m := s.Metrics()
+	if m.Restarts == 0 {
+		t.Fatal("kill did not trigger a recovery")
+	}
+	for i := 1; i < len(m.Chunks); i++ {
+		if m.Chunks[i].Index <= m.Chunks[i-1].Index {
+			t.Errorf("chunk indices not strictly increasing: %d then %d",
+				m.Chunks[i-1].Index, m.Chunks[i].Index)
+		}
+	}
+	// At least one boundary must have skipped the lost partial segment.
+	gap := false
+	last := -1
+	for _, c := range m.Chunks {
+		if last >= 0 && c.Index > last+1 {
+			gap = true
+		}
+		last = c.Index
+	}
+	if !gap && len(m.Chunks) > 0 && m.Chunks[0].Index == 0 {
+		t.Logf("chunks: %+v", m.Chunks)
+		t.Error("recovery left no index gap: lost partial segment was replayed?")
+	}
+}

@@ -178,6 +178,18 @@ type Session struct {
 	switches          []SwitchEvent
 	throughput        units.BitsPerSecond
 
+	// per-chunk trace: one record per fully played segment, appended as
+	// the playhead crosses each segment boundary. The marks snapshot the
+	// session counters at the previous boundary so each record carries
+	// only its own chunk's stalls and frame outcomes. Pure recording —
+	// no clock events, no RNG — so the event-order digest is unchanged.
+	launchedAt        time.Duration
+	chunks            []ChunkRecord
+	chunkIndex        int
+	chunkStallMark    time.Duration
+	chunkRenderedMark int
+	chunkDroppedMark  int
+
 	onSignal func(proc.Level)
 	onFinish []func()
 }
@@ -187,6 +199,23 @@ type SwitchEvent struct {
 	At   time.Duration
 	From dash.Rung
 	To   dash.Rung
+}
+
+// ChunkRecord is the per-segment row of the player trace: which rung
+// the chunk played at, how long the playhead stalled while it played,
+// and how its frames fared. Index is the media segment index, so a
+// crash-recovered session that skips a partial segment leaves a gap
+// rather than renumbering. The QoE objective (internal/qoe) folds a
+// session's records into a per-chunk score.
+type ChunkRecord struct {
+	Index    int
+	Rung     dash.Rung
+	Duration time.Duration
+	// Rebuffer is stall time accrued while this chunk was playing.
+	Rebuffer time.Duration
+	// Rendered/Dropped count this chunk's presented frame outcomes.
+	Rendered int
+	Dropped  int
 }
 
 // Start launches a session on the device. Playback begins once the
@@ -208,6 +237,7 @@ func Start(cfg Config) *Session {
 		fpsBins:     make(map[int]int),
 		droppedBins: make(map[int]int),
 		signals:     make(map[proc.Level]int),
+		launchedAt:  d.Clock.Now(),
 	}
 	s.sf = d.SurfaceFlinger
 	s.spawnProcess()
@@ -325,6 +355,14 @@ func (s *Session) onKilled() {
 	s.nextSeg = seg
 	s.nextDecode = s.playFrame
 	s.lastDecode = s.playFrame - 1
+	// The partial segment at the playhead is lost, not replayed: the
+	// chunk trace resumes at the next boundary's media index and the
+	// marks resync so the lost chunk's stalls/frames don't leak into
+	// the first post-recovery record.
+	s.chunkIndex = seg
+	s.chunkStallMark = s.stallTime
+	s.chunkRenderedMark = s.rendered
+	s.chunkDroppedMark = s.dropped
 	s.dev.Clock.Schedule(rec.ColdStart, s.inEpoch(s.respawn))
 }
 
@@ -603,7 +641,8 @@ func (s *Session) vsync() {
 	s.scheduleVsync(interval)
 }
 
-// consumeBuffer releases segment memory as media plays out.
+// consumeBuffer releases segment memory as media plays out and closes
+// out the per-chunk trace record at each segment boundary.
 func (s *Session) consumeBuffer(d time.Duration) {
 	s.consumedInSeg += d
 	segDur := s.cfg.Manifest.Video.SegmentDuration
@@ -611,7 +650,25 @@ func (s *Session) consumeBuffer(d time.Duration) {
 		s.consumedInSeg -= segDur
 		s.process.ShrinkAnon(s.segSizes[0])
 		s.segSizes = s.segSizes[1:]
+		s.recordChunk(segDur)
 	}
+}
+
+// recordChunk appends the trace record for the segment that just
+// finished playing, carrying the deltas since the previous boundary.
+func (s *Session) recordChunk(segDur time.Duration) {
+	s.chunks = append(s.chunks, ChunkRecord{
+		Index:    s.chunkIndex,
+		Rung:     s.rung,
+		Duration: segDur,
+		Rebuffer: s.stallTime - s.chunkStallMark,
+		Rendered: s.rendered - s.chunkRenderedMark,
+		Dropped:  s.dropped - s.chunkDroppedMark,
+	})
+	s.chunkIndex++
+	s.chunkStallMark = s.stallTime
+	s.chunkRenderedMark = s.rendered
+	s.chunkDroppedMark = s.dropped
 }
 
 // kickDecoder advances the decode pipeline.

@@ -1,0 +1,84 @@
+package qoe
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"coalqoe/internal/dash"
+	"coalqoe/internal/units"
+)
+
+// FuzzObjective feeds arbitrary traces — decoded from raw bytes so the
+// fuzzer owns the full input space, including hostile values — through
+// the default objective and requires every component of the score to
+// stay finite and under the analytic ceiling. The seed corpus covers
+// the boundary family: empty trace, crash-only, single chunk, rebuffer
+// storm, zero-delivered chunks.
+func FuzzObjective(f *testing.F) {
+	f.Add(uint16(0), int64(0), false, []byte{})
+	f.Add(uint16(1), int64(0), true, []byte{})
+	f.Add(uint16(15), int64(2500), false, []byte{3, 0, 100})
+	f.Add(uint16(15), int64(0), false, []byte{23, 200, 100, 23, 200, 100, 23, 200, 100})
+	f.Add(uint16(45), int64(60000), true, []byte{0, 0, 0, 12, 8, 50, 255, 255, 0})
+	f.Fuzz(func(t *testing.T, totalChunks uint16, startupMs int64, crashed bool, raw []byte) {
+		ladder := dash.Ladder(24, 30, 48, 60)
+		obj := DefaultObjective(ladder, dash.TestVideos[0])
+		tr := Trace{
+			Startup:     time.Duration(startupMs) * time.Millisecond,
+			TotalChunks: int(totalChunks),
+			Crashed:     crashed,
+		}
+		// Each chunk is a 3-byte record: rung selector, rebuffer
+		// deciseconds, delivered percent (values > 100 probe the
+		// clamp).
+		for i := 0; i+2 < len(raw) && i < 3*256; i += 3 {
+			tr.Chunks = append(tr.Chunks, Chunk{
+				Index:     i / 3,
+				Rung:      ladder[int(raw[i])%len(ladder)],
+				Duration:  4 * time.Second,
+				Rebuffer:  time.Duration(raw[i+1]) * 100 * time.Millisecond,
+				Delivered: float64(raw[i+2]) / 100,
+			})
+		}
+		b := obj.Score(tr)
+		for name, v := range map[string]float64{
+			"Quality": b.Quality, "Startup": b.Startup, "Rebuffer": b.Rebuffer,
+			"Smoothness": b.Smoothness, "Energy": b.Energy, "Crash": b.Crash, "Total": b.Total,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s = %v", name, v)
+			}
+		}
+		if best := obj.Best(); b.Total > best+1e-9 {
+			t.Fatalf("Total %.9f above analytic best %.9f", b.Total, best)
+		}
+		if b.Quality < 0 || b.Startup < 0 || b.Rebuffer < 0 || b.Smoothness < 0 || b.Energy < 0 || b.Crash < 0 {
+			t.Fatalf("negative component in %+v", b)
+		}
+	})
+}
+
+// FuzzQualityTable hammers the table lookup with off-table rungs and
+// arbitrary indexes: finite, in [0, Max], for any input.
+func FuzzQualityTable(f *testing.F) {
+	f.Add(int64(0), uint32(0), uint8(30), int32(0))
+	f.Add(int64(12_000_000), uint32(1920), uint8(60), int32(-7))
+	f.Add(int64(-1), uint32(0xffffffff), uint8(255), int32(1<<30))
+	f.Fuzz(func(t *testing.T, bitrate int64, width uint32, fps uint8, index int32) {
+		ladder := dash.Ladder(24, 30, 48, 60)
+		table := NewQualityTable(ladder, 45, dash.Sports)
+		r := dash.Rung{
+			Resolution: dash.Resolution(width),
+			FPS:        int(fps),
+			Bitrate:    units.BitsPerSecond(bitrate),
+		}
+		q := table.At(int(index), r)
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			t.Fatalf("At(%d, %v) = %v", index, r, q)
+		}
+		if q < 0 || q > table.Max()+1e-9 {
+			t.Fatalf("At(%d, %v) = %v outside [0, %v]", index, r, q, table.Max())
+		}
+	})
+}

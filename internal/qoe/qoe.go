@@ -79,6 +79,13 @@ func MOS(m player.Metrics) float64 {
 	if m.Crashed {
 		return 1
 	}
+	if m.FramesRendered+m.FramesDropped == 0 {
+		// No frame ever reached a presentation slot: the session was
+		// unplayable (never started, or stalled for its whole life).
+		// Without this guard a zero-duration session would score a
+		// perfect 5 on the strength of an empty drop rate.
+		return 1
+	}
 	drop := m.EffectiveDropRate / 100
 	stall := 0.0
 	if n := len(m.FPSTimeline); n > 0 {

@@ -59,7 +59,7 @@ func TestDMOSBounds(t *testing.T) {
 }
 
 func TestMOS(t *testing.T) {
-	perfect := player.Metrics{FPSTimeline: make([]float64, 60)}
+	perfect := player.Metrics{FramesRendered: 3600, FPSTimeline: make([]float64, 60)}
 	if got := MOS(perfect); got != 5 {
 		t.Errorf("perfect session MOS = %v, want 5", got)
 	}
@@ -67,13 +67,37 @@ func TestMOS(t *testing.T) {
 	if got := MOS(crashed); got != 1 {
 		t.Errorf("crashed session MOS = %v, want 1", got)
 	}
-	droppy := player.Metrics{EffectiveDropRate: 50, FPSTimeline: make([]float64, 60)}
+	droppy := player.Metrics{FramesRendered: 1800, FramesDropped: 1800,
+		EffectiveDropRate: 50, FPSTimeline: make([]float64, 60)}
 	if got := MOS(droppy); got <= 1 || got >= 3 {
 		t.Errorf("50%% drops MOS = %v, want in (1,3)", got)
 	}
-	stally := player.Metrics{StallTime: 30 * time.Second, FPSTimeline: make([]float64, 60)}
+	stally := player.Metrics{FramesRendered: 1800, StallTime: 30 * time.Second,
+		FPSTimeline: make([]float64, 60)}
 	if got := MOS(stally); got >= 5 {
 		t.Errorf("stalling session MOS = %v, want < 5", got)
+	}
+}
+
+func TestMOSBoundaries(t *testing.T) {
+	// Zero-duration session: never presented a frame, never crashed.
+	// Before the FramesRendered+FramesDropped guard this scored a
+	// perfect 5.
+	zero := player.Metrics{}
+	if got := MOS(zero); got != 1 {
+		t.Errorf("zero-duration session MOS = %v, want 1", got)
+	}
+	// All frames dropped: worst playable session, must floor at 1.
+	allDropped := player.Metrics{FramesDropped: 3600, DropRate: 100,
+		EffectiveDropRate: 100, FPSTimeline: make([]float64, 60)}
+	if got := MOS(allDropped); got != 1 {
+		t.Errorf("all-dropped session MOS = %v, want 1", got)
+	}
+	// A single rendered frame is playable — strictly above the floor
+	// only if drops and stalls allow; here nothing else is wrong.
+	oneFrame := player.Metrics{FramesRendered: 1, FPSTimeline: make([]float64, 1)}
+	if got := MOS(oneFrame); got != 5 {
+		t.Errorf("one clean frame MOS = %v, want 5", got)
 	}
 }
 

@@ -101,9 +101,11 @@ type chromeTrace struct {
 // processes get pids from 1 in sorted name order.
 const telemetryPID = 0
 
-// markTID is the synthetic tid (under telemetryPID) carrying Mark
-// annotations — injected fault windows and similar run-level events.
-const markTID = 1
+// markBaseTID is the first synthetic tid (under telemetryPID) carrying
+// Mark annotations — injected fault windows, ABR decisions and similar
+// run-level events. Each distinct Mark track gets its own tid from
+// here up, in sorted track-name order.
+const markBaseTID = 1
 
 func micros(d time.Duration) int64 { return int64(d / time.Microsecond) }
 
@@ -117,6 +119,18 @@ type Mark struct {
 	Name  string
 	Start time.Duration
 	End   time.Duration
+	// Track names the timeline row the mark renders on; marks sharing
+	// a track share a row. Empty means "faults", the historical
+	// default, so existing fault-window exports are unchanged.
+	Track string
+}
+
+// track resolves the effective track name.
+func (m Mark) track() string {
+	if m.Track == "" {
+		return "faults"
+	}
+	return m.Track
 }
 
 // WriteChromeTrace exports the recorded thread intervals — merged with
@@ -151,11 +165,24 @@ func (t *Tracer) WriteChromeTrace(w io.Writer, dump *telemetry.Dump, marks ...Ma
 			Args: map[string]any{"name": "telemetry"},
 		})
 	}
+	markTID := map[string]int{}
 	if len(marks) > 0 {
-		events = append(events, chromeEvent{
-			Name: "thread_name", Ph: "M", PID: telemetryPID, TID: markTID,
-			Args: map[string]any{"name": "faults"},
-		})
+		trackSet := map[string]bool{}
+		for _, m := range marks {
+			trackSet[m.track()] = true
+		}
+		var tracks []string
+		for name := range trackSet {
+			tracks = append(tracks, name)
+		}
+		sort.Strings(tracks)
+		for i, name := range tracks {
+			markTID[name] = markBaseTID + i
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: telemetryPID, TID: markTID[name],
+				Args: map[string]any{"name": name},
+			})
+		}
 	}
 	for _, name := range procs {
 		events = append(events, chromeEvent{
@@ -188,8 +215,8 @@ func (t *Tracer) WriteChromeTrace(w io.Writer, dump *telemetry.Dump, marks ...Ma
 	// global instant lines.
 	for _, m := range marks {
 		ev := chromeEvent{
-			Name: m.Name, Cat: "faults",
-			TS: micros(m.Start), PID: telemetryPID, TID: markTID,
+			Name: m.Name, Cat: m.track(),
+			TS: micros(m.Start), PID: telemetryPID, TID: markTID[m.track()],
 		}
 		if m.End > m.Start {
 			ev.Ph = "X"
